@@ -1,0 +1,159 @@
+// E10b — model ablations called out in DESIGN.md:
+//  * UBF mixture kernels (Eq. 1) vs. plain RBF;
+//  * HSMM vs. duration-blind HMM (does the semi-Markov timing matter?);
+//  * HSMM likelihood-ratio normalization variants;
+//  * stacked generalization (Sect. 6 meta-learning) vs. the best single
+//    predictor.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "prediction/hsmm.hpp"
+#include "prediction/meta.hpp"
+#include "prediction/ubf.hpp"
+
+namespace {
+
+using namespace pfm;
+
+void print_experiment() {
+  std::printf("== E10b: model ablations ==\n\n");
+  const auto [train, test] = bench::make_case_study(5);
+  const auto g = bench::case_study_windows();
+  pred::EvalOptions eo;
+  eo.windows = g;
+  const auto fail_seqs = train.failure_sequences(g.data_window, g.lead_time);
+  const auto ok_seqs = train.nonfailure_sequences(
+      g.data_window, g.lead_time, g.prediction_window, 300.0);
+
+  std::printf("-- UBF mixture kernels vs plain RBF (mean AUC, 3 seeds) --\n");
+  std::vector<pred::ScoredInstant> ubf_pts;
+  for (bool mixture : {true, false}) {
+    double auc_sum = 0.0, f_sum = 0.0;
+    const char* name = mixture ? "UBF" : "RBF";
+    for (std::uint64_t seed : {5u, 11u, 23u}) {
+      const auto [tr, te] = bench::make_case_study(seed);
+      pred::UbfConfig cfg;
+      cfg.windows = g;
+      cfg.mixture_kernels = mixture;
+      pred::UbfPredictor p(cfg);
+      p.train(tr);
+      auto pts = pred::score_on_grid(p, te, eo);
+      const auto r = pred::make_report(name, pts);
+      auc_sum += r.auc;
+      f_sum += r.f_measure();
+      if (mixture && seed == 5u) ubf_pts = std::move(pts);
+    }
+    std::printf("  %-6s mean AUC %.3f  mean F %.3f\n", name, auc_sum / 3.0,
+                f_sum / 3.0);
+  }
+
+  std::printf("\n-- HSMM vs duration-blind HMM (mean AUC, 3 seeds) --\n");
+  std::vector<pred::ScoredInstant> hsmm_pts;
+  for (bool durations : {true, false}) {
+    double auc_sum = 0.0, f_sum = 0.0;
+    const char* name = durations ? "HSMM" : "HMM";
+    for (std::uint64_t seed : {5u, 11u, 23u}) {
+      const auto [tr, te] = bench::make_case_study(seed);
+      pred::HsmmPredictorConfig cfg;
+      cfg.windows = g;
+      cfg.model_durations = durations;
+      pred::HsmmPredictor p(cfg);
+      p.train(tr.failure_sequences(g.data_window, g.lead_time),
+              tr.nonfailure_sequences(g.data_window, g.lead_time,
+                                      g.prediction_window, 300.0));
+      auto pts = pred::score_on_grid(p, te, eo);
+      const auto r = pred::make_report(name, pts);
+      auc_sum += r.auc;
+      f_sum += r.f_measure();
+      if (durations && seed == 5u) hsmm_pts = std::move(pts);
+    }
+    std::printf("  %-6s mean AUC %.3f  mean F %.3f\n", name, auc_sum / 3.0,
+                f_sum / 3.0);
+  }
+
+  std::printf("\n-- HSMM likelihood normalization --\n");
+  bench::print_report_header();
+  for (auto [norm, name] :
+       {std::pair{pred::LikelihoodNormalization::kPerEvent, "per-event"},
+        std::pair{pred::LikelihoodNormalization::kSqrt, "sqrt"},
+        std::pair{pred::LikelihoodNormalization::kNone, "raw"}}) {
+    pred::HsmmPredictorConfig cfg;
+    cfg.windows = g;
+    cfg.normalization = norm;
+    pred::HsmmPredictor p(cfg);
+    p.train(fail_seqs, ok_seqs);
+    bench::print_report_row(
+        pred::make_report(name, pred::score_on_grid(p, test, eo)));
+  }
+
+  std::printf("\n-- stacked generalization over {UBF, HSMM} --\n");
+  // Align by time: UBF scores on the sample grid, HSMM on the event grid;
+  // stack on the coarser (event) grid using the nearest UBF instant.
+  const auto [stack_fit, stack_eval] =
+      test.split_at(0.7 * 14.0 * 86400.0 + 0.5 * 0.3 * 14.0 * 86400.0);
+  (void)stack_fit;
+  (void)stack_eval;
+  // Build aligned level-0 score matrix on hsmm_pts' instants.
+  std::vector<double> level0;
+  std::vector<int> labels;
+  std::vector<double> ubf_only, hsmm_only;
+  std::size_t ui = 0;
+  for (const auto& hp : hsmm_pts) {
+    while (ui + 1 < ubf_pts.size() && ubf_pts[ui + 1].time <= hp.time) ++ui;
+    if (ubf_pts.empty()) break;
+    level0.push_back(ubf_pts[ui].score);
+    level0.push_back(hp.score);
+    ubf_only.push_back(ubf_pts[ui].score);
+    hsmm_only.push_back(hp.score);
+    labels.push_back(hp.label);
+  }
+  // First half fits the combiner (out-of-sample for the level-0 models,
+  // which trained on the training trace); second half evaluates.
+  const std::size_t n = labels.size();
+  const std::size_t cut = n / 2;
+  pred::StackedGeneralization stack;
+  stack.fit(std::span<const double>(level0.data(), cut * 2), 2,
+            std::span<const int>(labels.data(), cut));
+  auto auc_of = [&](auto score_fn) {
+    std::vector<pred::ScoredInstant> pts;
+    for (std::size_t i = cut; i < n; ++i) {
+      pts.push_back({0.0, score_fn(i), labels[i]});
+    }
+    return pred::make_report("x", pts).auc;
+  };
+  const double auc_stack = auc_of([&](std::size_t i) {
+    return stack.combine(
+        std::span<const double>(level0.data() + 2 * i, 2));
+  });
+  const double auc_ubf = auc_of([&](std::size_t i) { return ubf_only[i]; });
+  const double auc_hsmm = auc_of([&](std::size_t i) { return hsmm_only[i]; });
+  std::printf("  UBF alone   AUC %.3f\n", auc_ubf);
+  std::printf("  HSMM alone  AUC %.3f\n", auc_hsmm);
+  std::printf("  stacked     AUC %.3f  (weights: UBF %.2f, HSMM %.2f)\n\n",
+              auc_stack, stack.weights()[0], stack.weights()[1]);
+}
+
+void BM_StackedCombine(benchmark::State& state) {
+  pred::StackedGeneralization stack;
+  std::vector<double> scores{0.2, 0.9, 0.7, 0.1};
+  std::vector<int> labels{1, 0};
+  stack.fit(scores, 2, labels);
+  const std::vector<double> x{0.4, 0.6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.combine(x));
+  }
+}
+BENCHMARK(BM_StackedCombine);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E10a — variable-selection ablation for UBF: the paper reports the
+// Probabilistic Wrapper Approach "outperforming by far" forward selection,
+// backward elimination and human expert choice ([35], Sect. 3.2/7).
+// Expected shape: PWA at or near the top; "all variables" and naive expert
+// picks below.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "prediction/ubf.hpp"
+
+namespace {
+
+using namespace pfm;
+
+struct Row {
+  const char* name;
+  pred::VariableSelection mode;
+};
+
+void print_experiment() {
+  std::printf("== E10a: UBF variable-selection ablation ==\n");
+  std::printf("(paper: PWA outperforms forward/backward selection and "
+              "expert choice)\n\n");
+  const auto g = bench::case_study_windows();
+  pred::EvalOptions eo;
+  eo.windows = g;
+
+  const Row rows[] = {
+      {"PWA", pred::VariableSelection::kPwa},
+      {"forward", pred::VariableSelection::kForward},
+      {"backward", pred::VariableSelection::kBackward},
+      {"all-vars", pred::VariableSelection::kAll},
+      {"expert", pred::VariableSelection::kExpert},
+  };
+  const std::uint64_t seeds[] = {5, 11, 23};
+
+  std::printf("  %-10s", "selection");
+  for (auto s : seeds) {
+    std::printf("  AUC@%-4llu", static_cast<unsigned long long>(s));
+  }
+  std::printf("  %-9s %-6s\n", "mean AUC", "mean F");
+  for (const auto& row : rows) {
+    double auc_sum = 0.0, f_sum = 0.0;
+    std::printf("  %-10s", row.name);
+    for (auto seed : seeds) {
+      const auto [train, test] = bench::make_case_study(seed);
+      pred::UbfConfig cfg;
+      cfg.windows = g;
+      cfg.selection = row.mode;
+      if (row.mode == pred::VariableSelection::kExpert) {
+        // A plausible human pick: utilization, free memory, response time
+        // (levels only; the expert does not think of slopes).
+        cfg.expert_variables = {
+            *train.schema().index("util_max"),
+            *train.schema().index("free_mem_min_mb"),
+            *train.schema().index("resp_p95_ms"),
+        };
+      }
+      pred::UbfPredictor ubf(cfg);
+      ubf.train(train);
+      const auto report =
+          pred::make_report(row.name, pred::score_on_grid(ubf, test, eo));
+      std::printf("  %-8.3f", report.auc);
+      auc_sum += report.auc;
+      f_sum += report.f_measure();
+    }
+    std::printf("  %-9.3f %-6.3f\n", auc_sum / 3.0, f_sum / 3.0);
+  }
+  std::printf("\n");
+}
+
+void BM_PwaSelectionSearch(benchmark::State& state) {
+  const auto [train, test] = bench::make_case_study(9, 4.0);
+  for (auto _ : state) {
+    pred::UbfConfig cfg;
+    cfg.windows = bench::case_study_windows();
+    cfg.pwa_iterations = 20;
+    cfg.shape_evaluations = 50;
+    pred::UbfPredictor ubf(cfg);
+    ubf.train(train);
+    benchmark::DoNotOptimize(ubf.selected_variables());
+  }
+}
+BENCHMARK(BM_PwaSelectionSearch)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E6 — the Sect. 3.3 case study: UBF and HSMM (plus all baselines) trained
+// and evaluated on the simulated SCP platform. Paper reference values:
+// HSMM precision 0.70, recall 0.62, fpr 0.016, AUC 0.873; UBF AUC 0.846.
+// Absolute numbers differ (our substrate is a simulator); the shape to
+// check is the ordering: HSMM and UBF on top, pattern-blind baselines
+// clearly below.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "prediction/baselines.hpp"
+#include "prediction/hsmm.hpp"
+#include "prediction/mset.hpp"
+#include "prediction/ubf.hpp"
+
+namespace {
+
+using namespace pfm;
+
+struct SeedResult {
+  std::map<std::string, pred::PredictorReport> reports;
+};
+
+SeedResult run_seed(std::uint64_t seed) {
+  const auto [train, test] = bench::make_case_study(seed);
+  const auto g = bench::case_study_windows();
+  pred::EvalOptions eo;
+  eo.windows = g;
+
+  SeedResult out;
+  auto add = [&](const pred::PredictorReport& r) { out.reports[r.name] = r; };
+
+  {
+    pred::UbfConfig cfg;
+    cfg.windows = g;
+    pred::UbfPredictor ubf(cfg);
+    ubf.train(train);
+    add(pred::make_report("UBF", pred::score_on_grid(ubf, test, eo)));
+  }
+  const auto fail_seqs = train.failure_sequences(g.data_window, g.lead_time);
+  const auto ok_seqs = train.nonfailure_sequences(
+      g.data_window, g.lead_time, g.prediction_window, 300.0);
+  {
+    pred::HsmmPredictorConfig cfg;
+    cfg.windows = g;
+    pred::HsmmPredictor hsmm(cfg);
+    hsmm.train(fail_seqs, ok_seqs);
+    add(pred::make_report("HSMM", pred::score_on_grid(hsmm, test, eo)));
+  }
+  {
+    pred::MsetConfig cfg;
+    cfg.windows = g;
+    pred::MsetPredictor p(cfg);
+    p.train(train);
+    add(pred::make_report("MSET", pred::score_on_grid(p, test, eo)));
+  }
+  {
+    pred::ThresholdPredictor p(g);
+    p.train(train);
+    add(pred::make_report("Threshold", pred::score_on_grid(p, test, eo)));
+  }
+  {
+    pred::TrendPredictor p(g);
+    p.train(train);
+    add(pred::make_report("Trend", pred::score_on_grid(p, test, eo)));
+  }
+  {
+    pred::FailureTrackingPredictor p(g);
+    p.train(train);
+    add(pred::make_report("FailTrack", pred::score_on_grid(p, test, eo)));
+  }
+  {
+    pred::DftPredictor p;
+    p.train(fail_seqs, ok_seqs);
+    add(pred::make_report("DFT", pred::score_on_grid(p, test, eo)));
+  }
+  {
+    pred::EventsetPredictor p;
+    p.train(fail_seqs, ok_seqs);
+    add(pred::make_report("Eventset", pred::score_on_grid(p, test, eo)));
+  }
+  return out;
+}
+
+void print_experiment() {
+  std::printf("== E6: case-study prediction accuracy (Sect. 3.3) ==\n");
+  std::printf("paper: HSMM precision=0.70 recall=0.62 fpr=0.016 AUC=0.873; "
+              "UBF AUC=0.846\n\n");
+
+  const std::vector<std::uint64_t> seeds{5, 11, 23};
+  std::map<std::string, std::vector<pred::PredictorReport>> all;
+  for (auto seed : seeds) {
+    std::printf("-- seed %llu --\n", static_cast<unsigned long long>(seed));
+    bench::print_report_header();
+    auto res = run_seed(seed);
+    for (const auto& [name, report] : res.reports) {
+      bench::print_report_row(report);
+      all[name].push_back(report);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("-- mean over %zu seeds --\n", seeds.size());
+  std::printf("  %-12s %6s %9s %7s %7s %7s\n", "predictor", "AUC",
+              "precision", "recall", "fpr", "F");
+  for (const auto& [name, reports] : all) {
+    double auc = 0, p = 0, r = 0, fpr = 0, f = 0;
+    for (const auto& rep : reports) {
+      auc += rep.auc;
+      p += rep.precision();
+      r += rep.recall();
+      fpr += rep.false_positive_rate();
+      f += rep.f_measure();
+    }
+    const double n = static_cast<double>(reports.size());
+    std::printf("  %-12s %6.3f %9.3f %7.3f %7.4f %7.3f\n", name.c_str(),
+                auc / n, p / n, r / n, fpr / n, f / n);
+  }
+  std::printf("\n");
+}
+
+void BM_CaseStudyEndToEnd(benchmark::State& state) {
+  // One full train+evaluate cycle for the two headline predictors on a
+  // shorter trace (training cost is the interesting number).
+  for (auto _ : state) {
+    const auto [train, test] = bench::make_case_study(77, 4.0);
+    const auto g = bench::case_study_windows();
+    pred::UbfConfig cfg;
+    cfg.windows = g;
+    cfg.pwa_iterations = 20;
+    cfg.shape_evaluations = 100;
+    pred::UbfPredictor ubf(cfg);
+    ubf.train(train);
+    benchmark::DoNotOptimize(ubf.training_validation_auc());
+  }
+}
+BENCHMARK(BM_CaseStudyEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

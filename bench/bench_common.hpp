@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared plumbing of the experiment benches. Every bench binary prints the
+// rows/series of its paper artifact first (the reproduction output), then
+// runs google-benchmark timing loops for the underlying computation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "monitoring/dataset.hpp"
+#include "prediction/evaluate.hpp"
+#include "telecom/simulator.hpp"
+
+namespace pfm::bench {
+
+/// Default window geometry used across the case-study experiments
+/// (Fig. 6: data window 600 s, lead time 300 s, prediction period 300 s).
+inline pred::WindowGeometry case_study_windows() {
+  return {600.0, 300.0, 300.0};
+}
+
+/// Generates the simulated SCP trace for one seed and splits it 70/30 into
+/// training and test periods.
+inline std::pair<mon::MonitoringDataset, mon::MonitoringDataset>
+make_case_study(std::uint64_t seed, double days = 14.0) {
+  telecom::SimConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = days * 86400.0;
+  telecom::ScpSimulator sim(cfg);
+  sim.run();
+  auto trace = sim.take_trace();
+  return trace.split_at(0.7 * cfg.duration);
+}
+
+/// Prints one report row in a fixed-width table format.
+inline void print_report_row(const pred::PredictorReport& r) {
+  std::printf("  %-12s %6.3f %9.3f %7.3f %7.4f %7.3f\n", r.name.c_str(),
+              r.auc, r.precision(), r.recall(), r.false_positive_rate(),
+              r.f_measure());
+}
+
+inline void print_report_header() {
+  std::printf("  %-12s %6s %9s %7s %7s %7s\n", "predictor", "AUC",
+              "precision", "recall", "fpr", "F");
+}
+
+}  // namespace pfm::bench

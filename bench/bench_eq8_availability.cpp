@@ -1,0 +1,77 @@
+// E1/E2 — Sect. 5.3, Eq. 8 and Eq. 14: steady-state availability of the
+// Fig. 9 CTMC, closed form vs. numeric, and the paper's headline ratio
+// (1 - A_PFM)/(1 - A) ~ 0.488 for the Table 2 parameters.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ctmc/pfm_model.hpp"
+
+namespace {
+
+using pfm::ctmc::PfmAvailabilityModel;
+using pfm::ctmc::PfmModelParams;
+
+void print_experiment() {
+  std::printf("== E1/E2: Eq. 8 availability and Eq. 14 ratio ==\n");
+  const PfmAvailabilityModel table2(PfmModelParams::table2_example());
+  std::printf("Table 2 parameters (precision .70, recall .62, fpr .016, "
+              "P_TP .25, P_FP .1, P_TN .001, k 2):\n");
+  std::printf("  A (closed form, Eq. 8)   = %.8f\n",
+              table2.availability_closed_form());
+  std::printf("  A (numeric steady state) = %.8f\n",
+              table2.availability_numeric());
+  std::printf("  A without PFM            = %.8f\n",
+              table2.availability_without_pfm());
+  std::printf("  unavailability ratio     = %.3f   (paper Eq. 14: 0.488)\n\n",
+              table2.unavailability_ratio());
+
+  std::printf("Sweep: recall vs availability (others per Table 2)\n");
+  std::printf("  %-8s %-12s %-12s %-8s\n", "recall", "A_PFM", "1-A_PFM",
+              "ratio");
+  for (double recall : {0.0, 0.2, 0.4, 0.62, 0.8, 0.95}) {
+    PfmModelParams p = PfmModelParams::table2_example();
+    p.quality.recall = recall;
+    const PfmAvailabilityModel m(p);
+    std::printf("  %-8.2f %-12.6f %-12.3e %-8.3f\n", recall,
+                m.availability_closed_form(),
+                1.0 - m.availability_closed_form(), m.unavailability_ratio());
+  }
+
+  std::printf("\nSweep: repair improvement factor k (Eq. 6)\n");
+  std::printf("  %-8s %-12s %-8s\n", "k", "A_PFM", "ratio");
+  for (double k : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    PfmModelParams p = PfmModelParams::table2_example();
+    p.repair_improvement = k;
+    const PfmAvailabilityModel m(p);
+    std::printf("  %-8.1f %-12.6f %-8.3f\n", k,
+                m.availability_closed_form(), m.unavailability_ratio());
+  }
+  std::printf("\n");
+}
+
+void BM_ClosedFormAvailability(benchmark::State& state) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.availability_closed_form());
+  }
+}
+BENCHMARK(BM_ClosedFormAvailability);
+
+void BM_NumericSteadyState(benchmark::State& state) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.availability_numeric());
+  }
+}
+BENCHMARK(BM_NumericSteadyState);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

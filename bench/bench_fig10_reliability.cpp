@@ -1,0 +1,67 @@
+// E3/E4 — Fig. 10: reliability R(t) over [0, 50000] s and hazard rate h(t)
+// over [0, 1000] s, with PFM (phase-type first passage of the Fig. 9
+// model) vs. without PFM (exponential with the same MTTF).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ctmc/pfm_model.hpp"
+
+namespace {
+
+using pfm::ctmc::PfmAvailabilityModel;
+using pfm::ctmc::PfmModelParams;
+
+void print_experiment() {
+  const PfmAvailabilityModel model(PfmModelParams::table2_example());
+  const auto ph = model.reliability_model();
+
+  std::printf("== E3: Fig. 10(a) reliability R(t), with vs. without PFM ==\n");
+  std::printf("  %-10s %-14s %-14s\n", "t [s]", "R_pfm(t)", "R_noPFM(t)");
+  for (double t = 0.0; t <= 50000.0; t += 2500.0) {
+    std::printf("  %-10.0f %-14.6f %-14.6f\n", t, ph.reliability(t),
+                model.baseline_reliability(t));
+  }
+  std::printf("  MTTF with PFM  = %.0f s (no-PFM MTTF %.0f s)\n\n", ph.mean(),
+              model.params().mttf);
+
+  std::printf("== E4: Fig. 10(b) hazard rate h(t) ==\n");
+  std::printf("  %-10s %-14s %-14s\n", "t [s]", "h_pfm(t)",
+              "h_noPFM (const)");
+  for (double t = 0.0; t <= 1000.0; t += 100.0) {
+    std::printf("  %-10.0f %-14.6e %-14.6e\n", t, ph.hazard(t),
+                model.baseline_hazard());
+  }
+  std::printf("  shape check: h_pfm(0)=0, rising toward an asymptote below "
+              "the constant no-PFM hazard (paper Fig. 10(b)).\n\n");
+}
+
+void BM_PhaseTypeReliabilityEval(benchmark::State& state) {
+  const PfmAvailabilityModel model(PfmModelParams::table2_example());
+  const auto ph = model.reliability_model();
+  double t = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph.reliability(t));
+    t = t < 50000.0 ? t + 100.0 : 100.0;
+  }
+}
+BENCHMARK(BM_PhaseTypeReliabilityEval);
+
+void BM_PhaseTypeHazardCurve(benchmark::State& state) {
+  const PfmAvailabilityModel model(PfmModelParams::table2_example());
+  const auto ph = model.reliability_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ph.hazard_curve(50.0, 21));
+  }
+}
+BENCHMARK(BM_PhaseTypeHazardCurve);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// E11 — computational overhead of online prediction ([64] reports
+// measurements of the HSMM's runtime overhead; Sect. 7 lists "prediction
+// processing time" among the trade-offs). Micro-latency of one online
+// scoring step per method, plus the analytic-model primitives.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ctmc/pfm_model.hpp"
+#include "numerics/matexp.hpp"
+#include "prediction/baselines.hpp"
+#include "prediction/hsmm.hpp"
+#include "prediction/ubf.hpp"
+
+namespace {
+
+using namespace pfm;
+
+struct Fixture {
+  mon::MonitoringDataset train;
+  mon::MonitoringDataset test;
+  std::unique_ptr<pred::UbfPredictor> ubf;
+  std::unique_ptr<pred::HsmmPredictor> hsmm;
+  std::unique_ptr<pred::DftPredictor> dft;
+  std::unique_ptr<pred::EventsetPredictor> eventset;
+  std::vector<mon::SymptomSample> context_samples;
+  mon::ErrorSequence probe_seq;
+
+  Fixture() {
+    auto [tr, te] = bench::make_case_study(5, 7.0);
+    train = std::move(tr);
+    test = std::move(te);
+    const auto g = bench::case_study_windows();
+
+    pred::UbfConfig ucfg;
+    ucfg.windows = g;
+    ucfg.pwa_iterations = 25;
+    ucfg.shape_evaluations = 120;
+    ubf = std::make_unique<pred::UbfPredictor>(ucfg);
+    ubf->train(train);
+
+    const auto fail_seqs = train.failure_sequences(g.data_window, g.lead_time);
+    const auto ok_seqs = train.nonfailure_sequences(
+        g.data_window, g.lead_time, g.prediction_window, 300.0);
+    pred::HsmmPredictorConfig hcfg;
+    hcfg.windows = g;
+    hsmm = std::make_unique<pred::HsmmPredictor>(hcfg);
+    hsmm->train(fail_seqs, ok_seqs);
+    dft = std::make_unique<pred::DftPredictor>();
+    dft->train(fail_seqs, ok_seqs);
+    eventset = std::make_unique<pred::EventsetPredictor>();
+    eventset->train(fail_seqs, ok_seqs);
+
+    const auto samples = test.samples();
+    context_samples.assign(samples.begin(),
+                           samples.begin() + std::min<std::size_t>(
+                                                 20, samples.size()));
+    // Pick a probe window that actually contains error events (the test
+    // trace's time axis starts at the split point, not at zero).
+    double t0 = test.start_time();
+    for (; t0 < test.end_time(); t0 += 600.0) {
+      probe_seq.events = test.events_in(t0, t0 + 600.0);
+      if (probe_seq.events.size() >= 3) break;
+    }
+    probe_seq.end_time = t0 + 600.0;
+  }
+
+  pred::SymptomContext context() const {
+    pred::SymptomContext ctx;
+    ctx.history = context_samples;
+    return ctx;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_UbfScore(benchmark::State& state) {
+  auto& f = fixture();
+  const auto ctx = f.context();
+  for (auto _ : state) benchmark::DoNotOptimize(f.ubf->score(ctx));
+}
+BENCHMARK(BM_UbfScore);
+
+void BM_HsmmScore(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.hsmm->score(f.probe_seq));
+}
+BENCHMARK(BM_HsmmScore);
+
+void BM_DftScore(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(f.dft->score(f.probe_seq));
+}
+BENCHMARK(BM_DftScore);
+
+void BM_EventsetScore(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.eventset->score(f.probe_seq));
+  }
+}
+BENCHMARK(BM_EventsetScore);
+
+void BM_SimulatorDay(benchmark::State& state) {
+  for (auto _ : state) {
+    telecom::SimConfig cfg;
+    cfg.seed = 99;
+    cfg.duration = 86400.0;
+    telecom::ScpSimulator sim(cfg);
+    sim.run();
+    benchmark::DoNotOptimize(sim.stats().total_requests);
+  }
+}
+BENCHMARK(BM_SimulatorDay)->Unit(benchmark::kMillisecond);
+
+void BM_Expm7x7(benchmark::State& state) {
+  const auto q = ctmc::PfmAvailabilityModel(
+                     ctmc::PfmModelParams::table2_example())
+                     .chain()
+                     .generator();
+  for (auto _ : state) benchmark::DoNotOptimize(num::expm(q * 100.0));
+}
+BENCHMARK(BM_Expm7x7);
+
+void BM_SteadyState7(benchmark::State& state) {
+  const auto chain =
+      ctmc::PfmAvailabilityModel(ctmc::PfmModelParams::table2_example())
+          .chain();
+  for (auto _ : state) benchmark::DoNotOptimize(chain.steady_state());
+}
+BENCHMARK(BM_SteadyState7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E12 (extension) — optimal rejuvenation schedules, the Sect. 4.3 /
+// Sect. 5.2 related-work thread (Huang et al. [39], Dohi et al. [22,23],
+// Andrzejak/Silva [2]): for an aging system, compute the downtime-optimal
+// preventive-restart interval analytically, and contrast the classic
+// results (finite optimum iff hazard increases) with prediction-driven
+// restarts, which need no schedule at all.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "actions/rejuvenation.hpp"
+
+namespace {
+
+using pfm::act::RejuvenationModel;
+using pfm::num::Weibull;
+
+void print_experiment() {
+  std::printf("== E12 (extension): time-based rejuvenation schedules ==\n");
+  std::printf("restart downtime 60 s, failure downtime 600 s\n\n");
+  std::printf("  %-10s %-10s %-14s %-14s %-12s\n", "shape", "MTTF [h]",
+              "optimal T", "downtime frac", "vs never");
+  for (double shape : {0.7, 1.0, 1.5, 2.0, 3.0, 5.0}) {
+    RejuvenationModel m;
+    m.lifetime = Weibull{shape, 50000.0};
+    m.restart_downtime = 60.0;
+    m.failure_downtime = 600.0;
+    const double t = m.optimal_interval();
+    if (std::isinf(t)) {
+      std::printf("  %-10.1f %-10.1f %-14s %-14.6f %-12s\n", shape,
+                  m.lifetime.mean() / 3600.0, "never",
+                  m.downtime_fraction_never(), "1.000");
+    } else {
+      std::printf("  %-10.1f %-10.1f %-14.0f %-14.6f %-12.3f\n", shape,
+                  m.lifetime.mean() / 3600.0, t, m.downtime_fraction(t),
+                  m.optimal_improvement());
+    }
+  }
+  std::printf("\n(classic result, reproduced: a finite optimal schedule "
+              "exists exactly when the hazard rate increases (shape > 1); "
+              "without aging, periodic restarts only add downtime. "
+              "Prediction-driven restarts — the paper's proposal — sidestep "
+              "the schedule entirely by restarting on evidence.)\n\n");
+
+  // Cost sensitivity at shape 2 (the software-aging regime).
+  std::printf("Sensitivity: restart/failure downtime ratio (shape 2):\n");
+  std::printf("  %-12s %-14s %-12s\n", "cost ratio", "optimal T",
+              "vs never");
+  for (double ratio : {0.02, 0.05, 0.1, 0.25, 0.5}) {
+    RejuvenationModel m;
+    m.lifetime = Weibull{2.0, 50000.0};
+    m.failure_downtime = 600.0;
+    m.restart_downtime = 600.0 * ratio;
+    const double t = m.optimal_interval();
+    if (std::isinf(t)) {
+      std::printf("  %-12.2f %-14s %-12s\n", ratio, "never", "1.000");
+    } else {
+      std::printf("  %-12.2f %-14.0f %-12.3f\n", ratio, t,
+                  m.optimal_improvement());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_OptimalIntervalSearch(benchmark::State& state) {
+  RejuvenationModel m;
+  m.lifetime = Weibull{2.5, 50000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.optimal_interval());
+  }
+}
+BENCHMARK(BM_OptimalIntervalSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

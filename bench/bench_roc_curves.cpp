@@ -1,0 +1,113 @@
+// E7 — ROC analysis (Sect. 3.3 / [26]): ROC curves for the two headline
+// predictors and the event baselines, printed as (fpr, tpr) series plus
+// the AUC summary the paper reports.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "prediction/baselines.hpp"
+#include "prediction/hsmm.hpp"
+#include "prediction/ubf.hpp"
+
+namespace {
+
+using namespace pfm;
+
+void print_roc(const char* name, const std::vector<pred::ScoredInstant>& pts) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& p : pts) {
+    scores.push_back(p.score);
+    labels.push_back(p.label);
+  }
+  const auto roc = eval::roc_curve(scores, labels);
+  std::printf("%s (AUC %.3f): fpr,tpr series\n", name,
+              eval::auc(roc));
+  // Downsample to ~12 points for readable output.
+  const std::size_t step = std::max<std::size_t>(roc.size() / 12, 1);
+  for (std::size_t i = 0; i < roc.size(); i += step) {
+    std::printf("  %.4f %.4f\n", roc[i].false_positive_rate,
+                roc[i].true_positive_rate);
+  }
+  std::printf("  %.4f %.4f\n", roc.back().false_positive_rate,
+              roc.back().true_positive_rate);
+}
+
+std::vector<pred::ScoredInstant> g_scored;  // reused by the timing loop
+
+void print_experiment() {
+  std::printf("== E7: ROC curves (Sect. 3.3) ==\n\n");
+  const auto [train, test] = bench::make_case_study(5);
+  const auto g = bench::case_study_windows();
+  pred::EvalOptions eo;
+  eo.windows = g;
+
+  {
+    pred::UbfConfig cfg;
+    cfg.windows = g;
+    pred::UbfPredictor ubf(cfg);
+    ubf.train(train);
+    print_roc("UBF", pred::score_on_grid(ubf, test, eo));
+  }
+  const auto fail_seqs = train.failure_sequences(g.data_window, g.lead_time);
+  const auto ok_seqs = train.nonfailure_sequences(
+      g.data_window, g.lead_time, g.prediction_window, 300.0);
+  {
+    pred::HsmmPredictorConfig cfg;
+    cfg.windows = g;
+    pred::HsmmPredictor hsmm(cfg);
+    hsmm.train(fail_seqs, ok_seqs);
+    g_scored = pred::score_on_grid(hsmm, test, eo);
+    print_roc("HSMM", g_scored);
+  }
+  {
+    pred::DftPredictor p;
+    p.train(fail_seqs, ok_seqs);
+    print_roc("DFT", pred::score_on_grid(p, test, eo));
+  }
+  {
+    pred::EventsetPredictor p;
+    p.train(fail_seqs, ok_seqs);
+    print_roc("Eventset", pred::score_on_grid(p, test, eo));
+  }
+  std::printf("\n");
+}
+
+void BM_RocCurveConstruction(benchmark::State& state) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& p : g_scored) {
+    scores.push_back(p.score);
+    labels.push_back(p.label);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::roc_curve(scores, labels));
+  }
+}
+BENCHMARK(BM_RocCurveConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_AucFromScores(benchmark::State& state) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& p : g_scored) {
+    scores.push_back(p.score);
+    labels.push_back(p.label);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::auc(scores, labels));
+  }
+}
+BENCHMARK(BM_AucFromScores)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

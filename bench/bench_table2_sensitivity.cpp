@@ -1,0 +1,76 @@
+// E5 — sensitivity of the Sect. 5 model around the Table 2 operating
+// point: how steady-state availability and the unavailability ratio react
+// to each parameter (prediction quality, conditional failure
+// probabilities, repair improvement).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "ctmc/pfm_model.hpp"
+
+namespace {
+
+using pfm::ctmc::PfmAvailabilityModel;
+using pfm::ctmc::PfmModelParams;
+
+void sweep(const char* name, std::initializer_list<double> values,
+           const std::function<void(PfmModelParams&, double)>& apply) {
+  std::printf("%s:\n  %-8s %-12s %-10s %-8s\n", name, "value", "A_PFM",
+              "1-A_PFM", "ratio");
+  for (double v : values) {
+    PfmModelParams p = PfmModelParams::table2_example();
+    apply(p, v);
+    const PfmAvailabilityModel m(p);
+    std::printf("  %-8.3f %-12.6f %-10.3e %-8.3f\n", v,
+                m.availability_closed_form(),
+                1.0 - m.availability_closed_form(), m.unavailability_ratio());
+  }
+  std::printf("\n");
+}
+
+void print_experiment() {
+  std::printf("== E5: Table 2 sensitivity analysis ==\n");
+  std::printf("(baseline ratio 0.488 at the Table 2 operating point)\n\n");
+  sweep("precision", {0.3, 0.5, 0.7, 0.9, 0.99},
+        [](PfmModelParams& p, double v) { p.quality.precision = v; });
+  sweep("recall", {0.2, 0.4, 0.62, 0.8, 0.95},
+        [](PfmModelParams& p, double v) { p.quality.recall = v; });
+  sweep("false positive rate", {0.002, 0.008, 0.016, 0.05, 0.2},
+        [](PfmModelParams& p, double v) {
+          p.quality.false_positive_rate = v;
+        });
+  sweep("P_TP (failure despite avoidance)", {0.05, 0.25, 0.5, 0.75, 1.0},
+        [](PfmModelParams& p, double v) { p.p_tp = v; });
+  sweep("P_FP (failure induced by unnecessary action)",
+        {0.0, 0.1, 0.3, 0.6, 1.0},
+        [](PfmModelParams& p, double v) { p.p_fp = v; });
+  sweep("P_TN (failure induced by prediction alone)",
+        {0.0, 0.001, 0.01, 0.05, 0.1},
+        [](PfmModelParams& p, double v) { p.p_tn = v; });
+  sweep("k (repair improvement, Eq. 6)", {0.5, 1.0, 2.0, 4.0, 8.0},
+        [](PfmModelParams& p, double v) { p.repair_improvement = v; });
+}
+
+void BM_FullSensitivitySweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double r = 0.05; r < 1.0; r += 0.05) {
+      PfmModelParams p = PfmModelParams::table2_example();
+      p.quality.recall = r;
+      acc += PfmAvailabilityModel(p).availability_closed_form();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FullSensitivitySweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Architect's what-if analysis with the Sect. 5 CTMC model: given a
+// candidate failure predictor's accuracy and the properties of the
+// planned countermeasures, what do availability, reliability and hazard
+// rate look like — and is the predictor good enough to help at all?
+//
+//   $ ./examples/reliability_whatif
+
+#include <cstdio>
+
+#include "ctmc/pfm_model.hpp"
+
+int main() {
+  using namespace pfm::ctmc;
+
+  std::printf("What-if: proactive fault management on a system with\n"
+              "MTTF 12500 s and MTTR 600 s, as a function of predictor "
+              "quality.\n\n");
+
+  // A family of predictors from poor to excellent. fpr scales along.
+  struct Candidate {
+    const char* name;
+    PredictionQuality quality;
+  };
+  const Candidate candidates[] = {
+      {"coin-flip", {0.05, 0.5, 0.5}},
+      {"weak", {0.4, 0.4, 0.05}},
+      {"case-study HSMM", {0.70, 0.62, 0.016}},
+      {"excellent", {0.9, 0.9, 0.005}},
+      {"near-perfect", {0.99, 0.99, 0.001}},
+  };
+
+  std::printf("%-18s %-12s %-12s %-10s %-12s\n", "predictor", "A_PFM",
+              "unavail.", "ratio", "MTTF w/ PFM");
+  for (const auto& c : candidates) {
+    PfmModelParams p = PfmModelParams::table2_example();
+    p.quality = c.quality;
+    const PfmAvailabilityModel model(p);
+    const auto ph = model.reliability_model();
+    std::printf("%-18s %-12.6f %-12.3e %-10.3f %-12.0f\n", c.name,
+                model.availability_closed_form(),
+                1.0 - model.availability_closed_form(),
+                model.unavailability_ratio(), ph.mean());
+  }
+
+  std::printf("\nA ratio above 1.0 means PFM *hurts*: with a coin-flip\n"
+              "predictor the induced failures (P_FP, P_TN) and unnecessary\n"
+              "actions outweigh the benefit — the quantitative version of\n"
+              "the paper's warning that action selection must weigh\n"
+              "confidence against cost.\n\n");
+
+  // Break-even curve: minimum precision needed before the false-positive
+  // side effects (induced failures, wasted actions) stop outweighing the
+  // benefit. In the Sect. 5 rate derivation both the benefit and the
+  // false-alarm damage scale with recall, so the break-even precision
+  // depends on how risky an unnecessary action is (P_FP), not on recall.
+  std::printf("Break-even precision (ratio = 1) by P_FP, recall 0.62:\n");
+  for (double p_fp : {0.05, 0.1, 0.3, 0.6, 1.0}) {
+    double lo = 0.01, hi = 1.0;
+    for (int i = 0; i < 40; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      PfmModelParams p = PfmModelParams::table2_example();
+      p.quality = {mid, 0.62, 0.016};
+      p.p_fp = p_fp;
+      (PfmAvailabilityModel(p).unavailability_ratio() > 1.0 ? lo : hi) = mid;
+    }
+    std::printf("  P_FP %.2f -> precision >= %.3f\n", p_fp, 0.5 * (lo + hi));
+  }
+
+  std::printf("\nHazard-rate profile for the case-study predictor:\n");
+  PfmModelParams p = PfmModelParams::table2_example();
+  const PfmAvailabilityModel model(p);
+  const auto ph = model.reliability_model();
+  std::printf("  %-8s %-12s %-12s\n", "t [s]", "h_pfm", "h_noPFM");
+  for (double t : {0.0, 100.0, 250.0, 500.0, 1000.0}) {
+    std::printf("  %-8.0f %-12.3e %-12.3e\n", t, ph.hazard(t),
+                model.baseline_hazard());
+  }
+  return 0;
+}

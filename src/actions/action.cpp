@@ -1,0 +1,201 @@
+#include "actions/action.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::act {
+
+ActionGoal goal_of(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kStateCleanup:
+    case ActionKind::kPreventiveFailover:
+    case ActionKind::kLoadLowering:
+      return ActionGoal::kDowntimeAvoidance;
+    case ActionKind::kPreparedRepair:
+    case ActionKind::kPreventiveRestart:
+      return ActionGoal::kDowntimeMinimization;
+  }
+  return ActionGoal::kDowntimeAvoidance;
+}
+
+std::string to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kStateCleanup:
+      return "state-cleanup";
+    case ActionKind::kPreventiveFailover:
+      return "preventive-failover";
+    case ActionKind::kLoadLowering:
+      return "load-lowering";
+    case ActionKind::kPreparedRepair:
+      return "prepared-repair";
+    case ActionKind::kPreventiveRestart:
+      return "preventive-restart";
+  }
+  return "unknown";
+}
+
+std::string to_string(ActionGoal goal) {
+  return goal == ActionGoal::kDowntimeAvoidance ? "downtime-avoidance"
+                                                : "downtime-minimization";
+}
+
+void ActionProperties::validate() const {
+  if (cost < 0.0) throw std::invalid_argument("ActionProperties: cost >= 0");
+  if (success_probability < 0.0 || success_probability > 1.0) {
+    throw std::invalid_argument(
+        "ActionProperties: success_probability in [0,1]");
+  }
+  if (complexity < 1.0) {
+    throw std::invalid_argument("ActionProperties: complexity >= 1");
+  }
+}
+
+namespace {
+
+/// Index of the node with the highest memory pressure; the node must be
+/// available to be a restart target.
+std::size_t worst_pressure_node(const telecom::ScpSimulator& sim) {
+  std::size_t arg = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+    if (!sim.node(i).available(sim.now())) continue;
+    if (sim.node(i).memory_pressure() > best) {
+      best = sim.node(i).memory_pressure();
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+}  // namespace
+
+// --- StateCleanupAction ---------------------------------------------------------
+
+StateCleanupAction::StateCleanupAction(double pressure_trigger)
+    : pressure_trigger_(pressure_trigger) {
+  if (pressure_trigger <= 0.0 || pressure_trigger >= 1.0) {
+    throw std::invalid_argument("StateCleanupAction: trigger in (0,1)");
+  }
+}
+
+bool StateCleanupAction::applicable(
+    const telecom::ScpSimulator& system) const {
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    if (system.node(i).available(system.now()) &&
+        system.node(i).memory_pressure() > pressure_trigger_) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void StateCleanupAction::execute(telecom::ScpSimulator& system,
+                                 double /*confidence*/) {
+  system.preventive_restart(worst_pressure_node(system));
+}
+
+// --- PreventiveFailoverAction ------------------------------------------------------
+
+bool PreventiveFailoverAction::applicable(
+    const telecom::ScpSimulator& system) const {
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    if (system.node(i).available(system.now()) &&
+        system.node(i).cascade_stage() >= 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PreventiveFailoverAction::execute(telecom::ScpSimulator& system,
+                                       double /*confidence*/) {
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    if (system.node(i).available(system.now()) &&
+        system.node(i).cascade_stage() >= 1) {
+      // Taking the node out of service re-routes its traffic to the
+      // replicas and clears the faulty process state on restart.
+      system.preventive_restart(i);
+      return;
+    }
+  }
+}
+
+// --- LoadLoweringAction -------------------------------------------------------------
+
+LoadLoweringAction::LoadLoweringAction(double utilization_trigger,
+                                       double relief_duration)
+    : utilization_trigger_(utilization_trigger),
+      relief_duration_(relief_duration) {
+  if (utilization_trigger <= 0.0 || relief_duration <= 0.0) {
+    throw std::invalid_argument("LoadLoweringAction: bad parameters");
+  }
+}
+
+bool LoadLoweringAction::applicable(
+    const telecom::ScpSimulator& system) const {
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    alive += system.node(i).available(system.now()) ? 1 : 0;
+  }
+  if (alive == 0) return false;
+  const double per_node = system.current_arrival_rate() /
+                          static_cast<double>(alive);
+  return per_node / system.config().node_capacity > utilization_trigger_;
+}
+
+void LoadLoweringAction::execute(telecom::ScpSimulator& system,
+                                 double confidence) {
+  // Sect. 4.2: "the number of allowed connections is adaptive and would
+  // depend on the assessed risk of failure" — shed more when more sure.
+  const double fraction = std::clamp(0.25 + 0.5 * confidence, 0.25, 0.75);
+  system.shed_load(fraction, relief_duration_);
+}
+
+// --- PreparedRepairAction -----------------------------------------------------------
+
+PreparedRepairAction::PreparedRepairAction(double preparation_window)
+    : preparation_window_(preparation_window) {
+  if (preparation_window <= 0.0) {
+    throw std::invalid_argument("PreparedRepairAction: window > 0");
+  }
+}
+
+bool PreparedRepairAction::applicable(
+    const telecom::ScpSimulator& /*system*/) const {
+  return true;  // preparation never hurts (small cost, no downtime)
+}
+
+void PreparedRepairAction::execute(telecom::ScpSimulator& system,
+                                   double /*confidence*/) {
+  system.prepare_for_failure(preparation_window_);
+}
+
+// --- PreventiveRestartAction ----------------------------------------------------------
+
+bool PreventiveRestartAction::applicable(
+    const telecom::ScpSimulator& system) const {
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    if (system.node(i).available(system.now()) &&
+        (system.node(i).leak_active() ||
+         system.node(i).cascade_stage() >= 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PreventiveRestartAction::execute(telecom::ScpSimulator& system,
+                                      double /*confidence*/) {
+  // Restart the most suspicious node: active cascade first, then the
+  // highest memory pressure.
+  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
+    if (system.node(i).available(system.now()) &&
+        system.node(i).cascade_stage() >= 1) {
+      system.preventive_restart(i);
+      return;
+    }
+  }
+  system.preventive_restart(worst_pressure_node(system));
+}
+
+}  // namespace pfm::act

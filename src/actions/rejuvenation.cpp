@@ -1,0 +1,110 @@
+#include "actions/rejuvenation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pfm::act {
+
+namespace {
+
+/// Trapezoid integral of the survival function over [0, T].
+double uptime_integral(const num::Weibull& w, double T) {
+  if (T <= 0.0) return 0.0;
+  const int steps = 2000;
+  const double dt = T / steps;
+  double acc = 0.0;
+  double prev = w.survival(0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double cur = w.survival(dt * i);
+    acc += 0.5 * (prev + cur) * dt;
+    prev = cur;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void RejuvenationModel::validate() const {
+  if (lifetime.shape <= 0.0 || lifetime.scale <= 0.0) {
+    throw std::invalid_argument("RejuvenationModel: bad lifetime");
+  }
+  if (restart_downtime <= 0.0 || failure_downtime <= 0.0) {
+    throw std::invalid_argument("RejuvenationModel: downtimes must be > 0");
+  }
+  if (restart_downtime >= failure_downtime) {
+    throw std::invalid_argument(
+        "RejuvenationModel: a planned restart must be cheaper than a "
+        "failure, otherwise rejuvenation is pointless");
+  }
+}
+
+double RejuvenationModel::downtime_fraction(double interval) const {
+  if (!(interval > 0.0) || std::isinf(interval)) {
+    return downtime_fraction_never();
+  }
+  const double up = uptime_integral(lifetime, interval);
+  const double f = lifetime.cdf(interval);
+  const double down = f * failure_downtime + (1.0 - f) * restart_downtime;
+  return down / (up + down);
+}
+
+double RejuvenationModel::downtime_fraction_never() const {
+  const double mttf = lifetime.mean();
+  return failure_downtime / (mttf + failure_downtime);
+}
+
+double RejuvenationModel::optimal_interval(double search_horizon) const {
+  validate();
+  if (search_horizon <= 0.0) search_horizon = 20.0 * lifetime.mean();
+
+  // Coarse log-spaced scan first: downtime_fraction is unimodal but has a
+  // flat tail at large intervals (where it approaches the run-to-failure
+  // level), which would mislead a bare golden-section search.
+  const double lo = 1e-6 * search_horizon;
+  const int grid = 64;
+  double best_t = lo;
+  double best_f = downtime_fraction(lo);
+  int best_i = 0;
+  for (int i = 1; i <= grid; ++i) {
+    const double t =
+        lo * std::pow(search_horizon / lo, static_cast<double>(i) / grid);
+    const double f = downtime_fraction(t);
+    if (f < best_f) {
+      best_f = f;
+      best_t = t;
+      best_i = i;
+    }
+  }
+  // Golden-section refinement inside the bracketing grid cells.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo * std::pow(search_horizon / lo,
+                           static_cast<double>(std::max(best_i - 1, 0)) / grid);
+  double b = lo * std::pow(search_horizon / lo,
+                           static_cast<double>(std::min(best_i + 1, grid)) / grid);
+  for (int iter = 0; iter < 80; ++iter) {
+    const double c = b - phi * (b - a);
+    const double d = a + phi * (b - a);
+    if (downtime_fraction(c) < downtime_fraction(d)) {
+      b = d;
+    } else {
+      a = c;
+    }
+  }
+  const double refined = 0.5 * (a + b);
+  if (downtime_fraction(refined) < best_f) best_t = refined;
+
+  // Improvements below the quadrature noise floor mean "do not rejuvenate".
+  if (downtime_fraction(best_t) >=
+      downtime_fraction_never() * (1.0 - 1e-4)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return best_t;
+}
+
+double RejuvenationModel::optimal_improvement() const {
+  const double best = optimal_interval();
+  return downtime_fraction(best) / downtime_fraction_never();
+}
+
+}  // namespace pfm::act

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "numerics/distributions.hpp"
+
+namespace pfm::act {
+
+/// Analytic model of time-based software rejuvenation (Sect. 4.3's
+/// "preventive restart"; Huang et al. [39], optimal schedules per
+/// Dohi et al. [22,23] and Andrzejak/Silva [2]).
+///
+/// The system ages: its time-to-failure since the last (re)start follows a
+/// Weibull lifetime. Restarting proactively every `interval` seconds costs
+/// a short planned outage; failing costs a long unplanned one. The model
+/// computes the long-run downtime fraction of the renewal process and the
+/// interval minimizing it.
+///
+/// Classic structure of the result, reproduced by this model and asserted
+/// in the tests: with increasing hazard (Weibull shape > 1) a finite
+/// optimal interval exists; with shape <= 1 (no aging) rejuvenation can
+/// only hurt and the optimal interval is unbounded.
+struct RejuvenationModel {
+  /// Time-to-failure since restart.
+  num::Weibull lifetime{2.0, 50000.0};
+  /// Downtime of one planned restart, seconds.
+  double restart_downtime = 60.0;
+  /// Downtime of one unplanned failure repair, seconds.
+  double failure_downtime = 600.0;
+
+  /// Throws std::invalid_argument on non-positive parameters or when a
+  /// planned restart is not cheaper than a failure.
+  void validate() const;
+
+  /// Long-run downtime fraction when rejuvenating every `interval` s:
+  ///   cycle uptime   U(T) = int_0^T S(t) dt
+  ///   cycle downtime D(T) = F(T) * failure_downtime + S(T) * restart_downtime
+  ///   fraction(T)    = D(T) / (U(T) + D(T))
+  /// `interval` <= 0 or +inf means "never rejuvenate".
+  double downtime_fraction(double interval) const;
+
+  /// Downtime fraction without rejuvenation (pure run-to-failure).
+  double downtime_fraction_never() const;
+
+  /// Interval minimizing downtime_fraction, found by golden-section search
+  /// over (0, search_horizon]. Returns +inf when never-rejuvenate is at
+  /// least as good as any finite interval (the shape <= 1 case).
+  double optimal_interval(double search_horizon = 0.0) const;
+
+  /// Downtime-fraction improvement of the optimal schedule over
+  /// run-to-failure (1 = no benefit, < 1 = rejuvenation helps).
+  double optimal_improvement() const;
+};
+
+}  // namespace pfm::act

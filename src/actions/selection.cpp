@@ -1,0 +1,33 @@
+#include "actions/selection.hpp"
+
+namespace pfm::act {
+
+double objective_score(const Action& action, double confidence,
+                       const ObjectiveWeights& weights) {
+  const auto& p = action.properties();
+  const double benefit =
+      confidence * p.success_probability * weights.failure_cost;
+  return (benefit - weights.cost_weight * p.cost) / p.complexity;
+}
+
+ActionSelector::ActionSelector(ObjectiveWeights weights) : weights_(weights) {}
+
+Action* ActionSelector::select(
+    std::span<const std::unique_ptr<Action>> actions,
+    const telecom::ScpSimulator& system, double confidence) const {
+  Action* best = nullptr;
+  double best_score = 0.0;  // "do nothing" scores zero
+  for (const auto& a : actions) {
+    if (!a) continue;
+    if (a->properties().cost > weights_.max_action_cost) continue;
+    if (!a->applicable(system)) continue;
+    const double s = objective_score(*a, confidence, weights_);
+    if (s > best_score) {
+      best_score = s;
+      best = a.get();
+    }
+  }
+  return best;
+}
+
+}  // namespace pfm::act

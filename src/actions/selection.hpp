@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "actions/action.hpp"
+
+namespace pfm::act {
+
+/// Weights of the action-selection objective function (Sect. 2 / Sect. 6:
+/// the Act component selects "the most effective method" from prediction
+/// confidence, success probability, cost and complexity, possibly under
+/// business constraints).
+struct ObjectiveWeights {
+  /// Expected benefit of averting one failure (same abstract units as
+  /// ActionProperties::cost): roughly "cost of an unhandled failure".
+  double failure_cost = 10.0;
+  /// Multiplier on the action's execution cost.
+  double cost_weight = 1.0;
+  /// Hard budget: actions whose cost exceeds this are never selected
+  /// (models the "limited budget" business constraint).
+  double max_action_cost = 1e9;
+};
+
+/// Evaluates the objective for one action given the prediction confidence:
+///   score = (confidence * P(success) * failure_cost - cost_weight * cost)
+///           / complexity
+double objective_score(const Action& action, double confidence,
+                       const ObjectiveWeights& weights);
+
+/// Selects the best applicable action (or nullptr when no action clears a
+/// zero objective — doing nothing is then the most effective choice).
+class ActionSelector {
+ public:
+  explicit ActionSelector(ObjectiveWeights weights = {});
+
+  /// Picks argmax of the objective over applicable actions with positive
+  /// score. `actions` may contain nullptr entries (skipped).
+  Action* select(std::span<const std::unique_ptr<Action>> actions,
+                 const telecom::ScpSimulator& system,
+                 double confidence) const;
+
+  const ObjectiveWeights& weights() const noexcept { return weights_; }
+
+ private:
+  ObjectiveWeights weights_;
+};
+
+}  // namespace pfm::act

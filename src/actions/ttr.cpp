@@ -1,0 +1,37 @@
+#include "actions/ttr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::act {
+
+void TtrModel::validate() const {
+  if (reconfig_cold <= 0.0 || reconfig_warm <= 0.0 ||
+      reconfig_warm > reconfig_cold) {
+    throw std::invalid_argument(
+        "TtrModel: need 0 < reconfig_warm <= reconfig_cold");
+  }
+  if (recompute_factor < 0.0 || recompute_max < 0.0) {
+    throw std::invalid_argument("TtrModel: recompute terms must be >= 0");
+  }
+}
+
+double TtrModel::recompute_time(double checkpoint_age) const {
+  return std::min(recompute_max,
+                  recompute_factor * std::max(checkpoint_age, 0.0));
+}
+
+double TtrModel::classical(double checkpoint_age) const {
+  return reconfig_cold + recompute_time(checkpoint_age);
+}
+
+double TtrModel::prepared(double checkpoint_age) const {
+  return reconfig_warm + recompute_time(checkpoint_age);
+}
+
+double TtrModel::improvement_factor(double classical_age,
+                                    double prepared_age) const {
+  return classical(classical_age) / prepared(prepared_age);
+}
+
+}  // namespace pfm::act

@@ -1,0 +1,39 @@
+#pragma once
+
+namespace pfm::act {
+
+/// Standalone time-to-repair model of Fig. 8.
+///
+/// TTR decomposes into (a) the time to obtain a fault-free system
+/// (reconfiguration: cold-spare boot vs. warm, pre-booted spare) and
+/// (b) recomputation of the work lost since the last checkpoint. Proactive
+/// preparation shortens both: the spare boots before the failure, and a
+/// prediction-triggered checkpoint is taken close to the failure.
+struct TtrModel {
+  double reconfig_cold = 360.0;  ///< unanticipated: boot + fault isolation
+  double reconfig_warm = 90.0;   ///< prepared: spare already running
+  double recompute_factor = 0.02;  ///< repair seconds per second since ckpt
+  double recompute_max = 600.0;
+
+  /// Throws std::invalid_argument on non-positive/negative parameters.
+  void validate() const;
+
+  /// Recomputation time for a checkpoint of the given age (Fig. 8: the
+  /// span between "Checkpoint" and "Failure").
+  double recompute_time(double checkpoint_age) const;
+
+  /// Fig. 8(a): classical recovery with periodic checkpoints of age
+  /// `checkpoint_age` at failure time.
+  double classical(double checkpoint_age) const;
+
+  /// Fig. 8(b): prediction-prepared recovery; the checkpoint was saved at
+  /// warning time, `checkpoint_age` seconds before the failure (the lead
+  /// time, typically small).
+  double prepared(double checkpoint_age) const;
+
+  /// Repair-time improvement factor k (Eq. 6) achieved by preparation for
+  /// given checkpoint ages in the two schemes.
+  double improvement_factor(double classical_age, double prepared_age) const;
+};
+
+}  // namespace pfm::act

@@ -1,0 +1,138 @@
+#include "core/architecture.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::core {
+
+std::string to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kHardware:
+      return "hardware";
+    case Layer::kOperatingSystem:
+      return "operating-system";
+    case Layer::kVirtualMachineMonitor:
+      return "virtual-machine-monitor";
+    case Layer::kMiddleware:
+      return "middleware";
+    case Layer::kApplication:
+      return "application";
+  }
+  return "unknown";
+}
+
+LayeredArchitecture::LayeredArchitecture()
+    : layers_(kNumLayers),
+      needs_retraining_(kNumLayers, false),
+      last_scores_(kNumLayers, 0.0) {
+  drift_.reserve(kNumLayers);
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    drift_.emplace_back(/*delta=*/0.02, /*threshold=*/1.0);
+  }
+}
+
+void LayeredArchitecture::set_layer(Layer layer, LayerPredictors predictors) {
+  if (!predictors.symptom && !predictors.event) {
+    throw std::invalid_argument(
+        "LayeredArchitecture: layer needs at least one predictor");
+  }
+  layers_[static_cast<std::size_t>(layer)] = std::move(predictors);
+}
+
+bool LayeredArchitecture::has_layer(Layer layer) const noexcept {
+  return layers_[static_cast<std::size_t>(layer)].has_value();
+}
+
+std::size_t LayeredArchitecture::num_active_layers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.has_value() ? 1 : 0;
+  return n;
+}
+
+std::optional<double> LayeredArchitecture::layer_score(
+    Layer layer, const pred::SymptomContext& context,
+    const mon::ErrorSequence& sequence) const {
+  const auto& slot = layers_[static_cast<std::size_t>(layer)];
+  if (!slot.has_value()) return std::nullopt;
+  double score = 0.0;
+  bool any = false;
+  if (slot->symptom && !context.history.empty()) {
+    score = std::max(score, slot->symptom->score(context));
+    any = true;
+  }
+  if (slot->event) {
+    score = std::max(score, slot->event->score(sequence));
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  last_scores_[static_cast<std::size_t>(layer)] = score;
+  return score;
+}
+
+std::vector<double> LayeredArchitecture::all_scores(
+    const pred::SymptomContext& context,
+    const mon::ErrorSequence& sequence) const {
+  std::vector<double> scores;
+  scores.reserve(num_active_layers());
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    const auto s = layer_score(static_cast<Layer>(i), context, sequence);
+    if (s.has_value()) scores.push_back(*s);
+  }
+  return scores;
+}
+
+void LayeredArchitecture::fit_fusion(std::span<const double> scores,
+                                     std::span<const int> labels) {
+  const std::size_t k = num_active_layers();
+  if (k == 0) {
+    throw std::logic_error("LayeredArchitecture: no active layers");
+  }
+  fusion_.fit(scores, k, labels);
+}
+
+double LayeredArchitecture::fuse(const pred::SymptomContext& context,
+                                 const mon::ErrorSequence& sequence) const {
+  const auto scores = all_scores(context, sequence);
+  if (scores.empty()) return 0.0;
+  if (!fusion_.fitted()) {
+    return *std::max_element(scores.begin(), scores.end());
+  }
+  return fusion_.combine(scores);
+}
+
+std::vector<LayerContribution> LayeredArchitecture::contributions() const {
+  std::vector<LayerContribution> out;
+  const auto w = fusion_.fitted() ? fusion_.weights() : std::span<const double>{};
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    if (!layers_[i].has_value()) continue;
+    LayerContribution c;
+    c.layer = static_cast<Layer>(i);
+    c.stacking_weight = active < w.size() ? w[active] : 0.0;
+    c.last_score = last_scores_[i];
+    out.push_back(c);
+    ++active;
+  }
+  return out;
+}
+
+bool LayeredArchitecture::observe_layer_behavior(Layer layer,
+                                                 double indicator) {
+  const auto idx = static_cast<std::size_t>(layer);
+  const bool drifted = drift_[idx].add(indicator);
+  if (drifted) needs_retraining_[idx] = true;
+  return drifted;
+}
+
+std::vector<Layer> LayeredArchitecture::take_retraining_requests() {
+  std::vector<Layer> out;
+  for (std::size_t i = 0; i < kNumLayers; ++i) {
+    if (needs_retraining_[i]) {
+      out.push_back(static_cast<Layer>(i));
+      needs_retraining_[i] = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace pfm::core

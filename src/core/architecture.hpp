@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prediction/changepoint.hpp"
+#include "prediction/meta.hpp"
+#include "prediction/predictor.hpp"
+
+namespace pfm::core {
+
+/// System layers of the Fig. 11 architectural blueprint. Each layer runs
+/// its own failure predictor tailored to its data ("a predictor on
+/// hardware level has to process a large amount of data but failure
+/// patterns are not extremely complex, whereas an application level
+/// predictor might employ complex pattern recognition").
+enum class Layer : std::uint8_t {
+  kHardware = 0,
+  kOperatingSystem = 1,
+  kVirtualMachineMonitor = 2,
+  kMiddleware = 3,
+  kApplication = 4
+};
+inline constexpr std::size_t kNumLayers = 5;
+
+std::string to_string(Layer layer);
+
+/// A layer's predictor slot: either a symptom predictor, an event
+/// predictor, or both (they are combined by max within the layer).
+struct LayerPredictors {
+  std::shared_ptr<const pred::SymptomPredictor> symptom;
+  std::shared_ptr<const pred::EventPredictor> event;
+};
+
+/// Per-layer contribution to the fused decision — the blueprint's
+/// "translucency": insight into dependability-relevant behavior at every
+/// level while the MEA methods run.
+struct LayerContribution {
+  Layer layer = Layer::kHardware;
+  double stacking_weight = 0.0;  ///< weight learned by the meta-learner
+  double last_score = 0.0;       ///< most recent raw score of this layer
+};
+
+/// The cross-layer prediction fabric of Fig. 11: per-layer predictors
+/// whose scores are fused by stacked generalization into one system-level
+/// failure-proneness value, plus a change-point detector per layer that
+/// flags when the layer's behavior shifted and its predictor should be
+/// retrained (Sect. 6).
+///
+/// The Act component must span all layers (the paper's VMM-migration vs.
+/// hardware-restart example); fuse() gives it the single consistent
+/// system-level view it needs.
+class LayeredArchitecture {
+ public:
+  LayeredArchitecture();
+
+  /// Installs predictors for a layer (replacing earlier ones).
+  void set_layer(Layer layer, LayerPredictors predictors);
+
+  bool has_layer(Layer layer) const noexcept;
+  std::size_t num_active_layers() const noexcept;
+
+  /// Raw score of one layer for the given context/sequence; layers
+  /// without a predictor return nullopt.
+  std::optional<double> layer_score(Layer layer,
+                                    const pred::SymptomContext& context,
+                                    const mon::ErrorSequence& sequence) const;
+
+  /// Scores every active layer in layer order.
+  std::vector<double> all_scores(const pred::SymptomContext& context,
+                                 const mon::ErrorSequence& sequence) const;
+
+  /// Trains the meta-learner on out-of-sample layer scores: `scores` is
+  /// row-major n x num_active_layers() in layer order.
+  void fit_fusion(std::span<const double> scores, std::span<const int> labels);
+
+  /// Fused system-level failure proneness. Falls back to the maximum of
+  /// the layer scores when the meta-learner is not fitted.
+  double fuse(const pred::SymptomContext& context,
+              const mon::ErrorSequence& sequence) const;
+
+  /// Translucency report over active layers.
+  std::vector<LayerContribution> contributions() const;
+
+  /// Feeds one observation of a layer's behavior indicator (e.g., its
+  /// prediction error) to that layer's change-point detector; returns true
+  /// when the layer drifted and should be retrained.
+  bool observe_layer_behavior(Layer layer, double indicator);
+
+  /// Layers flagged for retraining since the last call (clears the flags).
+  std::vector<Layer> take_retraining_requests();
+
+ private:
+  std::vector<std::optional<LayerPredictors>> layers_;
+  pred::StackedGeneralization fusion_;
+  std::vector<pred::PageHinkley> drift_;
+  std::vector<bool> needs_retraining_;
+  mutable std::vector<double> last_scores_;
+};
+
+}  // namespace pfm::core

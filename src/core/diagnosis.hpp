@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telecom/simulator.hpp"
+
+namespace pfm::core {
+
+/// A suspected root-cause component with supporting evidence.
+struct Suspicion {
+  std::int32_t component = -1;  ///< node id; -1 = system-wide (workload)
+  double score = 0.0;           ///< relative suspicion in [0,1]
+  std::string evidence;         ///< human-readable justification
+};
+
+/// Diagnosis for the Evaluate phase (Sect. 2: "Evaluation might also
+/// include diagnosis in order to identify the components that cause the
+/// system to be failure-prone" — with the twist of footnote 3 that no
+/// failure has occurred yet, so the diagnosis must work from precursors).
+///
+/// Ranks components by combining three precursor channels observed in the
+/// recent window: per-component error-report intensity (weighted by
+/// severity), resource-state anomalies (memory pressure), and active
+/// degradation. A workload-driven overload shows up as a system-wide
+/// suspicion instead of a component.
+class Diagnoser {
+ public:
+  struct Config {
+    /// How far back error reports are considered, seconds.
+    double evidence_window = 900.0;
+    /// Memory pressure beyond this is suspicious on its own.
+    double pressure_threshold = 0.70;
+    /// Per-node utilization beyond this suggests workload, not a fault.
+    double overload_threshold = 0.80;
+  };
+
+  explicit Diagnoser(Config config);
+  Diagnoser() : Diagnoser(Config{}) {}
+
+  /// Ranks suspects for the current state of the system, most suspicious
+  /// first. An empty result means "no component stands out" (the warning
+  /// may be a false positive).
+  std::vector<Suspicion> diagnose(const telecom::ScpSimulator& system) const;
+
+  /// Convenience: the top suspect's component id, or -1 for system-wide /
+  /// nothing.
+  std::int32_t prime_suspect(const telecom::ScpSimulator& system) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace pfm::core

@@ -1,0 +1,124 @@
+#include "core/mea.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::core {
+
+MeaController::MeaController(telecom::ScpSimulator& system, MeaConfig config)
+    : system_(&system), config_(std::move(config)) {
+  config_.windows.validate();
+  if (config_.evaluation_interval <= 0.0) {
+    throw std::invalid_argument("MeaController: evaluation interval > 0");
+  }
+  if (config_.warning_threshold < 0.0 || config_.warning_threshold > 1.0) {
+    throw std::invalid_argument("MeaController: threshold in [0,1]");
+  }
+  last_action_time_.fill(-1e18);
+}
+
+void MeaController::add_symptom_predictor(
+    std::shared_ptr<const pred::SymptomPredictor> p) {
+  if (!p) throw std::invalid_argument("MeaController: null predictor");
+  symptom_.push_back(std::move(p));
+}
+
+void MeaController::add_event_predictor(
+    std::shared_ptr<const pred::EventPredictor> p) {
+  if (!p) throw std::invalid_argument("MeaController: null predictor");
+  event_.push_back(std::move(p));
+}
+
+void MeaController::add_action(std::unique_ptr<act::Action> action) {
+  if (!action) throw std::invalid_argument("MeaController: null action");
+  actions_.push_back(std::move(action));
+}
+
+double MeaController::evaluate_now() const {
+  const auto& trace = system_->trace();
+  const double now = system_->now();
+  double combined = 0.0;
+
+  if (!symptom_.empty() && !trace.samples().empty()) {
+    const auto samples = trace.samples();
+    const std::size_t n = samples.size();
+    const std::size_t first =
+        n >= config_.context_samples ? n - config_.context_samples : 0;
+    pred::SymptomContext ctx;
+    ctx.history = samples.subspan(first, n - first);
+    ctx.past_failures = trace.failures();
+    for (const auto& p : symptom_) {
+      combined = std::max(combined, p->score(ctx));
+    }
+  }
+  if (!event_.empty()) {
+    mon::ErrorSequence seq;
+    seq.events = trace.events_in(now - config_.windows.data_window, now);
+    seq.end_time = now;
+    for (const auto& p : event_) {
+      combined = std::max(combined, p->score(seq));
+    }
+  }
+  return combined;
+}
+
+void MeaController::act(double score) {
+  const double now = system_->now();
+  auto cooled_down = [&](act::ActionKind kind) {
+    return now - last_action_time_[static_cast<std::size_t>(kind)] >=
+           config_.action_cooldown;
+  };
+  auto record = [&](act::ActionKind kind) {
+    last_action_time_[static_cast<std::size_t>(kind)] = now;
+    ++stats_.actions_by_kind[static_cast<std::size_t>(kind)];
+  };
+
+  // Downtime minimization: preparing for an anticipated failure is cheap
+  // and safe, so it accompanies every warning (Table 1: "prepare repair").
+  if (config_.enable_minimization) {
+    for (const auto& a : actions_) {
+      if (a->goal() != act::ActionGoal::kDowntimeMinimization) continue;
+      if (!a->applicable(*system_) || !cooled_down(a->kind())) continue;
+      a->execute(*system_, score);
+      record(a->kind());
+    }
+  }
+
+  // Downtime avoidance: pick the single most effective applicable action
+  // by the objective function.
+  if (config_.enable_avoidance) {
+    act::Action* best = nullptr;
+    double best_score = 0.0;
+    for (const auto& a : actions_) {
+      if (a->goal() != act::ActionGoal::kDowntimeAvoidance) continue;
+      if (!cooled_down(a->kind())) continue;
+      if (!a->applicable(*system_)) continue;
+      const double s = act::objective_score(*a, score, selector_.weights());
+      if (s > best_score) {
+        best_score = s;
+        best = a.get();
+      }
+    }
+    if (best != nullptr) {
+      best->execute(*system_, score);
+      record(best->kind());
+    }
+  }
+}
+
+void MeaController::run_until(double t) {
+  while (!system_->finished() && system_->now() < t) {
+    system_->step_to(
+        std::min(system_->now() + config_.evaluation_interval, t));
+    ++stats_.evaluations;
+    const double score = evaluate_now();
+    if (score >= config_.warning_threshold) {
+      ++stats_.warnings;
+      act(score);
+    }
+  }
+}
+
+void MeaController::run() { run_until(system_->config().duration); }
+
+}  // namespace pfm::core

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "actions/selection.hpp"
+#include "prediction/predictor.hpp"
+#include "telecom/simulator.hpp"
+
+namespace pfm::core {
+
+/// Configuration of the Monitor-Evaluate-Act loop.
+struct MeaConfig {
+  /// Seconds between MEA evaluations.
+  double evaluation_interval = 60.0;
+  /// Warning threshold on the combined failure-proneness score.
+  double warning_threshold = 0.6;
+  /// Window geometry shared with the predictors.
+  pred::WindowGeometry windows;
+  /// Trailing samples handed to symptom predictors.
+  std::size_t context_samples = 20;
+  /// Minimum seconds between two executions of the same action kind
+  /// (control-loop damping: the paper warns about oscillations, Sect. 2).
+  double action_cooldown = 600.0;
+  /// Master switches for the two Fig. 7 action families — the Table 1 /
+  /// E9 experiment toggles these.
+  bool enable_avoidance = true;
+  bool enable_minimization = true;
+};
+
+/// Counters of one MEA run.
+struct MeaStats {
+  std::size_t evaluations = 0;
+  std::size_t warnings = 0;
+  std::array<std::size_t, act::kNumActionKinds> actions_by_kind{};
+
+  std::size_t total_actions() const noexcept {
+    std::size_t s = 0;
+    for (auto a : actions_by_kind) s += a;
+    return s;
+  }
+};
+
+/// The Monitor-Evaluate-Act control loop (Fig. 1) driving the simulated
+/// SCP:
+///  - Monitor: the simulator continuously appends symptom samples and
+///    error events to its trace;
+///  - Evaluate: at each evaluation instant the registered (pre-trained)
+///    predictors score the current context; the combined score is their
+///    maximum (a warning from any layer is a warning);
+///  - Act: on a warning, downtime minimization always prepares repair,
+///    and the objective-function selector picks the best applicable
+///    avoidance action, subject to per-kind cooldowns.
+class MeaController {
+ public:
+  MeaController(telecom::ScpSimulator& system, MeaConfig config);
+
+  /// Registers a trained symptom predictor (one per architecture layer).
+  void add_symptom_predictor(std::shared_ptr<const pred::SymptomPredictor> p);
+
+  /// Registers a trained event predictor.
+  void add_event_predictor(std::shared_ptr<const pred::EventPredictor> p);
+
+  /// Registers a countermeasure.
+  void add_action(std::unique_ptr<act::Action> action);
+
+  /// Runs the loop until the simulation finishes.
+  void run();
+
+  /// Runs until time `t`.
+  void run_until(double t);
+
+  const MeaStats& stats() const noexcept { return stats_; }
+
+  /// Combined failure-proneness at the current instant (exposed for tests
+  /// and examples).
+  double evaluate_now() const;
+
+ private:
+  void act(double score);
+
+  telecom::ScpSimulator* system_;
+  MeaConfig config_;
+  std::vector<std::shared_ptr<const pred::SymptomPredictor>> symptom_;
+  std::vector<std::shared_ptr<const pred::EventPredictor>> event_;
+  std::vector<std::unique_ptr<act::Action>> actions_;
+  act::ActionSelector selector_;
+  std::array<double, act::kNumActionKinds> last_action_time_{};
+  MeaStats stats_;
+};
+
+}  // namespace pfm::core

@@ -1,0 +1,93 @@
+#include "ctmc/ctmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "numerics/matexp.hpp"
+
+namespace pfm::ctmc {
+
+Ctmc::Ctmc(num::Matrix generator, std::vector<std::string> state_names)
+    : q_(std::move(generator)), names_(std::move(state_names)) {
+  if (!q_.square()) throw std::invalid_argument("Ctmc: Q must be square");
+  const std::size_t n = q_.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && q_(i, j) < 0.0) {
+        throw std::invalid_argument("Ctmc: negative off-diagonal rate");
+      }
+      row_sum += q_(i, j);
+    }
+    const double scale = std::abs(q_(i, i)) + 1.0;
+    if (std::abs(row_sum) > 1e-9 * scale) {
+      throw std::invalid_argument("Ctmc: generator rows must sum to zero");
+    }
+  }
+  if (names_.empty()) {
+    names_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) names_.push_back("S" + std::to_string(i));
+  } else if (names_.size() != n) {
+    throw std::invalid_argument("Ctmc: state name count mismatch");
+  }
+}
+
+std::vector<double> Ctmc::steady_state() const {
+  return num::stationary_distribution(q_);
+}
+
+std::vector<double> Ctmc::transient(std::span<const double> p0, double t) const {
+  return num::uniformized_transient(q_, p0, t);
+}
+
+std::vector<double> Ctmc::time_average(std::span<const double> p0,
+                                       double horizon,
+                                       std::size_t steps) const {
+  if (steps == 0) throw std::invalid_argument("time_average: steps == 0");
+  std::vector<double> acc(num_states(), 0.0);
+  const double dt = horizon / static_cast<double>(steps);
+  // Midpoint rule over the grid.
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double t = (static_cast<double>(s) + 0.5) * dt;
+    const auto p = transient(p0, t);
+    for (std::size_t i = 0; i < p.size(); ++i) acc[i] += p[i];
+  }
+  for (double& a : acc) a /= static_cast<double>(steps);
+  return acc;
+}
+
+std::vector<Ctmc::Jump> Ctmc::simulate(std::size_t start, double horizon,
+                                       num::Rng& rng) const {
+  if (start >= num_states()) throw std::invalid_argument("simulate: state");
+  std::vector<Jump> path{{0.0, start}};
+  double t = 0.0;
+  std::size_t s = start;
+  std::vector<double> weights(num_states());
+  while (t < horizon) {
+    const double exit_rate = -q_(s, s);
+    if (exit_rate <= 0.0) break;  // absorbing
+    t += rng.exponential(exit_rate);
+    if (t >= horizon) break;
+    for (std::size_t j = 0; j < num_states(); ++j) {
+      weights[j] = j == s ? 0.0 : q_(s, j);
+    }
+    s = rng.categorical(weights);
+    path.push_back({t, s});
+  }
+  return path;
+}
+
+std::vector<double> Ctmc::simulate_occupancy(std::size_t start, double horizon,
+                                             num::Rng& rng) const {
+  const auto path = simulate(start, horizon, rng);
+  std::vector<double> occ(num_states(), 0.0);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const double end = i + 1 < path.size() ? path[i + 1].time : horizon;
+    occ[path[i].state] += end - path[i].time;
+  }
+  for (double& o : occ) o /= horizon;
+  return occ;
+}
+
+}  // namespace pfm::ctmc

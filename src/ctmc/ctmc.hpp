@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "numerics/rng.hpp"
+
+namespace pfm::ctmc {
+
+/// A finite continuous-time Markov chain described by its generator matrix.
+///
+/// The generator Q has nonnegative off-diagonal entries (transition rates)
+/// and rows summing to zero. The class validates this at construction and
+/// offers steady-state and transient analysis plus trajectory simulation.
+class Ctmc {
+ public:
+  /// Validates and stores the generator. `state_names` is optional
+  /// (defaults to "S0".."Sn"). Throws std::invalid_argument when Q is not
+  /// square, has negative off-diagonal entries, or rows do not sum to ~0.
+  explicit Ctmc(num::Matrix generator,
+                std::vector<std::string> state_names = {});
+
+  std::size_t num_states() const noexcept { return q_.rows(); }
+  const num::Matrix& generator() const noexcept { return q_; }
+  const std::string& state_name(std::size_t i) const { return names_.at(i); }
+
+  /// Stationary distribution pi with pi Q = 0, sum(pi) = 1.
+  std::vector<double> steady_state() const;
+
+  /// Transient distribution p(t) = p0 * exp(tQ) by uniformization.
+  std::vector<double> transient(std::span<const double> p0, double t) const;
+
+  /// Expected fraction of time spent in each state over [0, horizon],
+  /// estimated by averaging the transient distribution on a grid.
+  std::vector<double> time_average(std::span<const double> p0, double horizon,
+                                   std::size_t steps = 200) const;
+
+  /// One simulated jump trajectory up to `horizon`, as (time, state) pairs
+  /// beginning with (0, start). Useful for validating analytic results.
+  struct Jump {
+    double time;
+    std::size_t state;
+  };
+  std::vector<Jump> simulate(std::size_t start, double horizon,
+                             num::Rng& rng) const;
+
+  /// Fraction of time spent in each state along a simulated trajectory.
+  std::vector<double> simulate_occupancy(std::size_t start, double horizon,
+                                         num::Rng& rng) const;
+
+ private:
+  num::Matrix q_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pfm::ctmc

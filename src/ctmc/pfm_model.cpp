@@ -1,0 +1,185 @@
+#include "ctmc/pfm_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::ctmc {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+double PredictionQuality::f_measure() const noexcept {
+  if (precision + recall <= 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+void PredictionQuality::validate() const {
+  require(precision > 0.0 && precision <= 1.0,
+          "PredictionQuality: precision must be in (0,1]");
+  require(recall >= 0.0 && recall <= 1.0,
+          "PredictionQuality: recall must be in [0,1]");
+  require(false_positive_rate >= 0.0 && false_positive_rate < 1.0,
+          "PredictionQuality: fpr must be in [0,1)");
+}
+
+void PfmModelParams::validate() const {
+  quality.validate();
+  require(mttf > 0.0, "PfmModelParams: mttf must be positive");
+  require(mttr > 0.0, "PfmModelParams: mttr must be positive");
+  require(action_time > 0.0, "PfmModelParams: action_time must be positive");
+  require(repair_improvement > 0.0,
+          "PfmModelParams: repair_improvement must be positive");
+  for (double p : {p_tp, p_fp, p_tn}) {
+    require(p >= 0.0 && p <= 1.0,
+            "PfmModelParams: conditional failure probabilities in [0,1]");
+  }
+}
+
+PfmModelParams PfmModelParams::table2_example() {
+  PfmModelParams p;
+  p.quality = PredictionQuality{0.70, 0.62, 0.016};
+  p.p_tp = 0.25;
+  p.p_fp = 0.1;
+  p.p_tn = 0.001;
+  p.repair_improvement = 2.0;
+  return p;
+}
+
+PfmRates PfmRates::derive(const PfmModelParams& params) {
+  params.validate();
+  const double lambda = 1.0 / params.mttf;
+  PfmRates r;
+  r.r_tp = params.quality.recall * lambda;
+  r.r_fn = (1.0 - params.quality.recall) * lambda;
+  r.r_fp = r.r_tp * (1.0 - params.quality.precision) / params.quality.precision;
+  const double fpr = params.quality.false_positive_rate;
+  // fpr = r_FP / (r_FP + r_TN). fpr == 0 with r_FP > 0 is contradictory.
+  if (fpr <= 0.0) {
+    if (r.r_fp > 0.0) {
+      throw std::invalid_argument(
+          "PfmRates: fpr == 0 is inconsistent with precision < 1");
+    }
+    r.r_tn = lambda;  // arbitrary positive negative-prediction rate
+  } else {
+    r.r_tn = r.r_fp * (1.0 - fpr) / fpr;
+  }
+  r.r_a = 1.0 / params.action_time;
+  r.r_f = 1.0 / params.mttr;
+  r.r_r = params.repair_improvement * r.r_f;
+  return r;
+}
+
+PfmAvailabilityModel::PfmAvailabilityModel(PfmModelParams params)
+    : params_(std::move(params)), rates_(PfmRates::derive(params_)) {}
+
+Ctmc PfmAvailabilityModel::chain() const {
+  const auto& r = rates_;
+  const auto& p = params_;
+  num::Matrix q(7, 7);
+
+  auto set = [&q](PfmState from, PfmState to, double rate) {
+    q(static_cast<std::size_t>(from), static_cast<std::size_t>(to)) = rate;
+  };
+
+  // Predictions out of the up state.
+  set(PfmState::kUp, PfmState::kTruePositive, r.r_tp);
+  set(PfmState::kUp, PfmState::kFalsePositive, r.r_fp);
+  set(PfmState::kUp, PfmState::kTrueNegative, r.r_tn);
+  set(PfmState::kUp, PfmState::kFalseNegative, r.r_fn);
+
+  // True positive: downtime avoidance succeeds with (1 - P_TP); otherwise
+  // the failure happens but repair was prepared.
+  set(PfmState::kTruePositive, PfmState::kUp, r.r_a * (1.0 - p.p_tp));
+  set(PfmState::kTruePositive, PfmState::kPreparedDown, r.r_a * p.p_tp);
+
+  // False positive: unnecessary actions; small induced-failure risk P_FP,
+  // but preparation happened, so an induced failure is a prepared one.
+  set(PfmState::kFalsePositive, PfmState::kUp, r.r_a * (1.0 - p.p_fp));
+  set(PfmState::kFalsePositive, PfmState::kPreparedDown, r.r_a * p.p_fp);
+
+  // True negative: no action; prediction overhead may still induce a
+  // failure with P_TN, unprepared.
+  set(PfmState::kTrueNegative, PfmState::kUp, r.r_a * (1.0 - p.p_tn));
+  set(PfmState::kTrueNegative, PfmState::kUnpreparedDown, r.r_a * p.p_tn);
+
+  // False negative: the looming failure always strikes, unprepared.
+  set(PfmState::kFalseNegative, PfmState::kUnpreparedDown, r.r_a);
+
+  // Repairs.
+  set(PfmState::kPreparedDown, PfmState::kUp, r.r_r);
+  set(PfmState::kUnpreparedDown, PfmState::kUp, r.r_f);
+
+  // Diagonal.
+  for (std::size_t i = 0; i < 7; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      if (j != i) row += q(i, j);
+    }
+    q(i, i) = -row;
+  }
+  return Ctmc(std::move(q),
+              {"S0", "S_TP", "S_FP", "S_TN", "S_FN", "S_R", "S_F"});
+}
+
+double PfmAvailabilityModel::availability_closed_form() const {
+  // Eq. 8:
+  //        (r_A + r_p) k r_F
+  // A = ------------------------------------------------------------------
+  //     k r_F (r_A + r_p) + r_A (P_FP r_FP + P_TP r_TP + k P_TN r_TN + k r_FN)
+  const auto& r = rates_;
+  const auto& p = params_;
+  const double k = p.repair_improvement;
+  const double rp = r.prediction_rate();
+  const double numerator = (r.r_a + rp) * k * r.r_f;
+  const double denominator =
+      k * r.r_f * (r.r_a + rp) +
+      r.r_a * (p.p_fp * r.r_fp + p.p_tp * r.r_tp + k * p.p_tn * r.r_tn +
+               k * r.r_fn);
+  return numerator / denominator;
+}
+
+double PfmAvailabilityModel::availability_numeric() const {
+  const auto pi = chain().steady_state();
+  // Eq. 7: A = sum_{i=0..4} pi_i.
+  double a = 0.0;
+  for (std::size_t i = 0; i <= 4; ++i) a += pi[i];
+  return a;
+}
+
+double PfmAvailabilityModel::availability_without_pfm() const {
+  // Two-state chain: A = MTTF / (MTTF + MTTR).
+  return params_.mttf / (params_.mttf + params_.mttr);
+}
+
+double PfmAvailabilityModel::unavailability_ratio() const {
+  const double u_pfm = 1.0 - availability_closed_form();
+  const double u_base = 1.0 - availability_without_pfm();
+  return u_pfm / u_base;
+}
+
+PhaseType PfmAvailabilityModel::reliability_model() const {
+  // Sect. 5.4: merge S_R and S_F into one absorbing down state, drop
+  // repairs; the transient sub-generator covers states 0..4.
+  const auto full = chain().generator();
+  num::Matrix t(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) t(i, j) = full(i, j);
+  }
+  // alpha = [1 0 0 0 0] (Eq. 13).
+  return PhaseType(std::move(t), {1.0, 0.0, 0.0, 0.0, 0.0});
+}
+
+double PfmAvailabilityModel::baseline_reliability(double t) const {
+  return std::exp(-t / params_.mttf);
+}
+
+double PfmAvailabilityModel::baseline_hazard() const noexcept {
+  return 1.0 / params_.mttf;
+}
+
+}  // namespace pfm::ctmc

@@ -1,0 +1,109 @@
+#include "ctmc/phase_type.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+#include "numerics/matexp.hpp"
+
+namespace pfm::ctmc {
+
+PhaseType::PhaseType(num::Matrix t, std::vector<double> alpha)
+    : t_(std::move(t)), alpha_(std::move(alpha)) {
+  if (!t_.square()) throw std::invalid_argument("PhaseType: T must be square");
+  const std::size_t n = t_.rows();
+  if (alpha_.size() != n) {
+    throw std::invalid_argument("PhaseType: alpha size mismatch");
+  }
+  double alpha_sum = 0.0;
+  for (double a : alpha_) {
+    if (a < 0.0) throw std::invalid_argument("PhaseType: negative alpha");
+    alpha_sum += a;
+  }
+  if (std::abs(alpha_sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("PhaseType: alpha must sum to 1");
+  }
+  exit_.assign(n, 0.0);
+  bool any_exit = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && t_(i, j) < 0.0) {
+        throw std::invalid_argument("PhaseType: negative off-diagonal");
+      }
+      row_sum += t_(i, j);
+    }
+    if (row_sum > 1e-9 * (std::abs(t_(i, i)) + 1.0)) {
+      throw std::invalid_argument("PhaseType: row sums must be <= 0");
+    }
+    exit_[i] = -row_sum;
+    if (exit_[i] < 0.0) exit_[i] = 0.0;  // round-off
+    if (exit_[i] > 0.0) any_exit = true;
+  }
+  if (!any_exit) {
+    throw std::invalid_argument("PhaseType: absorbing state unreachable");
+  }
+}
+
+std::vector<double> PhaseType::transient(double t) const {
+  return num::uniformized_transient(t_, alpha_, t);
+}
+
+double PhaseType::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const auto p = transient(t);
+  double survive = 0.0;
+  for (double v : p) survive += v;
+  return 1.0 - survive;
+}
+
+double PhaseType::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  const auto p = transient(t);
+  double f = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) f += p[i] * exit_[i];
+  return f;
+}
+
+double PhaseType::reliability(double t) const { return 1.0 - cdf(t); }
+
+double PhaseType::hazard(double t) const {
+  const auto p = transient(std::max(t, 0.0));
+  double survive = 0.0, f = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    survive += p[i];
+    f += p[i] * exit_[i];
+  }
+  if (survive <= 0.0) return std::numeric_limits<double>::infinity();
+  return f / survive;
+}
+
+double PhaseType::mean() const {
+  // -alpha T^{-1} 1  ==  solve T^T y = -alpha, then sum(y)... simpler:
+  // m = alpha * x where T x = -1.
+  std::vector<double> minus_one(t_.rows(), -1.0);
+  const auto x = num::solve(t_, minus_one);
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m += alpha_[i] * x[i];
+  return m;
+}
+
+std::vector<double> PhaseType::reliability_curve(double dt,
+                                                 std::size_t n) const {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = reliability(dt * static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> PhaseType::hazard_curve(double dt, std::size_t n) const {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = hazard(dt * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace pfm::ctmc

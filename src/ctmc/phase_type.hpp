@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace pfm::ctmc {
+
+/// Continuous phase-type distribution PH(alpha, T).
+///
+/// T is the sub-generator restricted to the transient states of an absorbing
+/// CTMC, alpha the initial distribution over those states. This represents
+/// the first-passage time into the absorbing (failure) state and provides
+/// the paper's Eqs. 9-12:
+///   F(t) = 1 - alpha exp(tT) 1        (Eq. 11)
+///   f(t) = alpha exp(tT) t0           (Eq. 12), t0 = -T 1
+///   R(t) = 1 - F(t)                   (Eq. 9)
+///   h(t) = f(t) / (1 - F(t))          (Eq. 10)
+class PhaseType {
+ public:
+  /// Validates shapes and that T is a proper sub-generator (nonnegative
+  /// off-diagonals, row sums <= 0, at least one strictly negative so the
+  /// absorbing state is reachable). Throws std::invalid_argument otherwise.
+  PhaseType(num::Matrix t, std::vector<double> alpha);
+
+  std::size_t num_phases() const noexcept { return t_.rows(); }
+
+  /// Cumulative first-passage distribution F(t).
+  double cdf(double t) const;
+
+  /// Density f(t).
+  double pdf(double t) const;
+
+  /// Reliability R(t) = 1 - F(t).
+  double reliability(double t) const;
+
+  /// Hazard rate h(t) = f(t) / R(t); returns +inf when R(t) underflows.
+  double hazard(double t) const;
+
+  /// Mean time to absorption: -alpha T^{-1} 1 (MTTF of the modeled system).
+  double mean() const;
+
+  /// Convenience: evaluates reliability on an evenly spaced grid
+  /// t = 0, dt, ..., (n-1) dt.
+  std::vector<double> reliability_curve(double dt, std::size_t n) const;
+
+  /// Convenience: evaluates the hazard rate on the same grid.
+  std::vector<double> hazard_curve(double dt, std::size_t n) const;
+
+ private:
+  /// alpha * exp(tT) via uniformization on the sub-generator.
+  std::vector<double> transient(double t) const;
+
+  num::Matrix t_;
+  std::vector<double> alpha_;
+  std::vector<double> exit_;  // t0 = -T 1
+};
+
+}  // namespace pfm::ctmc

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "monitoring/dataset.hpp"
+
+namespace pfm::eval {
+
+/// One temporal train/test split.
+struct TemporalFold {
+  double train_begin = 0.0;
+  double train_end = 0.0;  ///< == test_begin
+  double test_end = 0.0;
+};
+
+/// Forward-chaining (rolling-origin) cross-validation boundaries for time
+/// series: fold i trains on everything up to a growing cutoff and tests on
+/// the following block. Ordinary shuffled k-fold would leak the future
+/// into training, which is why predictor evaluation on monitoring traces
+/// must use this scheme.
+///
+/// Throws std::invalid_argument when `folds` == 0 or the trace is too
+/// short to split.
+inline std::vector<TemporalFold> forward_chaining_folds(
+    const mon::MonitoringDataset& data, std::size_t folds) {
+  if (folds == 0) {
+    throw std::invalid_argument("forward_chaining_folds: folds == 0");
+  }
+  const double begin = data.start_time();
+  const double end = data.end_time();
+  if (end <= begin) {
+    throw std::invalid_argument("forward_chaining_folds: empty trace");
+  }
+  // The trace is cut into folds + 1 equal blocks; fold i trains on blocks
+  // [0, i] and tests on block i + 1.
+  const double block = (end - begin) / static_cast<double>(folds + 1);
+  std::vector<TemporalFold> out;
+  out.reserve(folds);
+  for (std::size_t i = 0; i < folds; ++i) {
+    TemporalFold f;
+    f.train_begin = begin;
+    f.train_end = begin + block * static_cast<double>(i + 1);
+    f.test_end = begin + block * static_cast<double>(i + 2);
+    out.push_back(f);
+  }
+  out.back().test_end = end;  // absorb rounding into the last fold
+  return out;
+}
+
+/// Materializes one fold into (train, test) datasets.
+inline std::pair<mon::MonitoringDataset, mon::MonitoringDataset>
+materialize_fold(const mon::MonitoringDataset& data, const TemporalFold& f) {
+  auto [train, rest] = data.split_at(f.train_end);
+  auto [test, tail] = rest.split_at(f.test_end);
+  (void)tail;
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace pfm::eval

@@ -1,0 +1,218 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfm::eval {
+
+double ContingencyTable::precision() const noexcept {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ContingencyTable::recall() const noexcept {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ContingencyTable::false_positive_rate() const noexcept {
+  const auto denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+double ContingencyTable::f_measure() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return p + r <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ContingencyTable::accuracy() const noexcept {
+  const auto n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(true_positives + true_negatives) /
+                      static_cast<double>(n);
+}
+
+ContingencyTable score_contingency(std::span<const double> scores,
+                                   std::span<const int> labels,
+                                   double threshold) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("score_contingency: length mismatch");
+  }
+  ContingencyTable t;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool warn = scores[i] >= threshold;
+    const bool fail = labels[i] != 0;
+    if (warn && fail) {
+      ++t.true_positives;
+    } else if (warn && !fail) {
+      ++t.false_positives;
+    } else if (!warn && fail) {
+      ++t.false_negatives;
+    } else {
+      ++t.true_negatives;
+    }
+  }
+  return t;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("roc_curve: length mismatch");
+  }
+  if (scores.empty()) throw std::invalid_argument("roc_curve: empty input");
+  std::size_t positives = 0;
+  for (int y : labels) positives += y != 0 ? 1 : 0;
+  const std::size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("roc_curve: labels are single-class");
+  }
+
+  // Sort indices by score descending; sweep thresholds between groups of
+  // equal scores.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> roc;
+  roc.push_back({scores[order.front()] + 1.0, 0.0, 0.0, 1.0});
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double s = scores[order[i]];
+    // Consume the whole tie group at this score.
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    RocPoint p;
+    p.threshold = s;
+    p.true_positive_rate = static_cast<double>(tp) / static_cast<double>(positives);
+    p.false_positive_rate =
+        static_cast<double>(fp) / static_cast<double>(negatives);
+    p.precision = tp + fp == 0
+                      ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    roc.push_back(p);
+  }
+  return roc;
+}
+
+double auc(std::span<const RocPoint> roc) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < roc.size(); ++i) {
+    const double dx =
+        roc[i].false_positive_rate - roc[i - 1].false_positive_rate;
+    area += dx * 0.5 *
+            (roc[i].true_positive_rate + roc[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+double auc(std::span<const double> scores, std::span<const int> labels) {
+  const auto roc = roc_curve(scores, labels);
+  return auc(roc);
+}
+
+std::vector<PrPoint> pr_curve(std::span<const double> scores,
+                              std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("pr_curve: length mismatch");
+  }
+  if (scores.empty()) throw std::invalid_argument("pr_curve: empty input");
+  std::size_t positives = 0;
+  for (int y : labels) positives += y != 0 ? 1 : 0;
+  if (positives == 0 || positives == labels.size()) {
+    throw std::invalid_argument("pr_curve: labels are single-class");
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<PrPoint> out;
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double s = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    PrPoint p;
+    p.threshold = s;
+    p.recall = static_cast<double>(tp) / static_cast<double>(positives);
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double average_precision(std::span<const double> scores,
+                         std::span<const int> labels) {
+  const auto curve = pr_curve(scores, labels);
+  double ap = 0.0;
+  double prev_recall = 0.0;
+  for (const auto& p : curve) {
+    ap += (p.recall - prev_recall) * p.precision;
+    prev_recall = p.recall;
+  }
+  return ap;
+}
+
+ThresholdChoice max_f_measure_threshold(std::span<const double> scores,
+                                        std::span<const int> labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("max_f_measure_threshold: bad input");
+  }
+  // Candidate thresholds: the distinct scores (warning iff score >= thr).
+  std::vector<double> candidates(scores.begin(), scores.end());
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  ThresholdChoice best;
+  double best_f = -1.0;
+  for (double thr : candidates) {
+    const auto table = score_contingency(scores, labels, thr);
+    const double f = table.f_measure();
+    if (f > best_f) {
+      best_f = f;
+      best = {thr, table};
+    }
+  }
+  return best;
+}
+
+std::string summary(const ContingencyTable& t) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "precision=" << t.precision() << " recall=" << t.recall()
+     << " fpr=" << t.false_positive_rate() << " F=" << t.f_measure()
+     << " (tp=" << t.true_positives << " fp=" << t.false_positives
+     << " tn=" << t.true_negatives << " fn=" << t.false_negatives << ")";
+  return os.str();
+}
+
+}  // namespace pfm::eval

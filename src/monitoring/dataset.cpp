@@ -1,0 +1,146 @@
+#include "monitoring/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::mon {
+
+void MonitoringDataset::add_sample(SymptomSample sample) {
+  if (sample.values.size() != schema_.size()) {
+    throw std::invalid_argument("MonitoringDataset: sample/schema mismatch");
+  }
+  if (!samples_.empty() && sample.time < samples_.back().time) {
+    throw std::invalid_argument("MonitoringDataset: sample time decreases");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+void MonitoringDataset::add_event(ErrorEvent event) {
+  if (!events_.empty() && event.time < events_.back().time) {
+    throw std::invalid_argument("MonitoringDataset: event time decreases");
+  }
+  events_.push_back(event);
+}
+
+void MonitoringDataset::add_failure(double time) {
+  if (!failures_.empty() && time < failures_.back()) {
+    throw std::invalid_argument("MonitoringDataset: failure time decreases");
+  }
+  failures_.push_back(time);
+}
+
+double MonitoringDataset::end_time() const noexcept {
+  double t = 0.0;
+  if (!samples_.empty()) t = std::max(t, samples_.back().time);
+  if (!events_.empty()) t = std::max(t, events_.back().time);
+  if (!failures_.empty()) t = std::max(t, failures_.back());
+  return t;
+}
+
+double MonitoringDataset::start_time() const noexcept {
+  double t = end_time();
+  if (!samples_.empty()) t = std::min(t, samples_.front().time);
+  if (!events_.empty()) t = std::min(t, events_.front().time);
+  if (!failures_.empty()) t = std::min(t, failures_.front());
+  return t;
+}
+
+bool MonitoringDataset::failure_within(double t_begin, double t_end) const {
+  const auto it =
+      std::lower_bound(failures_.begin(), failures_.end(), t_begin);
+  return it != failures_.end() && *it < t_end;
+}
+
+std::pair<MonitoringDataset, MonitoringDataset> MonitoringDataset::split_at(
+    double t) const {
+  MonitoringDataset before(schema_);
+  MonitoringDataset after(schema_);
+  for (const auto& s : samples_) {
+    (s.time < t ? before : after).add_sample(s);
+  }
+  for (const auto& e : events_) {
+    (e.time < t ? before : after).add_event(e);
+  }
+  for (double f : failures_) {
+    (f < t ? before : after).add_failure(f);
+  }
+  return {std::move(before), std::move(after)};
+}
+
+std::vector<LabeledWindow> MonitoringDataset::labeled_windows(
+    double lead_time, double prediction_window) const {
+  if (lead_time < 0.0 || prediction_window <= 0.0) {
+    throw std::invalid_argument("labeled_windows: bad window parameters");
+  }
+  const double horizon = end_time();
+  std::vector<LabeledWindow> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) {
+    const double w_begin = s.time + lead_time;
+    const double w_end = w_begin + prediction_window;
+    if (w_end > horizon) continue;  // not labelable yet
+    out.push_back(
+        {s.time, s.values, failure_within(w_begin, w_end)});
+  }
+  return out;
+}
+
+std::vector<ErrorSequence> MonitoringDataset::failure_sequences(
+    double data_window, double lead_time) const {
+  if (data_window <= 0.0 || lead_time < 0.0) {
+    throw std::invalid_argument("failure_sequences: bad window parameters");
+  }
+  std::vector<ErrorSequence> out;
+  out.reserve(failures_.size());
+  for (double tf : failures_) {
+    const double w_end = tf - lead_time;
+    const double w_begin = w_end - data_window;
+    if (w_begin < 0.0) continue;
+    ErrorSequence seq;
+    seq.events = events_in(w_begin, w_end);
+    seq.end_time = w_end;
+    seq.preceded_failure = true;
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+std::vector<ErrorSequence> MonitoringDataset::nonfailure_sequences(
+    double data_window, double lead_time, double prediction_window,
+    double stride) const {
+  if (data_window <= 0.0 || stride <= 0.0) {
+    throw std::invalid_argument("nonfailure_sequences: bad parameters");
+  }
+  const double horizon = end_time();
+  std::vector<ErrorSequence> out;
+  for (double w_end = data_window; w_end + lead_time + prediction_window <= horizon;
+       w_end += stride) {
+    const double w_begin = w_end - data_window;
+    // The window must not be a failure precursor...
+    if (failure_within(w_end + lead_time,
+                       w_end + lead_time + prediction_window)) {
+      continue;
+    }
+    // ...and must not overlap downtime or a failure-adjacent region.
+    if (failure_within(w_begin, w_end + lead_time)) continue;
+    ErrorSequence seq;
+    seq.events = events_in(w_begin, w_end);
+    seq.end_time = w_end;
+    seq.preceded_failure = false;
+    out.push_back(std::move(seq));
+  }
+  return out;
+}
+
+std::vector<ErrorEvent> MonitoringDataset::events_in(double t_begin,
+                                                     double t_end) const {
+  const auto lo = std::upper_bound(
+      events_.begin(), events_.end(), t_begin,
+      [](double t, const ErrorEvent& e) { return t < e.time; });
+  const auto hi = std::upper_bound(
+      events_.begin(), events_.end(), t_end,
+      [](double t, const ErrorEvent& e) { return t < e.time; });
+  return {lo, hi};
+}
+
+}  // namespace pfm::mon

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "monitoring/types.hpp"
+
+namespace pfm::mon {
+
+/// A labeled observation for symptom-based predictors: the feature vector
+/// at one instant plus the ground truth "a failure follows within the
+/// prediction window" (lead time semantics of Fig. 6).
+struct LabeledWindow {
+  double time = 0.0;
+  std::vector<double> features;
+  bool failure_follows = false;
+};
+
+/// A complete monitoring trace of one system run: periodic symptom samples,
+/// the error-event log and the failure log.
+///
+/// This is the training/evaluation substrate for every predictor in
+/// src/prediction. Timestamps must be appended in nondecreasing order per
+/// stream (samples, events, failures are independent streams).
+class MonitoringDataset {
+ public:
+  MonitoringDataset() = default;
+  explicit MonitoringDataset(SymptomSchema schema)
+      : schema_(std::move(schema)) {}
+
+  const SymptomSchema& schema() const noexcept { return schema_; }
+
+  /// Appends a symptom sample. Throws std::invalid_argument when the value
+  /// count does not match the schema or the timestamp decreases.
+  void add_sample(SymptomSample sample);
+
+  /// Appends an error event. Throws std::invalid_argument on decreasing
+  /// timestamps.
+  void add_event(ErrorEvent event);
+
+  /// Appends a failure occurrence. Throws std::invalid_argument on
+  /// decreasing timestamps.
+  void add_failure(double time);
+
+  std::span<const SymptomSample> samples() const noexcept { return samples_; }
+  std::span<const ErrorEvent> events() const noexcept { return events_; }
+  std::span<const double> failures() const noexcept { return failures_; }
+
+  /// End of the observed trace: max timestamp over all three streams.
+  double end_time() const noexcept;
+
+  /// Start of the observed trace: min first-timestamp over the streams
+  /// (0 when the dataset is empty). Relevant for trace segments produced
+  /// by split_at, whose time axis does not begin at zero.
+  double start_time() const noexcept;
+
+  /// True when at least one failure falls into [t_begin, t_end).
+  bool failure_within(double t_begin, double t_end) const;
+
+  /// Splits the trace at `t`: first part holds everything strictly before
+  /// `t`, second part the rest. Used for train/test splits.
+  std::pair<MonitoringDataset, MonitoringDataset> split_at(double t) const;
+
+  /// Labeled feature windows for symptom predictors: one entry per symptom
+  /// sample, labeled true when a failure occurs within
+  /// [sample.time + lead_time, sample.time + lead_time + prediction_window).
+  ///
+  /// Samples too close to the end of the trace to be labeled reliably
+  /// (their prediction window extends past end_time) are dropped.
+  std::vector<LabeledWindow> labeled_windows(double lead_time,
+                                             double prediction_window) const;
+
+  /// Failure sequences per Fig. 6: for every failure at time tF, the error
+  /// events within [tF - lead_time - data_window, tF - lead_time).
+  /// Sequences without any event are kept (an empty sequence is itself
+  /// informative).
+  std::vector<ErrorSequence> failure_sequences(double data_window,
+                                               double lead_time) const;
+
+  /// Non-failure sequences: windows of length data_window placed every
+  /// `stride` seconds whose subsequent [end, end + lead_time +
+  /// prediction_window) interval is failure-free and that do not overlap a
+  /// failure sequence window.
+  std::vector<ErrorSequence> nonfailure_sequences(
+      double data_window, double lead_time, double prediction_window,
+      double stride) const;
+
+  /// Error events within (t_begin, t_end].
+  std::vector<ErrorEvent> events_in(double t_begin, double t_end) const;
+
+ private:
+  SymptomSchema schema_;
+  std::vector<SymptomSample> samples_;
+  std::vector<ErrorEvent> events_;
+  std::vector<double> failures_;
+};
+
+}  // namespace pfm::mon

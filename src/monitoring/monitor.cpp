@@ -1,0 +1,40 @@
+#include "monitoring/monitor.hpp"
+
+#include <stdexcept>
+
+namespace pfm::mon {
+
+void Monitor::add_source(std::shared_ptr<MonitorSource> source) {
+  if (!source) throw std::invalid_argument("Monitor: null source");
+  for (const auto& s : sources_) {
+    if (s->name() == source->name()) {
+      throw std::invalid_argument("Monitor: duplicate source name '" +
+                                  source->name() + "'");
+    }
+  }
+  sources_.push_back(std::move(source));
+}
+
+SymptomSchema Monitor::schema() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& s : sources_) names.push_back(s->name());
+  return SymptomSchema(std::move(names));
+}
+
+void Monitor::set_interval(double seconds) {
+  if (seconds <= 0.0) {
+    throw std::invalid_argument("Monitor: interval must be positive");
+  }
+  interval_ = seconds;
+}
+
+SymptomSample Monitor::collect(double now) {
+  SymptomSample sample;
+  sample.time = now;
+  sample.values.reserve(sources_.size());
+  for (const auto& s : sources_) sample.values.push_back(s->sample(now));
+  return sample;
+}
+
+}  // namespace pfm::mon

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitoring/types.hpp"
+
+namespace pfm::mon {
+
+/// A pluggable source of one monitored variable (Sect. 6: "a robust and
+/// flexible monitoring infrastructure ... must be pluggable such that new
+/// monitoring data sources can be incorporated easily").
+class MonitorSource {
+ public:
+  virtual ~MonitorSource() = default;
+
+  /// Variable name exposed in the schema.
+  virtual std::string name() const = 0;
+
+  /// Current value of the variable at simulation/wall time `now`.
+  virtual double sample(double now) = 0;
+};
+
+/// Adapts a callable into a MonitorSource.
+class CallbackSource final : public MonitorSource {
+ public:
+  CallbackSource(std::string name, std::function<double(double)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  double sample(double now) override { return fn_(now); }
+
+ private:
+  std::string name_;
+  std::function<double(double)> fn_;
+};
+
+/// Collects samples from a set of sources into SymptomSample records and
+/// supports runtime adaptation of the sampling interval (Sect. 6:
+/// "monitoring should be adaptable during runtime").
+class Monitor {
+ public:
+  /// Registers a source; the schema grows accordingly. Throws
+  /// std::invalid_argument for a null source or duplicate name.
+  void add_source(std::shared_ptr<MonitorSource> source);
+
+  /// Schema over the registered sources, in registration order.
+  SymptomSchema schema() const;
+
+  std::size_t num_sources() const noexcept { return sources_.size(); }
+
+  /// Base sampling interval in seconds (default 60).
+  double interval() const noexcept { return interval_; }
+
+  /// Adjusts the sampling interval at runtime; throws std::invalid_argument
+  /// for non-positive values.
+  void set_interval(double seconds);
+
+  /// Next due sampling time given the last sample time.
+  double next_due(double last_sample_time) const noexcept {
+    return last_sample_time + interval_;
+  }
+
+  /// Samples every source at time `now`.
+  SymptomSample collect(double now);
+
+ private:
+  std::vector<std::shared_ptr<MonitorSource>> sources_;
+  double interval_ = 60.0;
+};
+
+}  // namespace pfm::mon

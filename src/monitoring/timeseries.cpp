@@ -1,0 +1,54 @@
+#include "monitoring/timeseries.hpp"
+
+#include <algorithm>
+
+#include "numerics/stats.hpp"
+
+namespace pfm::mon {
+
+void TimeSeries::push(double time, double value) {
+  if (!times_.empty() && time < times_.back()) {
+    throw std::invalid_argument("TimeSeries: non-monotonic timestamp");
+  }
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double TimeSeries::last_time() const {
+  if (empty()) throw std::out_of_range("TimeSeries: empty");
+  return times_.back();
+}
+
+double TimeSeries::last_value() const {
+  if (empty()) throw std::out_of_range("TimeSeries: empty");
+  return values_.back();
+}
+
+std::size_t TimeSeries::upper_bound(double t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+std::vector<double> TimeSeries::window_values(double t_begin,
+                                              double t_end) const {
+  const std::size_t lo = upper_bound(t_begin);
+  const std::size_t hi = upper_bound(t_end);
+  return {values_.begin() + static_cast<std::ptrdiff_t>(lo),
+          values_.begin() + static_cast<std::ptrdiff_t>(hi)};
+}
+
+double TimeSeries::window_mean(double t_begin, double t_end) const {
+  const auto w = window_values(t_begin, t_end);
+  return num::mean(w);
+}
+
+double TimeSeries::window_slope(double t_begin, double t_end) const {
+  const std::size_t lo = upper_bound(t_begin);
+  const std::size_t hi = upper_bound(t_end);
+  if (hi - lo < 2) return 0.0;
+  const std::span<const double> t{times_.data() + lo, hi - lo};
+  const std::span<const double> v{values_.data() + lo, hi - lo};
+  return num::fit_line(t, v).slope;
+}
+
+}  // namespace pfm::mon

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pfm::mon {
+
+/// Fixed-capacity ring buffer that drops the oldest element when full.
+/// Used for bounded monitoring history inside long-running MEA loops.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("RingBuffer: zero capacity");
+    }
+  }
+
+  void push(T value) {
+    if (items_.size() == capacity_) items_.pop_front();
+    items_.push_back(std::move(value));
+  }
+
+  std::size_t size() const noexcept { return items_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return items_.empty(); }
+  bool full() const noexcept { return items_.size() == capacity_; }
+
+  /// Oldest-first access; index 0 is the oldest retained element.
+  const T& operator[](std::size_t i) const { return items_.at(i); }
+  const T& front() const { return items_.front(); }
+  const T& back() const { return items_.back(); }
+
+  auto begin() const noexcept { return items_.begin(); }
+  auto end() const noexcept { return items_.end(); }
+
+  void clear() noexcept { items_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+/// A single monitored variable over time: (time, value) pairs with
+/// nondecreasing timestamps and window queries.
+class TimeSeries {
+ public:
+  /// Appends an observation. Throws std::invalid_argument when `time`
+  /// precedes the previous observation.
+  void push(double time, double value);
+
+  std::size_t size() const noexcept { return times_.size(); }
+  bool empty() const noexcept { return times_.empty(); }
+
+  std::span<const double> times() const noexcept { return times_; }
+  std::span<const double> values() const noexcept { return values_; }
+
+  double last_time() const;
+  double last_value() const;
+
+  /// Values observed in the half-open window (t_begin, t_end].
+  std::vector<double> window_values(double t_begin, double t_end) const;
+
+  /// Mean over the window (t_begin, t_end]; 0 when empty.
+  double window_mean(double t_begin, double t_end) const;
+
+  /// Least-squares slope of value over time within the window; 0 when the
+  /// window holds fewer than two points. Used by trend-based predictors.
+  double window_slope(double t_begin, double t_end) const;
+
+ private:
+  /// First index with time > t (binary search).
+  std::size_t upper_bound(double t) const;
+
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace pfm::mon

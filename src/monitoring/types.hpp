@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfm::mon {
+
+/// One periodic observation of all monitored symptom variables
+/// (SAR-style: free memory, CPU load, queue lengths, ...). `values` is
+/// aligned with the owning dataset's SymptomSchema.
+struct SymptomSample {
+  double time = 0.0;  ///< seconds since trace start
+  std::vector<double> values;
+};
+
+/// One detected-error report from the system's logging facility
+/// (Sect. 3.1: "reporting"). Categorical data: an event type id plus the
+/// reporting component.
+struct ErrorEvent {
+  double time = 0.0;
+  std::int32_t event_id = 0;   ///< message/event type identifier
+  std::int32_t component = 0;  ///< reporting component identifier
+  std::int32_t severity = 1;   ///< 1 = info .. 5 = critical
+};
+
+/// A service failure as defined by the system's specification (for the
+/// case study: the Eq. 2 interval-availability violation).
+struct FailureRecord {
+  double time = 0.0;
+};
+
+/// Names and lookup of the monitored symptom variables.
+class SymptomSchema {
+ public:
+  SymptomSchema() = default;
+  explicit SymptomSchema(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  std::size_t size() const noexcept { return names_.size(); }
+  const std::string& name(std::size_t i) const { return names_.at(i); }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  /// Index of a variable by name, or nullopt when absent.
+  std::optional<std::size_t> index(std::string_view name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return i;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A temporal error sequence as used by the HSMM predictor (Fig. 6):
+/// all error events inside a data window of length delta_td, labeled by
+/// whether a failure followed `lead_time` after the window's end.
+struct ErrorSequence {
+  std::vector<ErrorEvent> events;
+  double end_time = 0.0;          ///< right edge of the data window
+  bool preceded_failure = false;  ///< ground-truth label
+};
+
+}  // namespace pfm::mon

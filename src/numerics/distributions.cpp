@@ -1,0 +1,105 @@
+#include "numerics/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/stats.hpp"
+
+namespace pfm::num {
+
+double Exponential::pdf(double t) const noexcept {
+  return t < 0.0 ? 0.0 : rate * std::exp(-rate * t);
+}
+
+double Exponential::cdf(double t) const noexcept {
+  return t < 0.0 ? 0.0 : 1.0 - std::exp(-rate * t);
+}
+
+double Exponential::survival(double t) const noexcept {
+  return t < 0.0 ? 1.0 : std::exp(-rate * t);
+}
+
+Exponential Exponential::mle(std::span<const double> samples) {
+  if (samples.empty()) throw std::invalid_argument("Exponential::mle: empty");
+  const double m = pfm::num::mean(samples);
+  if (m <= 0.0) {
+    throw std::invalid_argument("Exponential::mle: non-positive mean");
+  }
+  return Exponential{1.0 / m};
+}
+
+double Weibull::pdf(double t) const noexcept {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) return shape < 1.0 ? 0.0 : (shape == 1.0 ? 1.0 / scale : 0.0);
+  const double z = t / scale;
+  return (shape / scale) * std::pow(z, shape - 1.0) *
+         std::exp(-std::pow(z, shape));
+}
+
+double Weibull::cdf(double t) const noexcept {
+  return t <= 0.0 ? 0.0 : 1.0 - std::exp(-std::pow(t / scale, shape));
+}
+
+double Weibull::survival(double t) const noexcept {
+  return t <= 0.0 ? 1.0 : std::exp(-std::pow(t / scale, shape));
+}
+
+double Weibull::hazard(double t) const noexcept {
+  if (t <= 0.0) return shape < 1.0 ? 0.0 : (shape == 1.0 ? 1.0 / scale : 0.0);
+  return (shape / scale) * std::pow(t / scale, shape - 1.0);
+}
+
+double Weibull::mean() const noexcept {
+  return scale * std::tgamma(1.0 + 1.0 / shape);
+}
+
+Weibull Weibull::mle(std::span<const double> samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("Weibull::mle: need >= 2 samples");
+  }
+  for (double t : samples) {
+    if (t <= 0.0) {
+      throw std::invalid_argument("Weibull::mle: samples must be positive");
+    }
+  }
+  const auto n = static_cast<double>(samples.size());
+  double sum_log = 0.0;
+  for (double t : samples) sum_log += std::log(t);
+  const double mean_log = sum_log / n;
+
+  // Solve g(k) = sum(t^k log t)/sum(t^k) - 1/k - mean_log = 0 by Newton.
+  double k = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double t : samples) {
+      const double tk = std::pow(t, k);
+      const double lt = std::log(t);
+      s0 += tk;
+      s1 += tk * lt;
+      s2 += tk * lt * lt;
+    }
+    const double g = s1 / s0 - 1.0 / k - mean_log;
+    const double gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    const double step = g / gp;
+    k -= step;
+    if (k <= 1e-6) k = 1e-6;
+    if (std::abs(step) < 1e-10) {
+      double s = 0.0;
+      for (double t : samples) s += std::pow(t, k);
+      const double lambda = std::pow(s / n, 1.0 / k);
+      return Weibull{k, lambda};
+    }
+  }
+  throw std::invalid_argument("Weibull::mle: did not converge");
+}
+
+double Weibull::log_likelihood(std::span<const double> samples) const {
+  double ll = 0.0;
+  for (double t : samples) {
+    const double p = pdf(t);
+    ll += std::log(p > 0.0 ? p : 1e-300);
+  }
+  return ll;
+}
+
+}  // namespace pfm::num

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+
+namespace pfm::num {
+
+/// Exponential lifetime distribution (constant hazard).
+/// Used by the failure-tracking baseline predictor and reliability fits.
+struct Exponential {
+  double rate = 1.0;  ///< lambda > 0
+
+  double pdf(double t) const noexcept;
+  double cdf(double t) const noexcept;
+  /// Survival function 1 - cdf.
+  double survival(double t) const noexcept;
+  double hazard(double) const noexcept { return rate; }
+  double mean() const noexcept { return 1.0 / rate; }
+
+  /// Maximum-likelihood fit from nonnegative samples.
+  /// Throws std::invalid_argument for empty input or non-positive mean.
+  static Exponential mle(std::span<const double> samples);
+};
+
+/// Weibull lifetime distribution; shape > 1 models aging (increasing
+/// hazard), shape < 1 infant mortality.
+struct Weibull {
+  double shape = 1.0;  ///< k > 0
+  double scale = 1.0;  ///< lambda > 0
+
+  double pdf(double t) const noexcept;
+  double cdf(double t) const noexcept;
+  double survival(double t) const noexcept;
+  double hazard(double t) const noexcept;
+  double mean() const noexcept;
+
+  /// Maximum-likelihood fit via Newton iteration on the shape profile
+  /// likelihood. Throws std::invalid_argument on empty/degenerate input or
+  /// when the iteration fails to converge.
+  static Weibull mle(std::span<const double> samples);
+
+  /// Log-likelihood of the samples under this distribution.
+  double log_likelihood(std::span<const double> samples) const;
+};
+
+}  // namespace pfm::num

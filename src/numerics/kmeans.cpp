@@ -1,0 +1,121 @@
+#include "numerics/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pfm::num {
+
+namespace {
+
+double sq_dist(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const double> data, std::size_t dim,
+                    std::size_t k, Rng& rng, std::size_t max_iters) {
+  if (k == 0 || dim == 0 || data.size() % dim != 0) {
+    throw std::invalid_argument("kmeans: bad shape");
+  }
+  const std::size_t n = data.size() / dim;
+  if (n < k) throw std::invalid_argument("kmeans: fewer points than clusters");
+
+  auto point = [&](std::size_t i) {
+    return std::span<const double>{data.data() + i * dim, dim};
+  };
+
+  KMeansResult res;
+  res.k = k;
+  res.dim = dim;
+  res.centers.resize(k * dim);
+  res.assignment.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<double> min_d(n, std::numeric_limits<double>::max());
+  {
+    const auto first = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    for (std::size_t j = 0; j < dim; ++j) res.centers[j] = point(first)[j];
+    for (std::size_t c = 1; c < k; ++c) {
+      std::span<const double> prev{res.centers.data() + (c - 1) * dim, dim};
+      for (std::size_t i = 0; i < n; ++i) {
+        min_d[i] = std::min(min_d[i], sq_dist(point(i), prev));
+      }
+      std::size_t pick;
+      const double total = [&] {
+        double s = 0.0;
+        for (double d : min_d) s += d;
+        return s;
+      }();
+      if (total <= 0.0) {
+        pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      } else {
+        pick = rng.categorical(min_d);
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        res.centers[c * dim + j] = point(pick)[j];
+      }
+    }
+  }
+
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d =
+            sq_dist(point(i), {res.centers.data() + c * dim, dim});
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      if (arg != res.assignment[i]) {
+        res.assignment[i] = arg;
+        changed = true;
+      }
+      res.inertia += best;
+    }
+    if (!changed && iter > 0) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = res.assignment[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < dim; ++j) {
+        sums[c * dim + j] += point(i)[j];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        for (std::size_t j = 0; j < dim; ++j) {
+          res.centers[c * dim + j] = point(pick)[j];
+        }
+        continue;
+      }
+      for (std::size_t j = 0; j < dim; ++j) {
+        res.centers[c * dim + j] =
+            sums[c * dim + j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace pfm::num

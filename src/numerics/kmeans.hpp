@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::num {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  /// Row-major k x dim matrix of cluster centers.
+  std::vector<double> centers;
+  /// Cluster assignment per input point.
+  std::vector<std::size_t> assignment;
+  /// Final sum of squared distances.
+  double inertia = 0.0;
+  std::size_t k = 0;
+  std::size_t dim = 0;
+
+  std::span<const double> center(std::size_t i) const {
+    return {centers.data() + i * dim, dim};
+  }
+};
+
+/// Lloyd's k-means with k-means++ seeding.
+///
+/// `data` is row-major n x dim. Throws std::invalid_argument when k == 0,
+/// dim == 0, the data shape is inconsistent, or there are fewer points
+/// than clusters. Deterministic given the Rng seed.
+KMeansResult kmeans(std::span<const double> data, std::size_t dim,
+                    std::size_t k, Rng& rng, std::size_t max_iters = 100);
+
+}  // namespace pfm::num

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace pfm::num {
+
+/// LU decomposition with partial pivoting (Doolittle).
+///
+/// Factorizes a square matrix A as P*A = L*U and exposes solve/determinant.
+/// Construction throws std::invalid_argument for non-square input and
+/// std::runtime_error when the matrix is numerically singular.
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a);
+
+  /// Solves A x = b. Throws std::invalid_argument on size mismatch.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant of A.
+  double determinant() const noexcept;
+
+ private:
+  Matrix lu_;                  // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+};
+
+/// Solves the square system A x = b via LU. Convenience wrapper.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// Inverse of a square matrix via LU. Throws on singular input.
+Matrix inverse(const Matrix& a);
+
+/// Linear least squares: minimizes ||A x - b||_2 via the normal equations
+/// with optional Tikhonov damping `ridge` (added to the diagonal of A^T A,
+/// scaled by its trace) to keep near-rank-deficient designs solvable.
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge = 0.0);
+
+/// Finds the stationary distribution pi of a CTMC generator Q (rows sum to
+/// zero, off-diagonal rates nonnegative): pi Q = 0, sum(pi) = 1.
+/// Throws std::invalid_argument when Q is not square.
+std::vector<double> stationary_distribution(const Matrix& q);
+
+}  // namespace pfm::num

@@ -1,0 +1,104 @@
+#include "numerics/logistic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::num {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void LogisticRegression::fit(std::span<const double> features, std::size_t dim,
+                             std::span<const int> labels,
+                             const Options& opts) {
+  if (dim == 0 || features.size() % dim != 0) {
+    throw std::invalid_argument("LogisticRegression::fit: bad shape");
+  }
+  const std::size_t n = features.size() / dim;
+  if (n == 0 || labels.size() != n) {
+    throw std::invalid_argument("LogisticRegression::fit: label mismatch");
+  }
+
+  weights_.assign(dim, 0.0);
+  intercept_ = 0.0;
+
+  std::vector<double> grad(dim);
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  auto loss_at = [&](std::span<const double> w, double b) {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = b;
+      for (std::size_t j = 0; j < dim; ++j) z += w[j] * features[i * dim + j];
+      // log(1+exp(-y*z)) with y in {-1,+1}
+      const double yz = (labels[i] ? 1.0 : -1.0) * z;
+      loss += yz > 0.0 ? std::log1p(std::exp(-yz)) : -yz + std::log1p(std::exp(yz));
+    }
+    loss *= inv_n;
+    for (std::size_t j = 0; j < dim; ++j) loss += 0.5 * opts.l2 * w[j] * w[j];
+    return loss;
+  };
+
+  double step = opts.learning_rate;
+  double current_loss = loss_at(weights_, intercept_);
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double z = intercept_;
+      for (std::size_t j = 0; j < dim; ++j) {
+        z += weights_[j] * features[i * dim + j];
+      }
+      const double err = sigmoid(z) - static_cast<double>(labels[i]);
+      grad_b += err;
+      for (std::size_t j = 0; j < dim; ++j) {
+        grad[j] += err * features[i * dim + j];
+      }
+    }
+    grad_b *= inv_n;
+    double gnorm2 = grad_b * grad_b;
+    for (std::size_t j = 0; j < dim; ++j) {
+      grad[j] = grad[j] * inv_n + opts.l2 * weights_[j];
+      gnorm2 += grad[j] * grad[j];
+    }
+    if (std::sqrt(gnorm2) < opts.tolerance) break;
+
+    // Backtracking line search on the full-batch loss.
+    std::vector<double> w_try(dim);
+    double loss_try;
+    double b_try;
+    for (;;) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        w_try[j] = weights_[j] - step * grad[j];
+      }
+      b_try = intercept_ - step * grad_b;
+      loss_try = loss_at(w_try, b_try);
+      if (loss_try <= current_loss || step < 1e-12) break;
+      step *= 0.5;
+    }
+    weights_ = std::move(w_try);
+    intercept_ = b_try;
+    current_loss = loss_try;
+    step = std::min(step * 2.0, opts.learning_rate);
+  }
+}
+
+double LogisticRegression::predict_probability(std::span<const double> x) const {
+  if (!fitted()) {
+    throw std::invalid_argument("LogisticRegression: not fitted");
+  }
+  if (x.size() != weights_.size()) {
+    throw std::invalid_argument("LogisticRegression: size mismatch");
+  }
+  double z = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return sigmoid(z);
+}
+
+}  // namespace pfm::num

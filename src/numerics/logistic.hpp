@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pfm::num {
+
+/// L2-regularized binary logistic regression trained by full-batch gradient
+/// descent with a simple backtracking step.
+///
+/// Used as the combiner of the stacked-generalization meta-learner
+/// (Sect. 6 of the paper / Wolpert [34]): level-1 features are the scores of
+/// the per-layer failure predictors, the label is "failure followed".
+class LogisticRegression {
+ public:
+  struct Options {
+    double l2 = 1e-4;          ///< ridge penalty on weights (not intercept)
+    std::size_t max_iters = 500;
+    double tolerance = 1e-8;   ///< stop on gradient norm below this
+    double learning_rate = 1.0;
+  };
+
+  /// Trains on row-major n x dim features with labels in {0,1}.
+  /// Throws std::invalid_argument on shape mismatch or empty data.
+  void fit(std::span<const double> features, std::size_t dim,
+           std::span<const int> labels, const Options& opts);
+  void fit(std::span<const double> features, std::size_t dim,
+           std::span<const int> labels) {
+    fit(features, dim, labels, Options{});
+  }
+
+  /// Probability of class 1 for one feature row.
+  /// Throws std::invalid_argument if not fitted or the size differs.
+  double predict_probability(std::span<const double> x) const;
+
+  bool fitted() const noexcept { return !weights_.empty(); }
+  std::span<const double> weights() const noexcept { return weights_; }
+  double intercept() const noexcept { return intercept_; }
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Numerically safe logistic sigmoid.
+double sigmoid(double z) noexcept;
+
+}  // namespace pfm::num

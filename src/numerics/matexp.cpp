@@ -1,0 +1,110 @@
+#include "numerics/matexp.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace pfm::num {
+
+namespace {
+
+// Degree-13 Padé numerator coefficients for expm (Higham 2005).
+constexpr double kPade13[] = {
+    64764752532480000.0, 32382376266240000.0, 7771770303897600.0,
+    1187353796428800.0,  129060195264000.0,   10559470521600.0,
+    670442572800.0,      33522128640.0,       1323241920.0,
+    40840800.0,          960960.0,            16380.0,
+    182.0,               1.0};
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("expm: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scaling: bring ||A/2^s|| below ~5.4 (theta_13).
+  const double norm = a.norm_inf();
+  int s = 0;
+  if (norm > 5.371920351148152) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 5.371920351148152)));
+  }
+  Matrix as = a * std::pow(2.0, -s);
+
+  // Padé(13): U = A*(b13*A6*A6 + b11*A6*A4 + b9*A6*A2 + b7*A6 + b5*A4 + b3*A2 + b1*I)
+  //           V =    b12*A6*A6 + b10*A6*A4 + b8*A6*A2 + b6*A6 + b4*A4 + b2*A2 + b0*I
+  const Matrix a2 = as * as;
+  const Matrix a4 = a2 * a2;
+  const Matrix a6 = a4 * a2;
+  const Matrix eye = Matrix::identity(n);
+
+  Matrix w1 = kPade13[13] * a6 + kPade13[11] * a4 + kPade13[9] * a2;
+  Matrix w2 = kPade13[7] * a6 + kPade13[5] * a4 + kPade13[3] * a2 +
+              kPade13[1] * eye;
+  Matrix u = as * (a6 * w1 + w2);
+
+  Matrix z1 = kPade13[12] * a6 + kPade13[10] * a4 + kPade13[8] * a2;
+  Matrix v = a6 * z1 + kPade13[6] * a6 + kPade13[4] * a4 + kPade13[2] * a2 +
+             kPade13[0] * eye;
+
+  // r = (V - U)^{-1} (V + U)
+  Matrix num = v + u;
+  Matrix den = v - u;
+  Matrix r = LuDecomposition(std::move(den)).solve(num);
+
+  for (int i = 0; i < s; ++i) r = r * r;
+  return r;
+}
+
+std::vector<double> uniformized_transient(const Matrix& q,
+                                          std::span<const double> x, double t,
+                                          double tol) {
+  if (!q.square()) throw std::invalid_argument("uniformization: Q not square");
+  if (x.size() != q.rows()) {
+    throw std::invalid_argument("uniformization: vector size mismatch");
+  }
+  if (t < 0.0) throw std::invalid_argument("uniformization: negative time");
+
+  const std::size_t n = q.rows();
+  std::vector<double> result(x.begin(), x.end());
+  if (t == 0.0 || n == 0) return result;
+
+  // Uniformization rate: Lambda >= max |q_ii|.
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda = std::max(lambda, std::abs(q(i, i)));
+  }
+  if (lambda == 0.0) return result;  // Q == 0
+  lambda *= 1.0001;  // headroom so P stays (sub)stochastic under round-off
+
+  // P = I + Q / Lambda.
+  Matrix p = Matrix::identity(n) + q * (1.0 / lambda);
+
+  // x exp(tQ) = sum_k PoissonPmf(k; Lambda t) * x P^k.
+  const double a = lambda * t;
+  // Number of terms: mean + 10*sqrt(mean) + 50 is a generous Poisson tail
+  // bound; also respect the tolerance by tracking accumulated mass.
+  const std::uint64_t kmax =
+      static_cast<std::uint64_t>(a + 10.0 * std::sqrt(a) + 50.0);
+
+  std::vector<double> term(x.begin(), x.end());  // x P^k
+  std::vector<double> acc(n, 0.0);
+  // Poisson weights computed in log space to survive large a.
+  double log_w = -a;  // log pmf(0)
+  double mass = 0.0;
+  for (std::uint64_t k = 0; k <= kmax; ++k) {
+    const double w = std::exp(log_w);
+    if (w > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) acc[i] += w * term[i];
+      mass += w;
+    }
+    if (mass >= 1.0 - tol) break;
+    term = p.apply_left(term);
+    log_w += std::log(a) - std::log(static_cast<double>(k + 1));
+  }
+  return acc;
+}
+
+}  // namespace pfm::num

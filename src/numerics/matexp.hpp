@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace pfm::num {
+
+/// Matrix exponential exp(A) via Padé(13) approximation with scaling and
+/// squaring (Higham 2005 style, fixed order). Suitable for the small dense
+/// generators used in this library.
+Matrix expm(const Matrix& a);
+
+/// Action of the matrix exponential on a row vector for a CTMC generator:
+/// returns x * exp(t Q) computed by uniformization (Jensen's method).
+///
+/// `q` must be a generator (rows sum to <= 0, off-diagonals >= 0). This is
+/// numerically robust for large t where expm would over-scale, and keeps
+/// probability vectors nonnegative. `tol` bounds the truncation error.
+std::vector<double> uniformized_transient(const Matrix& q,
+                                          std::span<const double> x, double t,
+                                          double tol = 1e-12);
+
+}  // namespace pfm::num

@@ -1,0 +1,180 @@
+#include "numerics/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfm::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix*: shape mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::apply: shape");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    y[i] = dot(row(i), x);
+  }
+  return y;
+}
+
+std::vector<double> Matrix::apply_left(std::span<const double> x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("Matrix::apply_left: shape");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    auto r = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += xi * r[j];
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double Matrix::norm_inf() const noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += std::abs((*this)(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const noexcept {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    os << "[ ";
+    for (std::size_t j = 0; j < cols_; ++j) os << (*this)(i, j) << ' ';
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: length");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double sum(std::span<const double> v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace pfm::num

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfm::num {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the workhorse type for the CTMC solver, least-squares fits and
+/// the matrix exponential. It deliberately stays small: dimensions in this
+/// library are tiny (model state spaces, kernel counts), so no attempt is
+/// made at blocking or SIMD.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Creates a matrix from nested initializer lists; all rows must have the
+  /// same length. Throws std::invalid_argument otherwise.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(std::span<const double> diag);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// View of row r.
+  std::span<const double> row(std::size_t r) const;
+  std::span<double> row(std::size_t r);
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) noexcept { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) noexcept { return rhs *= s; }
+
+  /// Matrix product; throws std::invalid_argument on shape mismatch.
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product; throws std::invalid_argument on shape mismatch.
+  std::vector<double> apply(std::span<const double> x) const;
+
+  /// x^T * M (left multiplication by a row vector).
+  std::vector<double> apply_left(std::span<const double> x) const;
+
+  Matrix transposed() const;
+
+  /// Maximum absolute row sum (operator infinity-norm).
+  double norm_inf() const noexcept;
+
+  /// Largest absolute entry.
+  double max_abs() const noexcept;
+
+  /// True when shapes match and all entries differ by at most `tol`.
+  bool approx_equal(const Matrix& other, double tol = 1e-12) const noexcept;
+
+  /// Human-readable rendering, one row per line (for diagnostics and tests).
+  std::string to_string(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; throws std::invalid_argument on length mismatch.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+double norm2(std::span<const double> v) noexcept;
+
+/// Sum of elements.
+double sum(std::span<const double> v) noexcept;
+
+}  // namespace pfm::num

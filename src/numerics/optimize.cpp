@@ -1,0 +1,110 @@
+#include "numerics/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pfm::num {
+
+OptimizeResult nelder_mead(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const double> x0, const NelderMeadOptions& opts) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  OptimizeResult res;
+  auto eval = [&](std::span<const double> x) {
+    ++res.evaluations;
+    return f(x);
+  };
+
+  // Build initial simplex: x0 plus one perturbed vertex per dimension.
+  std::vector<std::vector<double>> simplex(n + 1,
+                                           std::vector<double>(x0.begin(), x0.end()));
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] += opts.initial_step * (std::abs(x0[i]) + 0.1);
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = eval(simplex[i]);
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), xr(n), xe(n), xc(n);
+
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  while (res.evaluations < opts.max_evaluations) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    if (fv[worst] - fv[best] < opts.f_tolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    // Reflection.
+    for (std::size_t j = 0; j < n; ++j) {
+      xr[j] = centroid[j] + kAlpha * (centroid[j] - simplex[worst][j]);
+    }
+    const double fr = eval(xr);
+    if (fr < fv[best]) {
+      // Expansion.
+      for (std::size_t j = 0; j < n; ++j) {
+        xe[j] = centroid[j] + kGamma * (xr[j] - centroid[j]);
+      }
+      const double fe = eval(xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fv[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fv[second_worst]) {
+      simplex[worst] = xr;
+      fv[worst] = fr;
+      continue;
+    }
+    // Contraction.
+    for (std::size_t j = 0; j < n; ++j) {
+      xc[j] = centroid[j] + kRho * (simplex[worst][j] - centroid[j]);
+    }
+    const double fc = eval(xc);
+    if (fc < fv[worst]) {
+      simplex[worst] = xc;
+      fv[worst] = fc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      fv[i] = eval(simplex[i]);
+    }
+  }
+
+  const auto arg =
+      static_cast<std::size_t>(std::min_element(fv.begin(), fv.end()) - fv.begin());
+  res.x = simplex[arg];
+  res.value = fv[arg];
+  return res;
+}
+
+}  // namespace pfm::num

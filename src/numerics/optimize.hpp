@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace pfm::num {
+
+/// Result of a derivative-free minimization.
+struct OptimizeResult {
+  std::vector<double> x;      ///< best point found
+  double value = 0.0;         ///< objective at x
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Options for Nelder-Mead.
+struct NelderMeadOptions {
+  std::size_t max_evaluations = 2000;
+  /// Stop when the simplex spread of objective values falls below this.
+  double f_tolerance = 1e-9;
+  /// Initial simplex step per coordinate (relative to |x0_i| + 0.1).
+  double initial_step = 0.25;
+};
+
+/// Nelder-Mead downhill simplex minimization of `f` starting at `x0`.
+///
+/// Used to tune the nonlinear kernel parameters of the UBF predictor
+/// (centers/widths/mixture weights). Throws std::invalid_argument for an
+/// empty starting point.
+OptimizeResult nelder_mead(
+    const std::function<double(std::span<const double>)>& f,
+    std::span<const double> x0, const NelderMeadOptions& opts = {});
+
+}  // namespace pfm::num

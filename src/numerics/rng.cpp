@@ -1,0 +1,34 @@
+#include "numerics/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pfm::num {
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("categorical: empty");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("categorical: zero mass");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // round-off fallback
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace pfm::num

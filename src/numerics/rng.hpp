@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace pfm::num {
+
+/// Seedable random number generator used throughout the library.
+///
+/// All stochastic components receive an Rng by reference (no global state),
+/// which keeps simulations and training runs reproducible: the same seed
+/// yields the same traces, datasets and fitted models.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : gen_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(gen_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Standard normal draw.
+  double normal() { return normal_(gen_); }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential draw with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  /// Weibull draw with shape k and scale lambda.
+  double weibull(double shape, double scale) {
+    return std::weibull_distribution<double>(shape, scale)(gen_);
+  }
+
+  /// Lognormal draw with the given log-space mean/stddev.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(gen_);
+  }
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean) {
+    return std::poisson_distribution<std::int64_t>(mean)(gen_);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// Gamma draw with shape and scale.
+  double gamma(double shape, double scale) {
+    return std::gamma_distribution<double>(shape, scale)(gen_);
+  }
+
+  /// Index draw from unnormalized nonnegative weights.
+  /// Throws std::invalid_argument when weights are empty or all zero.
+  std::size_t categorical(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of an index set {0..n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Underlying engine, for interop with <random> distributions.
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace pfm::num

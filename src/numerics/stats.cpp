@@ -1,0 +1,141 @@
+#include "numerics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::num {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> v) noexcept {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  return rs.variance();
+}
+
+double stddev(std::span<const double> v) noexcept {
+  return std::sqrt(variance(v));
+}
+
+double quantile(std::span<const double> v, double q) {
+  if (v.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q range");
+  std::vector<double> s(v.begin(), v.end());
+  std::sort(s.begin(), s.end());
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("pearson: length");
+  if (a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_line: length");
+  if (x.size() < 2) throw std::invalid_argument("fit_line: need >= 2 points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  LinearFit f;
+  if (sxx <= 0.0) {
+    f.intercept = my;
+    return f;
+  }
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 0.0;
+  return f;
+}
+
+void FeatureScaler::fit(std::span<const double> data, std::size_t cols) {
+  if (cols == 0 || data.size() % cols != 0) {
+    throw std::invalid_argument("FeatureScaler::fit: bad shape");
+  }
+  const std::size_t rows = data.size() / cols;
+  lo_.assign(cols, 0.0);
+  hi_.assign(cols, 0.0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double lo = data[j], hi = data[j];
+    for (std::size_t i = 1; i < rows; ++i) {
+      lo = std::min(lo, data[i * cols + j]);
+      hi = std::max(hi, data[i * cols + j]);
+    }
+    lo_[j] = lo;
+    hi_[j] = hi;
+  }
+}
+
+void FeatureScaler::transform(std::span<double> row) const {
+  if (lo_.empty()) throw std::invalid_argument("FeatureScaler: not fitted");
+  if (row.size() != lo_.size()) {
+    throw std::invalid_argument("FeatureScaler: size mismatch");
+  }
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const double range = hi_[j] - lo_[j];
+    row[j] = range > 0.0 ? (row[j] - lo_[j]) / range : 0.5;
+  }
+}
+
+}  // namespace pfm::num

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pfm::num {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long monitoring streams.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> v) noexcept;
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+double variance(std::span<const double> v) noexcept;
+
+double stddev(std::span<const double> v) noexcept;
+
+/// Linear-interpolated quantile, q in [0,1]. Throws std::invalid_argument
+/// for empty input or q outside [0,1]. Copies and sorts internally.
+double quantile(std::span<const double> v, double q);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+/// Throws std::invalid_argument on length mismatch.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (x, y) pairs. Throws std::invalid_argument on
+/// mismatch or fewer than two points.
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Min-max normalization parameters per feature column, learned on a
+/// training matrix and applied to new rows. Constant columns map to 0.5.
+class FeatureScaler {
+ public:
+  /// Learns per-column lo/hi from row-major `rows` x `cols` data.
+  void fit(std::span<const double> data, std::size_t cols);
+
+  /// Scales one row in place to [0,1]. Throws std::invalid_argument if the
+  /// scaler was not fitted or the size differs.
+  void transform(std::span<double> row) const;
+
+  std::size_t cols() const noexcept { return lo_.size(); }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace pfm::num

@@ -1,0 +1,60 @@
+#include "prediction/changepoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pfm::pred {
+
+Cusum::Cusum(double reference, double drift, double threshold)
+    : reference_(reference), drift_(drift), threshold_(threshold) {
+  if (drift < 0.0 || threshold <= 0.0) {
+    throw std::invalid_argument("Cusum: drift >= 0 and threshold > 0");
+  }
+}
+
+bool Cusum::add(double x) {
+  s_pos_ = std::max(0.0, s_pos_ + (x - reference_ - drift_));
+  s_neg_ = std::max(0.0, s_neg_ + (reference_ - x - drift_));
+  if (s_pos_ > threshold_ || s_neg_ > threshold_) {
+    ++alarms_;
+    s_pos_ = 0.0;
+    s_neg_ = 0.0;
+    return true;
+  }
+  return false;
+}
+
+void Cusum::rebase(double reference) {
+  reference_ = reference;
+  s_pos_ = 0.0;
+  s_neg_ = 0.0;
+}
+
+PageHinkley::PageHinkley(double delta, double threshold)
+    : delta_(delta), threshold_(threshold) {
+  if (delta < 0.0 || threshold <= 0.0) {
+    throw std::invalid_argument("PageHinkley: delta >= 0 and threshold > 0");
+  }
+}
+
+void PageHinkley::reset() {
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+  n_ = 0;
+}
+
+bool PageHinkley::add(double x) {
+  ++n_;
+  mean_ += (x - mean_) / static_cast<double>(n_);
+  cumulative_ += x - mean_ - delta_;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (cumulative_ - min_cumulative_ > threshold_) {
+    ++alarms_;
+    reset();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pfm::pred

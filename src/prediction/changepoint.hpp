@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+
+namespace pfm::pred {
+
+/// Two-sided CUSUM change-point detector (Basseville/Nikiforov [8]).
+///
+/// Sect. 6: "Online change point detection algorithms ... can be used to
+/// determine whether the [predictor's] parameters have to be re-adjusted"
+/// after configuration changes, updates or upgrades. Feed it a stream of
+/// observations (e.g., a predictor's error or a monitored variable); it
+/// reports when the mean shifts by more than `drift` with cumulative
+/// evidence `threshold`.
+class Cusum {
+ public:
+  /// `reference`: in-control mean; `drift`: half the shift magnitude to
+  /// detect; `threshold`: alarm level (in the observation's units).
+  Cusum(double reference, double drift, double threshold);
+
+  /// Adds one observation; returns true when a change is detected (the
+  /// detector resets itself afterwards).
+  bool add(double x);
+
+  double positive_sum() const noexcept { return s_pos_; }
+  double negative_sum() const noexcept { return s_neg_; }
+  std::size_t alarms() const noexcept { return alarms_; }
+
+  /// Re-baselines the detector to a new in-control mean.
+  void rebase(double reference);
+
+ private:
+  double reference_;
+  double drift_;
+  double threshold_;
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+  std::size_t alarms_ = 0;
+};
+
+/// Page-Hinkley test: detects mean increase in a stream without a known
+/// in-control mean (it tracks the running mean itself).
+class PageHinkley {
+ public:
+  /// `delta`: tolerated deviation; `threshold`: alarm level.
+  PageHinkley(double delta, double threshold);
+
+  /// Adds one observation; returns true on detected change (then resets).
+  bool add(double x);
+
+  std::size_t alarms() const noexcept { return alarms_; }
+
+ private:
+  void reset();
+
+  double delta_;
+  double threshold_;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+  std::size_t n_ = 0;
+  std::size_t alarms_ = 0;
+};
+
+}  // namespace pfm::pred

@@ -1,0 +1,110 @@
+#include "prediction/evaluate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfm::pred {
+
+std::vector<ScoredInstant> score_on_grid(const SymptomPredictor& predictor,
+                                         const mon::MonitoringDataset& test,
+                                         const EvalOptions& options) {
+  options.windows.validate();
+  const auto samples = test.samples();
+  const auto failures = test.failures();
+  const double horizon = test.end_time();
+  std::vector<ScoredInstant> out;
+  out.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double t = samples[i].time;
+    const double w_begin =
+        options.count_early_failures ? t : t + options.windows.lead_time;
+    const double w_end =
+        t + options.windows.lead_time + options.windows.prediction_window;
+    if (w_end > horizon) break;  // not labelable
+
+    const std::size_t first =
+        i + 1 >= options.context_samples ? i + 1 - options.context_samples : 0;
+    SymptomContext ctx;
+    ctx.history = samples.subspan(first, i - first + 1);
+    const auto past_end =
+        std::upper_bound(failures.begin(), failures.end(), t);
+    ctx.past_failures = failures.first(
+        static_cast<std::size_t>(past_end - failures.begin()));
+
+    ScoredInstant si;
+    si.time = t;
+    si.score = predictor.score(ctx);
+    si.label = test.failure_within(w_begin, w_end) ? 1 : 0;
+    out.push_back(si);
+  }
+  return out;
+}
+
+std::vector<ScoredInstant> score_on_grid(const EventPredictor& predictor,
+                                         const mon::MonitoringDataset& test,
+                                         const EvalOptions& options) {
+  options.windows.validate();
+  if (options.stride <= 0.0) {
+    throw std::invalid_argument("score_on_grid: stride must be positive");
+  }
+  const double horizon = test.end_time();
+  std::vector<ScoredInstant> out;
+  for (double t = test.start_time() + options.windows.data_window;
+       t + options.windows.lead_time + options.windows.prediction_window <=
+       horizon;
+       t += options.stride) {
+    mon::ErrorSequence seq;
+    seq.events = test.events_in(t - options.windows.data_window, t);
+    seq.end_time = t;
+
+    ScoredInstant si;
+    si.time = t;
+    si.score = predictor.score(seq);
+    const double w_begin =
+        options.count_early_failures ? t : t + options.windows.lead_time;
+    si.label = test.failure_within(w_begin,
+                                   t + options.windows.lead_time +
+                                       options.windows.prediction_window)
+                   ? 1
+                   : 0;
+    out.push_back(si);
+  }
+  return out;
+}
+
+PredictorReport make_report(std::string name,
+                            const std::vector<ScoredInstant>& instants) {
+  if (instants.empty()) {
+    throw std::invalid_argument("make_report: no instants");
+  }
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(instants.size());
+  labels.reserve(instants.size());
+  for (const auto& si : instants) {
+    scores.push_back(si.score);
+    labels.push_back(si.label);
+  }
+  PredictorReport r;
+  r.name = std::move(name);
+  r.num_instants = instants.size();
+  for (int y : labels) r.num_positive += y != 0 ? 1 : 0;
+  r.auc = eval::auc(scores, labels);  // throws on single-class labels
+  const auto choice = eval::max_f_measure_threshold(scores, labels);
+  r.threshold = choice.threshold;
+  r.table = choice.table;
+  return r;
+}
+
+std::string to_string(const PredictorReport& r) {
+  std::ostringstream os;
+  os.precision(3);
+  os << r.name << ": AUC=" << r.auc << " precision=" << r.precision()
+     << " recall=" << r.recall() << " fpr=" << r.false_positive_rate()
+     << " F=" << r.f_measure() << " (n=" << r.num_instants
+     << ", positives=" << r.num_positive << ")";
+  return os.str();
+}
+
+}  // namespace pfm::pred

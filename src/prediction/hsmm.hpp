@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+#include "numerics/rng.hpp"
+#include "prediction/predictor.hpp"
+
+namespace pfm::pred {
+
+/// One observation of an error sequence as the HSMM sees it: the error
+/// symbol (vocabulary index) and the time gap to the previous event.
+struct HsmmObservation {
+  std::size_t symbol = 0;
+  double gap = 0.0;  ///< seconds since the previous event (0 for the first)
+};
+
+using HsmmSequence = std::vector<HsmmObservation>;
+
+/// Hidden semi-Markov model over error-event sequences.
+///
+/// States are latent "phases" of the error process; each state carries a
+/// categorical emission distribution over error symbols and an exponential
+/// sojourn (inter-event gap) distribution — the semi-Markov part: the
+/// likelihood of a sequence depends on *when* errors occurred, not only on
+/// their order (Sect. 3.2 / [64]). Trained with Baum-Welch (EM) using a
+/// scaled forward-backward pass; evaluated by per-sequence log-likelihood.
+class Hsmm {
+ public:
+  struct Config {
+    std::size_t num_states = 6;
+    std::size_t num_symbols = 1;   ///< vocabulary size (set by trainer)
+    std::size_t em_iterations = 25;
+    double smoothing = 1e-3;       ///< additive smoothing of probabilities
+    std::uint64_t seed = 13;
+  };
+
+  explicit Hsmm(Config config);
+
+  /// Fits parameters on the given sequences. Empty sequences are ignored.
+  /// Throws std::invalid_argument when no non-empty sequence is provided.
+  void train(const std::vector<HsmmSequence>& sequences);
+
+  /// Joint log-likelihood log P(sequence | model). Empty sequences return
+  /// 0 (the empty product). Throws std::logic_error before training.
+  double log_likelihood(const HsmmSequence& sequence) const;
+
+  const Config& config() const noexcept { return config_; }
+  bool trained() const noexcept { return trained_; }
+
+  /// Mean sojourn time of a state (1/rate of its gap distribution).
+  double mean_gap(std::size_t state) const { return 1.0 / gap_rate_.at(state); }
+
+ private:
+  double observation_density(std::size_t state,
+                             const HsmmObservation& o) const;
+
+  Config config_;
+  std::vector<double> initial_;             // pi
+  num::Matrix transition_;                  // A
+  num::Matrix emission_;                    // B: state x symbol
+  std::vector<double> gap_rate_;            // exponential rate per state
+  bool trained_ = false;
+};
+
+/// How the class log-likelihood ratio is normalized before thresholding.
+enum class LikelihoodNormalization : std::uint8_t {
+  kPerEvent = 0,  ///< divide by sequence length
+  kSqrt = 1,      ///< divide by sqrt(length): partial length correction
+  kNone = 2       ///< raw Bayes factor
+};
+
+/// Configuration of the HSMM failure predictor.
+struct HsmmPredictorConfig {
+  WindowGeometry windows;
+  std::size_t num_states = 6;
+  std::size_t em_iterations = 20;
+  /// true: model inter-event gaps (semi-Markov). false: ablation that
+  /// ignores timing and degenerates to a plain HMM.
+  bool model_durations = true;
+  LikelihoodNormalization normalization = LikelihoodNormalization::kPerEvent;
+  std::uint64_t seed = 13;
+};
+
+/// Event-based failure prediction with hidden semi-Markov models
+/// (Salfner [64], Sect. 3.2): one HSMM trained on failure sequences, one on
+/// non-failure sequences; classification by the Bayes-style log-likelihood
+/// ratio, normalized per event and squashed to (0,1).
+class HsmmPredictor final : public EventPredictor {
+ public:
+  explicit HsmmPredictor(HsmmPredictorConfig config);
+
+  std::string name() const override;
+  void train(std::span<const mon::ErrorSequence> failure_sequences,
+             std::span<const mon::ErrorSequence> nonfailure_sequences) override;
+  double score(const mon::ErrorSequence& sequence) const override;
+
+  /// Vocabulary size discovered during training.
+  std::size_t vocabulary_size() const noexcept { return vocab_.size(); }
+
+ private:
+  HsmmSequence encode(const mon::ErrorSequence& sequence) const;
+
+  HsmmPredictorConfig config_;
+  std::map<std::int32_t, std::size_t> vocab_;  // event id -> symbol
+  std::size_t unknown_symbol_ = 0;
+  double prior_log_odds_ = 0.0;
+  double empty_fail_ = 0.5;  ///< P(empty data window | failure follows)
+  double empty_ok_ = 0.5;    ///< P(empty data window | no failure follows)
+  std::vector<Hsmm> models_;  // [0] failure, [1] non-failure
+  bool trained_ = false;
+};
+
+}  // namespace pfm::pred

@@ -1,0 +1,32 @@
+#include "prediction/meta.hpp"
+
+#include <stdexcept>
+
+namespace pfm::pred {
+
+void StackedGeneralization::fit(std::span<const double> level0_scores,
+                                std::size_t num_predictors,
+                                std::span<const int> labels) {
+  if (num_predictors == 0 ||
+      level0_scores.size() != labels.size() * num_predictors) {
+    throw std::invalid_argument("StackedGeneralization::fit: bad shape");
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : labels) (y != 0 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument(
+        "StackedGeneralization::fit: labels are single-class");
+  }
+  num::LogisticRegression::Options opts;
+  opts.l2 = 1e-3;
+  combiner_.fit(level0_scores, num_predictors, labels, opts);
+}
+
+double StackedGeneralization::combine(std::span<const double> scores) const {
+  if (!fitted()) {
+    throw std::logic_error("StackedGeneralization: not fitted");
+  }
+  return combiner_.predict_probability(scores);
+}
+
+}  // namespace pfm::pred

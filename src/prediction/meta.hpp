@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numerics/logistic.hpp"
+#include "numerics/matrix.hpp"
+
+namespace pfm::pred {
+
+/// Stacked generalization (Wolpert [34]), the meta-learning scheme the
+/// architectural blueprint proposes for fusing the per-layer failure
+/// predictors (Sect. 6; applied to Blue Gene/L in [32]).
+///
+/// Level-0 models are the individual predictors; the level-1 combiner here
+/// is a regularized logistic regression over their scores. fit() expects
+/// out-of-sample level-0 scores (scores produced on data the level-0
+/// models were not trained on), per the stacking recipe.
+class StackedGeneralization {
+ public:
+  /// `level0_scores` is row-major n x k (n instants, k base predictors);
+  /// `labels` the ground truth. Throws std::invalid_argument on shape
+  /// mismatch or single-class labels.
+  void fit(std::span<const double> level0_scores, std::size_t num_predictors,
+           std::span<const int> labels);
+
+  /// Combined failure-proneness from one vector of base scores.
+  double combine(std::span<const double> scores) const;
+
+  bool fitted() const noexcept { return combiner_.fitted(); }
+
+  /// Learned weight per base predictor (insight into which layer's
+  /// predictor carries signal — the blueprint's "translucency").
+  std::span<const double> weights() const noexcept {
+    return combiner_.weights();
+  }
+
+ private:
+  num::LogisticRegression combiner_;
+};
+
+}  // namespace pfm::pred

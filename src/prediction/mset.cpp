@@ -1,0 +1,146 @@
+#include "prediction/mset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/kmeans.hpp"
+#include "numerics/logistic.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/stats.hpp"
+
+namespace pfm::pred {
+
+MsetPredictor::MsetPredictor(MsetConfig config) : config_(std::move(config)) {
+  config_.windows.validate();
+  if (config_.memory_size < 2) {
+    throw std::invalid_argument("MsetPredictor: memory_size >= 2");
+  }
+  if (config_.bandwidth <= 0.0) {
+    throw std::invalid_argument("MsetPredictor: bandwidth > 0");
+  }
+}
+
+std::vector<double> MsetPredictor::scale(std::span<const double> raw) const {
+  std::vector<double> out(raw.size());
+  for (std::size_t j = 0; j < raw.size(); ++j) {
+    const double range = hi_[j] - lo_[j];
+    out[j] = range > 0.0
+                 ? std::clamp((raw[j] - lo_[j]) / range, -0.5, 1.5)
+                 : 0.5;
+  }
+  return out;
+}
+
+double MsetPredictor::kernel(std::span<const double> a,
+                             std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  const double h2 = config_.bandwidth * config_.bandwidth;
+  return std::exp(-d2 / (2.0 * h2));
+}
+
+void MsetPredictor::train(const mon::MonitoringDataset& data) {
+  const auto windows = data.labeled_windows(config_.windows.lead_time,
+                                            config_.windows.prediction_window);
+  // MSET trains on *healthy* states only.
+  std::vector<std::size_t> healthy;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (!windows[i].failure_follows) healthy.push_back(i);
+  }
+  if (healthy.size() < config_.memory_size * 2) {
+    throw std::invalid_argument(
+        "MsetPredictor::train: not enough healthy observations");
+  }
+  const std::size_t dim = data.schema().size();
+  num::Rng rng(config_.seed);
+  if (healthy.size() > config_.max_train_samples) {
+    const auto perm = rng.permutation(healthy.size());
+    std::vector<std::size_t> keep(config_.max_train_samples);
+    for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = healthy[perm[i]];
+    healthy = std::move(keep);
+  }
+
+  // Feature scaling from the healthy pool.
+  lo_.assign(dim, 1e300);
+  hi_.assign(dim, -1e300);
+  for (std::size_t i : healthy) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      lo_[j] = std::min(lo_[j], windows[i].features[j]);
+      hi_[j] = std::max(hi_[j], windows[i].features[j]);
+    }
+  }
+
+  // Exemplar selection: k-means centers over the scaled healthy states.
+  std::vector<double> flat;
+  flat.reserve(healthy.size() * dim);
+  for (std::size_t i : healthy) {
+    const auto s = scale(windows[i].features);
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  const auto km = num::kmeans(flat, dim, config_.memory_size, rng, 40);
+  memory_.clear();
+  memory_.reserve(config_.memory_size);
+  for (std::size_t i = 0; i < config_.memory_size; ++i) {
+    memory_.emplace_back(km.center(i).begin(), km.center(i).end());
+  }
+
+  // Gram matrix of the memory under the similarity operator.
+  const std::size_t m = memory_.size();
+  num::Matrix g(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      g(i, j) = kernel(memory_[i], memory_[j]);
+    }
+    g(i, i) += config_.ridge;
+  }
+  gram_ = std::make_unique<num::LuDecomposition>(std::move(g));
+  trained_ = true;
+
+  // Residual calibration on the healthy pool (it was used for exemplar
+  // selection, so this is slightly optimistic — acceptable for a score
+  // that is thresholded downstream).
+  num::RunningStats rs;
+  for (std::size_t i : healthy) {
+    rs.add(residual(windows[i].features));
+  }
+  residual_mean_ = rs.mean();
+  residual_stddev_ = std::max(rs.stddev(), 1e-9);
+}
+
+double MsetPredictor::residual(std::span<const double> observation) const {
+  if (!trained_) throw std::logic_error("MsetPredictor: not trained");
+  const auto x = scale(observation);
+  const std::size_t m = memory_.size();
+  std::vector<double> s(m);
+  for (std::size_t i = 0; i < m; ++i) s[i] = kernel(memory_[i], x);
+  const auto w = gram_->solve(s);
+  // xhat = sum_i w_i * memory_i.
+  std::vector<double> xhat(x.size(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      xhat[j] += w[i] * memory_[i][j];
+    }
+  }
+  double r2 = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double d = x[j] - xhat[j];
+    r2 += d * d;
+  }
+  return std::sqrt(r2);
+}
+
+double MsetPredictor::score(const SymptomContext& context) const {
+  if (!trained_) throw std::logic_error("MsetPredictor: not trained");
+  if (context.history.empty()) {
+    throw std::invalid_argument("MsetPredictor: empty context");
+  }
+  const double r = residual(context.history.back().values);
+  const double z = (r - residual_mean_) / residual_stddev_;
+  return num::sigmoid(0.8 * (z - 2.0));  // ~2 sigma is the soft alarm point
+}
+
+}  // namespace pfm::pred

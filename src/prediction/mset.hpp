@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "numerics/linalg.hpp"
+#include "prediction/predictor.hpp"
+
+namespace pfm::pred {
+
+/// Configuration of the MSET predictor.
+struct MsetConfig {
+  WindowGeometry windows;
+  /// Number of memory-matrix exemplars (representative healthy states).
+  std::size_t memory_size = 48;
+  /// Kernel bandwidth of the similarity operator, in scaled-feature units.
+  double bandwidth = 0.6;
+  /// Regularization of the similarity Gram matrix.
+  double ridge = 1e-6;
+  /// Cap on healthy training samples used for exemplar selection.
+  std::size_t max_train_samples = 4000;
+  std::uint64_t seed = 29;
+};
+
+/// Multivariate State Estimation Technique (Singer/Gross [68]) — the
+/// classic symptom-monitoring predictor of the Fig. 3 taxonomy.
+///
+/// A memory matrix D of representative *healthy* observations is selected
+/// from training data (k-means exemplars). At runtime the current
+/// observation x is reconstructed from the memory through a nonlinear
+/// similarity operator:
+///     w = (D (x) D + ridge I)^{-1} (D (x) x),     xhat = D^T w,
+/// where (x) is the kernel similarity. States the system has seen healthy
+/// reconstruct with small residual ||x - xhat||; out-of-norm states (the
+/// paper's symptoms) reconstruct poorly. The score is the standardized
+/// residual, calibrated on held-out healthy data.
+class MsetPredictor final : public SymptomPredictor {
+ public:
+  explicit MsetPredictor(MsetConfig config);
+
+  std::string name() const override { return "MSET"; }
+  void train(const mon::MonitoringDataset& data) override;
+  double score(const SymptomContext& context) const override;
+
+  std::size_t memory_size() const noexcept { return memory_.size(); }
+
+  /// Raw (unsquashed) standardized residual for one observation; exposed
+  /// for diagnostics. Throws std::logic_error before training.
+  double residual(std::span<const double> observation) const;
+
+ private:
+  std::vector<double> scale(std::span<const double> raw) const;
+  double kernel(std::span<const double> a, std::span<const double> b) const;
+
+  MsetConfig config_;
+  std::vector<std::vector<double>> memory_;  // scaled exemplars
+  std::unique_ptr<num::LuDecomposition> gram_;
+  std::vector<double> lo_, hi_;  // feature scaling
+  double residual_mean_ = 0.0;
+  double residual_stddev_ = 1.0;
+  bool trained_ = false;
+};
+
+}  // namespace pfm::pred

@@ -1,0 +1,20 @@
+#include "prediction/predictor.hpp"
+
+#include <stdexcept>
+
+namespace pfm::pred {
+
+void WindowGeometry::validate() const {
+  if (data_window <= 0.0) {
+    throw std::invalid_argument("WindowGeometry: data_window must be > 0");
+  }
+  if (lead_time < 0.0) {
+    throw std::invalid_argument("WindowGeometry: lead_time must be >= 0");
+  }
+  if (prediction_window <= 0.0) {
+    throw std::invalid_argument(
+        "WindowGeometry: prediction_window must be > 0");
+  }
+}
+
+}  // namespace pfm::pred

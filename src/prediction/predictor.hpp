@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "monitoring/dataset.hpp"
+#include "monitoring/types.hpp"
+
+namespace pfm::pred {
+
+/// Everything a symptom-based predictor may look at when judging the
+/// current system state: a trailing window of symptom samples (back() is
+/// the present) and the failure history up to now. Predictors use what
+/// they need — UBF reads the newest sample, trend analysis regresses over
+/// the window, failure tracking only needs the failure history and the
+/// current time.
+struct SymptomContext {
+  std::span<const mon::SymptomSample> history;
+  std::span<const double> past_failures;
+
+  double now() const { return history.empty() ? 0.0 : history.back().time; }
+};
+
+/// Online failure predictor over periodically monitored symptom variables
+/// (the left branch of the Fig. 3 taxonomy).
+///
+/// Contract: train() may be called once on a training trace; score()
+/// returns a real number that increases with failure-proneness. Scores are
+/// thresholded by the caller (Sect. 3.3: the precision/recall trade-off is
+/// controlled by a threshold), so absolute calibration is not required —
+/// only ordering matters.
+class SymptomPredictor {
+ public:
+  virtual ~SymptomPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Learns from a recorded trace. Throws std::invalid_argument when the
+  /// trace is unusable for this method (e.g., no failures at all).
+  virtual void train(const mon::MonitoringDataset& data) = 0;
+
+  /// Failure-proneness of the current state; higher = more failure-prone.
+  /// Throws std::logic_error when called before train().
+  virtual double score(const SymptomContext& context) const = 0;
+};
+
+/// Online failure predictor over detected-error event sequences (the
+/// "detected error reporting" branch of Fig. 3; input per Fig. 4).
+class EventPredictor {
+ public:
+  virtual ~EventPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Learns from labeled failure/non-failure sequences (Fig. 6).
+  /// Throws std::invalid_argument when either class is empty.
+  virtual void train(std::span<const mon::ErrorSequence> failure_sequences,
+                     std::span<const mon::ErrorSequence> nonfailure_sequences) = 0;
+
+  /// Failure-proneness of the error sequence observed in the current data
+  /// window; higher = more failure-prone.
+  virtual double score(const mon::ErrorSequence& sequence) const = 0;
+};
+
+/// Shared window geometry (Fig. 6): data window Delta t_d, lead time
+/// Delta t_l, prediction period Delta t_p.
+struct WindowGeometry {
+  double data_window = 600.0;
+  double lead_time = 300.0;
+  double prediction_window = 300.0;
+
+  void validate() const;
+};
+
+}  // namespace pfm::pred

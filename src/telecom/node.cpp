@@ -1,0 +1,238 @@
+#include "telecom/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfm::telecom {
+
+ServiceNode::ServiceNode(const SimConfig& config, std::int32_t id, double now,
+                         num::Rng& rng)
+    : config_(&config), rng_(&rng), id_(id) {
+  next_leak_onset_ = now + rng_->exponential(1.0 / config_->leak_mtbf);
+  next_cascade_onset_ = now + rng_->exponential(1.0 / config_->cascade_mtbf);
+  next_noise_ = now + rng_->exponential(config_->noise_event_rate);
+  next_lookalike_ = now + rng_->exponential(config_->lookalike_event_rate);
+}
+
+double ServiceNode::free_memory_mb() const noexcept {
+  const double used =
+      config_->base_memory_fraction * config_->node_memory_mb + leaked_mb_;
+  return std::max(0.0, config_->node_memory_mb - used);
+}
+
+double ServiceNode::memory_pressure() const noexcept {
+  return 1.0 - free_memory_mb() / config_->node_memory_mb;
+}
+
+void ServiceNode::emit(std::vector<mon::ErrorEvent>& events, double t,
+                       std::int32_t event_id, std::int32_t severity) const {
+  events.push_back(mon::ErrorEvent{t, event_id, id_, severity});
+}
+
+void ServiceNode::enter_cascade_stage(double t, int stage,
+                                      std::vector<mon::ErrorEvent>& events) {
+  cascade_stage_ = stage;
+  cascade_stage_start_ = t;
+  // Stage duration: Gamma(shape 4) around the configured mean, giving the
+  // semi-Markov timing structure the HSMM exploits.
+  const double mean = config_->cascade_stage_mean;
+  cascade_stage_end_ = t + rng_->gamma(4.0, mean / 4.0);
+  // Each stage announces itself with one immediate event and a small burst
+  // spread over the following minute — the same micro-timing as benign
+  // noise bursts, so only the event ids and the inter-stage timing carry
+  // the failure signature.
+  auto schedule_burst = [&](std::int32_t eid, std::int64_t count,
+                            std::int32_t severity) {
+    double bt = t;
+    for (std::int64_t i = 0; i < count; ++i) {
+      bt += rng_->exponential(1.0 / 20.0);
+      pending_.push_back(mon::ErrorEvent{bt, eid, id_, severity});
+    }
+  };
+  switch (stage) {
+    case 1:
+      emit(events, t, event_id::kCascadeStage1, 2);
+      schedule_burst(event_id::kCascadeStage1, 1 + rng_->poisson(1.5), 2);
+      break;
+    case 2:
+      emit(events, t, event_id::kCascadeStage2, 3);
+      schedule_burst(event_id::kCascadeStage2b, 1 + rng_->poisson(1.0), 3);
+      break;
+    case 3:
+      emit(events, t, event_id::kCascadeStage3, 4);
+      schedule_burst(event_id::kTimeout, 1 + rng_->poisson(0.5), 4);
+      break;
+    default:
+      break;
+  }
+}
+
+double ServiceNode::degradation(double t) const noexcept {
+  // Memory pressure inflates response times once beyond 75% utilization
+  // (paging/garbage-collection thrash).
+  const double pressure = memory_pressure();
+  double mult = 1.0;
+  if (pressure > 0.75) {
+    const double x = std::min(1.0, (pressure - 0.75) / 0.25);
+    mult += 6.0 * x * x;
+  }
+  // Cascade: stage 2 already degrades mildly (a symptom predictors can
+  // see), stage 3 collapses service times, ramping over the stage.
+  if (cascade_stage_ == 2) {
+    const double span = std::max(cascade_stage_end_ - cascade_stage_start_, 1.0);
+    const double x = std::min(1.0, (t - cascade_stage_start_) / span);
+    mult *= 1.0 + 0.6 * x;
+  } else if (cascade_stage_ == 3) {
+    const double span = std::max(cascade_stage_end_ - cascade_stage_start_, 1.0);
+    const double x = std::min(1.0, (t - cascade_stage_start_) / span);
+    mult *= 1.6 + 6.4 * x;
+  } else if (cascade_stage_ > 3) {
+    mult *= 8.0;  // broken until repaired
+  }
+  return mult;
+}
+
+double ServiceNode::advance(double t, double dt, double utilization,
+                            std::vector<mon::ErrorEvent>& events) {
+  if (!available(t)) return 1.0;  // restarting/being repaired: no dynamics
+
+  // --- overload error reporting ---------------------------------------------
+  // High-watermark alarms are edge-triggered (one report on crossing) with
+  // sparse repeats while the condition persists — real monitoring rate-
+  // limits its alerts.
+  if (utilization > 0.80 &&
+      (prev_util_ <= 0.80 || rng_->uniform() < dt / 600.0)) {
+    emit(events, t + rng_->uniform(0.0, dt), event_id::kQueueHigh, 3);
+  }
+  if (utilization > 0.90 &&
+      (prev_util_ <= 0.90 || rng_->uniform() < dt / 300.0)) {
+    emit(events, t + rng_->uniform(0.0, dt), event_id::kTimeout, 4);
+  }
+  prev_util_ = utilization;
+
+  // --- fault onsets ---------------------------------------------------------
+  if (t >= next_leak_onset_ && leak_rate_ == 0.0) {
+    leak_rate_ = rng_->uniform(config_->leak_min_rate, config_->leak_max_rate);
+    next_leak_onset_ =
+        t + rng_->exponential(1.0 / config_->leak_mtbf);  // for after repair
+  }
+  if (t >= next_cascade_onset_ && cascade_stage_ == 0) {
+    enter_cascade_stage(t, 1, events);
+    next_cascade_onset_ = t + rng_->exponential(1.0 / config_->cascade_mtbf);
+  }
+
+  // --- leak progression -------------------------------------------------------
+  if (leak_rate_ > 0.0) {
+    leaked_mb_ = std::min(leaked_mb_ + leak_rate_ * dt,
+                          config_->node_memory_mb);
+    const double pressure = memory_pressure();
+    // Pressure-driven error reporting with increasing intensity.
+    auto emit_with_rate = [&](double threshold, double mean_interval,
+                              std::int32_t eid, std::int32_t sev) {
+      if (pressure > threshold &&
+          rng_->uniform() < dt / mean_interval) {
+        emit(events, t + rng_->uniform(0.0, dt), eid, sev);
+      }
+    };
+    emit_with_rate(0.70, 600.0, event_id::kMemLow, 2);
+    emit_with_rate(0.80, 400.0, event_id::kAllocSlow, 3);
+    emit_with_rate(0.85, 240.0, event_id::kGcThrash, 4);
+  }
+
+  // --- cascade progression ------------------------------------------------------
+  if (cascade_stage_ >= 1 && cascade_stage_ <= 3 && t >= cascade_stage_end_) {
+    if (cascade_stage_ < 3) {
+      enter_cascade_stage(t, cascade_stage_ + 1, events);
+    } else {
+      cascade_stage_ = 4;  // broken; stays until repair
+    }
+  }
+  // Sporadic repeats of the current stage's signature event.
+  if (cascade_stage_ >= 1 && cascade_stage_ <= 3 &&
+      rng_->uniform() < dt / 400.0) {
+    static constexpr std::int32_t kStageIds[] = {
+        event_id::kCascadeStage1, event_id::kCascadeStage2,
+        event_id::kCascadeStage3};
+    emit(events, t + rng_->uniform(0.0, dt), kStageIds[cascade_stage_ - 1], 2);
+  }
+
+  // --- benign noise ------------------------------------------------------------
+  while (t + dt > next_noise_) {
+    const auto eid = event_id::kNoiseBase +
+                     static_cast<std::int32_t>(
+                         rng_->uniform_int(0, event_id::kNoiseCount - 1));
+    // A fraction of benign events carries high severity (operators know
+    // severity fields in real logs are unreliable failure indicators).
+    const std::int32_t severity = rng_->uniform() < 0.08 ? 4 : 1;
+    emit(events, next_noise_, eid, severity);
+    // Real logging is bursty: benign messages often repeat in quick
+    // succession. This denies count-based heuristics a free separation
+    // between benign and failure-prone windows.
+    if (rng_->uniform() < 0.4) {
+      const auto burst = 2 + rng_->poisson(4.0);
+      double bt = next_noise_;
+      for (std::int64_t b = 0; b < burst; ++b) {
+        bt += rng_->exponential(1.0 / 20.0);
+        pending_.push_back(mon::ErrorEvent{bt, eid, id_, severity});
+      }
+    }
+    next_noise_ += rng_->exponential(config_->noise_event_rate);
+  }
+  // Release scheduled burst events that fall into this tick.
+  if (!pending_.empty()) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const mon::ErrorEvent& a, const mon::ErrorEvent& b) {
+                return a.time < b.time;
+              });
+    std::size_t released = 0;
+    for (; released < pending_.size() && pending_[released].time < t + dt;
+         ++released) {
+      events.push_back(pending_[released]);
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(released));
+  }
+  while (t + dt > next_lookalike_) {
+    // Benign occurrences of cascade-signature ids, sometimes in pairs —
+    // indistinguishable from real cascades by id sets alone; only the
+    // characteristic inter-stage timing separates them.
+    static constexpr std::int32_t kFirst[] = {event_id::kCascadeStage1,
+                                              event_id::kCascadeStage2,
+                                              event_id::kCascadeStage2b};
+    static constexpr std::int32_t kSecond[] = {event_id::kCascadeStage2,
+                                               event_id::kCascadeStage2b,
+                                               event_id::kTimeout};
+    emit(events, next_lookalike_, kFirst[rng_->uniform_int(0, 2)], 2);
+    if (rng_->uniform() < 0.25) {
+      const double follow = next_lookalike_ + rng_->exponential(1.0 / 30.0);
+      pending_.push_back(mon::ErrorEvent{
+          follow, kSecond[rng_->uniform_int(0, 2)], id_, 2});
+    }
+    next_lookalike_ += rng_->exponential(config_->lookalike_event_rate);
+  }
+
+  return degradation(t);
+}
+
+void ServiceNode::clear_faults(double t) {
+  leaked_mb_ = 0.0;
+  leak_rate_ = 0.0;
+  cascade_stage_ = 0;
+  pending_.clear();  // scheduled burst events of cleared faults
+  // Fresh onset clocks from now.
+  next_leak_onset_ = t + rng_->exponential(1.0 / config_->leak_mtbf);
+  next_cascade_onset_ = t + rng_->exponential(1.0 / config_->cascade_mtbf);
+}
+
+void ServiceNode::preventive_restart(double t) {
+  clear_faults(t);
+  down_until_ = t + config_->restart_duration;
+  ++restarts_;
+}
+
+void ServiceNode::repair_reset(double t, double until) {
+  clear_faults(t);
+  down_until_ = until;
+}
+
+}  // namespace pfm::telecom

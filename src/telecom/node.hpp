@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitoring/types.hpp"
+#include "numerics/rng.hpp"
+#include "telecom/config.hpp"
+
+namespace pfm::telecom {
+
+/// One replicated service container of the simulated SCP.
+///
+/// Carries the injected fault processes that drive the paper's
+/// fault -> error -> symptom -> failure chain (Fig. 2):
+///  - *memory leaks* (software aging): free memory decays slowly; memory
+///    pressure first shows as a symptom (monitorable), then as detected
+///    errors (kMemLow/kAllocSlow/kGcThrash log events), finally as response
+///    time degradation and a performance failure;
+///  - *error cascades*: a latent fault progresses through three stages,
+///    each emitting a characteristic burst of log events (the pattern the
+///    HSMM predictor learns), with response times collapsing in stage 3;
+///  - *benign noise*: spurious log events and cascade-lookalike events that
+///    create false-positive pressure for the predictors.
+class ServiceNode {
+ public:
+  /// Creates a fresh node at time `now`; fault onset clocks are drawn from
+  /// the config's MTBF parameters.
+  ServiceNode(const SimConfig& config, std::int32_t id, double now,
+              num::Rng& rng);
+
+  /// Advances the node by one tick, appending any emitted error events to
+  /// `events`. `utilization` is the node's current offered load relative
+  /// to capacity (drives overload error reporting). Returns the node's
+  /// current response-time degradation multiplier (1 = nominal).
+  double advance(double t, double dt, double utilization,
+                 std::vector<mon::ErrorEvent>& events);
+
+  /// True when the node currently serves traffic.
+  bool available(double t) const noexcept { return t >= down_until_; }
+  double down_until() const noexcept { return down_until_; }
+
+  std::int32_t id() const noexcept { return id_; }
+  double free_memory_mb() const noexcept;
+  /// Used-memory fraction in [0,1].
+  double memory_pressure() const noexcept;
+  bool leak_active() const noexcept { return leak_rate_ > 0.0; }
+  /// 0 when no cascade in progress, otherwise the current stage 1..3
+  /// (3 also covers the post-stage broken state until repair).
+  int cascade_stage() const noexcept { return cascade_stage_; }
+
+  /// Current degradation multiplier without advancing time.
+  double degradation(double t) const noexcept;
+
+  /// Preventive restart (rejuvenation / state clean-up): clears the leak
+  /// and any cascade, node is down for config.restart_duration.
+  void preventive_restart(double t);
+
+  /// Repair after a failure: full reset, node down until `until`.
+  void repair_reset(double t, double until);
+
+  /// Number of preventive restarts performed.
+  std::int64_t restart_count() const noexcept { return restarts_; }
+
+ private:
+  void enter_cascade_stage(double t, int stage,
+                           std::vector<mon::ErrorEvent>& events);
+  void clear_faults(double t);
+  void emit(std::vector<mon::ErrorEvent>& events, double t, std::int32_t id,
+            std::int32_t severity) const;
+
+  const SimConfig* config_;
+  num::Rng* rng_;
+  std::int32_t id_;
+
+  double leaked_mb_ = 0.0;
+  double leak_rate_ = 0.0;  // MB/s; 0 = no active leak
+  double next_leak_onset_ = 0.0;
+
+  int cascade_stage_ = 0;
+  double cascade_stage_end_ = 0.0;
+  double cascade_stage_start_ = 0.0;
+  double next_cascade_onset_ = 0.0;
+
+  double down_until_ = 0.0;
+  std::int64_t restarts_ = 0;
+  double prev_util_ = 0.0;
+
+  // Poisson thinning accumulators for pressure-driven error events.
+  double next_noise_ = 0.0;
+  double next_lookalike_ = 0.0;
+  // Benign events scheduled for the near future (noise bursts), sorted.
+  std::vector<mon::ErrorEvent> pending_;
+};
+
+}  // namespace pfm::telecom

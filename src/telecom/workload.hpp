@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+
+#include "numerics/rng.hpp"
+#include "telecom/config.hpp"
+
+namespace pfm::telecom {
+
+/// Generates the aggregate request arrival process: a diurnally modulated
+/// Poisson stream split across the MOC/SMS/GPRS classes, with occasional
+/// load spikes that ramp up over `spike_ramp` seconds.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const SimConfig& config, num::Rng& rng);
+
+  /// Deterministic mean arrival rate at time `t` (requests/second),
+  /// including diurnal modulation and any active spike, but before the
+  /// Poisson draw. Also the value exposed to monitoring.
+  double mean_rate(double t) const noexcept;
+
+  /// Advances internal spike state to time `t` and draws the number of
+  /// arrivals per class in the tick [t, t + dt).
+  std::array<std::int64_t, kNumRequestClasses> arrivals(double t, double dt);
+
+  /// True while a spike is in progress at time `t`.
+  bool spike_active(double t) const noexcept {
+    return t >= spike_start_ && t < spike_end_;
+  }
+
+  /// External load shedding: forthcoming arrivals are thinned by
+  /// `fraction` (0 = none, 1 = all) until `until`.
+  void shed(double fraction, double until);
+
+  /// Requests rejected by load shedding so far.
+  std::int64_t shed_count() const noexcept { return shed_count_; }
+
+ private:
+  void maybe_schedule_spike(double t);
+
+  /// Mean rate ignoring load shedding (for accounting rejected requests).
+  double unshed_rate(double t) const noexcept;
+
+  const SimConfig* config_;
+  num::Rng* rng_;
+  // Class mix: MOC-heavy, as in an SCP.
+  std::array<double, kNumRequestClasses> class_mix_{0.5, 0.3, 0.2};
+  double next_spike_ = 0.0;
+  double spike_start_ = -1.0;
+  double spike_end_ = -1.0;
+  double spike_factor_ = 1.0;
+  double shed_fraction_ = 0.0;
+  double shed_until_ = -1.0;
+  std::int64_t shed_count_ = 0;
+};
+
+}  // namespace pfm::telecom

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "actions/action.hpp"
+#include "actions/selection.hpp"
+#include "actions/ttr.hpp"
+
+namespace pfm::act {
+namespace {
+
+telecom::SimConfig leaky_config() {
+  telecom::SimConfig cfg;
+  cfg.duration = 4.0 * 3600.0;
+  cfg.leak_mtbf = 1.0;  // leak starts immediately on every node
+  cfg.leak_min_rate = cfg.leak_max_rate = 0.35;
+  cfg.cascade_mtbf = 1e12;
+  cfg.spike_mtbf = 1e12;
+  return cfg;
+}
+
+TEST(Taxonomy, Fig7GoalMapping) {
+  EXPECT_EQ(goal_of(ActionKind::kStateCleanup),
+            ActionGoal::kDowntimeAvoidance);
+  EXPECT_EQ(goal_of(ActionKind::kPreventiveFailover),
+            ActionGoal::kDowntimeAvoidance);
+  EXPECT_EQ(goal_of(ActionKind::kLoadLowering),
+            ActionGoal::kDowntimeAvoidance);
+  EXPECT_EQ(goal_of(ActionKind::kPreparedRepair),
+            ActionGoal::kDowntimeMinimization);
+  EXPECT_EQ(goal_of(ActionKind::kPreventiveRestart),
+            ActionGoal::kDowntimeMinimization);
+}
+
+TEST(Taxonomy, Names) {
+  EXPECT_EQ(to_string(ActionKind::kLoadLowering), "load-lowering");
+  EXPECT_EQ(to_string(ActionGoal::kDowntimeAvoidance), "downtime-avoidance");
+  EXPECT_EQ(to_string(ActionGoal::kDowntimeMinimization),
+            "downtime-minimization");
+}
+
+TEST(Properties, Validation) {
+  ActionProperties p;
+  EXPECT_NO_THROW(p.validate());
+  p.cost = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ActionProperties{};
+  p.success_probability = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ActionProperties{};
+  p.complexity = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(StateCleanup, TriggersOnPressureAndRestartsWorstNode) {
+  telecom::ScpSimulator sim(leaky_config());
+  StateCleanupAction cleanup(0.70);
+  EXPECT_FALSE(cleanup.applicable(sim));  // fresh system
+  sim.step_to(3.0 * 3600.0);  // leak grows past the trigger
+  ASSERT_TRUE(cleanup.applicable(sim));
+  cleanup.execute(sim, 0.9);
+  EXPECT_EQ(sim.stats().preventive_restarts, 1);
+}
+
+TEST(StateCleanup, TriggerValidation) {
+  EXPECT_THROW(StateCleanupAction(0.0), std::invalid_argument);
+  EXPECT_THROW(StateCleanupAction(1.0), std::invalid_argument);
+}
+
+TEST(Failover, TriggersOnCascade) {
+  telecom::SimConfig cfg;
+  cfg.duration = 4.0 * 3600.0;
+  cfg.cascade_mtbf = 1.0;
+  cfg.leak_mtbf = 1e12;
+  cfg.spike_mtbf = 1e12;
+  telecom::ScpSimulator sim(cfg);
+  PreventiveFailoverAction failover;
+  sim.step_to(60.0);
+  ASSERT_TRUE(failover.applicable(sim));  // cascade onset happened
+  // With cascade_mtbf=1 every node cascades; each execution clears one.
+  auto cascading = [&] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
+      n += sim.node(i).cascade_stage() >= 1 ? 1 : 0;
+    }
+    return n;
+  };
+  const auto before = cascading();
+  ASSERT_GT(before, 0u);
+  failover.execute(sim, 0.8);
+  EXPECT_EQ(sim.stats().preventive_restarts, 1);
+  EXPECT_EQ(cascading(), before - 1);
+}
+
+TEST(LoadLowering, AppliesConfidenceScaledShedding) {
+  telecom::SimConfig cfg;
+  cfg.duration = 2.0 * 3600.0;
+  cfg.arrival_rate = 200.0;  // overloaded from the start
+  cfg.leak_mtbf = 1e12;
+  cfg.cascade_mtbf = 1e12;
+  cfg.spike_mtbf = 1e12;
+  telecom::ScpSimulator sim(cfg);
+  sim.step_to(60.0);
+  LoadLoweringAction shed(0.75, 600.0);
+  ASSERT_TRUE(shed.applicable(sim));
+  shed.execute(sim, 1.0);
+  sim.step_to(600.0);
+  EXPECT_GT(sim.stats().shed_requests, 0);
+}
+
+TEST(LoadLowering, NotApplicableAtNominalLoad) {
+  telecom::SimConfig cfg;
+  cfg.duration = 3600.0;
+  cfg.leak_mtbf = 1e12;
+  cfg.cascade_mtbf = 1e12;
+  cfg.spike_mtbf = 1e12;
+  telecom::ScpSimulator sim(cfg);
+  sim.step_to(60.0);
+  LoadLoweringAction shed;
+  EXPECT_FALSE(shed.applicable(sim));
+}
+
+TEST(PreparedRepair, AlwaysApplicableAndPreparesSystem) {
+  telecom::ScpSimulator sim(leaky_config());
+  PreparedRepairAction prepare(900.0);
+  EXPECT_TRUE(prepare.applicable(sim));
+  sim.step_to(60.0);
+  prepare.execute(sim, 0.7);
+  // Preparation is visible through a shortened repair of the next failure
+  // (verified end-to-end in the simulator tests); here we check the
+  // objective properties are sane.
+  EXPECT_NO_THROW(prepare.properties().validate());
+  EXPECT_THROW(PreparedRepairAction(0.0), std::invalid_argument);
+}
+
+TEST(PreventiveRestart, TargetsSuspiciousNode) {
+  telecom::ScpSimulator sim(leaky_config());
+  PreventiveRestartAction restart;
+  sim.step_to(3.0 * 3600.0);
+  ASSERT_TRUE(restart.applicable(sim));
+  restart.execute(sim, 0.9);
+  EXPECT_EQ(sim.stats().preventive_restarts, 1);
+}
+
+TEST(Objective, ScoresFollowSect2Formula) {
+  StateCleanupAction a;
+  ObjectiveWeights w;
+  w.failure_cost = 10.0;
+  const auto& p = a.properties();
+  const double expected =
+      (0.8 * p.success_probability * 10.0 - p.cost) / p.complexity;
+  EXPECT_NEAR(objective_score(a, 0.8, w), expected, 1e-12);
+}
+
+TEST(Selector, PicksBestApplicableAction) {
+  telecom::ScpSimulator sim(leaky_config());
+  sim.step_to(3.0 * 3600.0);  // pressure high: cleanup applicable
+
+  std::vector<std::unique_ptr<Action>> actions;
+  actions.push_back(std::make_unique<StateCleanupAction>());
+  actions.push_back(std::make_unique<LoadLoweringAction>());  // inapplicable
+  actions.push_back(nullptr);  // tolerated
+
+  ActionSelector selector;
+  Action* chosen = selector.select(actions, sim, 0.9);
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->kind(), ActionKind::kStateCleanup);
+}
+
+TEST(Selector, ReturnsNullWhenNothingWorthwhile) {
+  telecom::ScpSimulator sim(leaky_config());
+  sim.step_to(3.0 * 3600.0);
+  std::vector<std::unique_ptr<Action>> actions;
+  actions.push_back(std::make_unique<StateCleanupAction>());
+  // Confidence so low that the benefit never covers the cost.
+  ObjectiveWeights w;
+  w.failure_cost = 0.1;
+  ActionSelector selector(w);
+  EXPECT_EQ(selector.select(actions, sim, 0.05), nullptr);
+}
+
+TEST(Selector, RespectsBudgetConstraint) {
+  telecom::ScpSimulator sim(leaky_config());
+  sim.step_to(3.0 * 3600.0);
+  std::vector<std::unique_ptr<Action>> actions;
+  actions.push_back(std::make_unique<StateCleanupAction>());
+  ObjectiveWeights w;
+  w.max_action_cost = 0.1;  // everything is too expensive
+  ActionSelector selector(w);
+  EXPECT_EQ(selector.select(actions, sim, 0.99), nullptr);
+}
+
+TEST(Ttr, Fig8Decomposition) {
+  TtrModel m;
+  EXPECT_NO_THROW(m.validate());
+  // Classical: cold reconfiguration + recomputation since the periodic
+  // checkpoint. Prepared: warm spare + tiny recomputation.
+  EXPECT_GT(m.classical(1800.0), m.prepared(60.0));
+  EXPECT_NEAR(m.classical(0.0), m.reconfig_cold, 1e-12);
+  EXPECT_NEAR(m.prepared(0.0), m.reconfig_warm, 1e-12);
+  // Recomputation saturates.
+  EXPECT_NEAR(m.recompute_time(1e12), m.recompute_max, 1e-12);
+  // Eq. 6 improvement factor.
+  EXPECT_NEAR(m.improvement_factor(1800.0, 60.0),
+              m.classical(1800.0) / m.prepared(60.0), 1e-12);
+  EXPECT_GT(m.improvement_factor(1800.0, 60.0), 1.0);
+}
+
+TEST(Ttr, Validation) {
+  TtrModel m;
+  m.reconfig_warm = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = TtrModel{};
+  m.reconfig_warm = m.reconfig_cold + 1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = TtrModel{};
+  m.recompute_factor = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::act

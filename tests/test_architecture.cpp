@@ -1,0 +1,155 @@
+#include "core/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::core {
+namespace {
+
+class ConstSymptom final : public pred::SymptomPredictor {
+ public:
+  explicit ConstSymptom(double v) : v_(v) {}
+  std::string name() const override { return "const"; }
+  void train(const mon::MonitoringDataset&) override {}
+  double score(const pred::SymptomContext&) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+class CountEvents final : public pred::EventPredictor {
+ public:
+  std::string name() const override { return "count"; }
+  void train(std::span<const mon::ErrorSequence>,
+             std::span<const mon::ErrorSequence>) override {}
+  double score(const mon::ErrorSequence& s) const override {
+    return std::min(1.0, 0.25 * static_cast<double>(s.events.size()));
+  }
+};
+
+pred::SymptomContext some_context() {
+  static std::vector<mon::SymptomSample> samples{{100.0, {1.0}}};
+  pred::SymptomContext ctx;
+  ctx.history = samples;
+  return ctx;
+}
+
+TEST(Layers, Names) {
+  EXPECT_EQ(to_string(Layer::kHardware), "hardware");
+  EXPECT_EQ(to_string(Layer::kApplication), "application");
+  EXPECT_EQ(to_string(Layer::kVirtualMachineMonitor),
+            "virtual-machine-monitor");
+}
+
+TEST(Architecture, LayerRegistrationAndScores) {
+  LayeredArchitecture arch;
+  EXPECT_EQ(arch.num_active_layers(), 0u);
+  EXPECT_THROW(arch.set_layer(Layer::kHardware, {}), std::invalid_argument);
+
+  arch.set_layer(Layer::kHardware,
+                 {std::make_shared<ConstSymptom>(0.2), nullptr});
+  LayerPredictors app;
+  app.symptom = std::make_shared<ConstSymptom>(0.7);
+  app.event = std::make_shared<CountEvents>();
+  arch.set_layer(Layer::kApplication, std::move(app));
+
+  EXPECT_TRUE(arch.has_layer(Layer::kHardware));
+  EXPECT_FALSE(arch.has_layer(Layer::kMiddleware));
+  EXPECT_EQ(arch.num_active_layers(), 2u);
+
+  mon::ErrorSequence seq;
+  seq.events.push_back({90.0, 201, 0, 2});
+  const auto hw = arch.layer_score(Layer::kHardware, some_context(), seq);
+  ASSERT_TRUE(hw.has_value());
+  EXPECT_DOUBLE_EQ(*hw, 0.2);
+  // Application layer combines symptom (0.7) and event (0.25) by max.
+  const auto app_score =
+      arch.layer_score(Layer::kApplication, some_context(), seq);
+  ASSERT_TRUE(app_score.has_value());
+  EXPECT_DOUBLE_EQ(*app_score, 0.7);
+  EXPECT_FALSE(
+      arch.layer_score(Layer::kMiddleware, some_context(), seq).has_value());
+
+  const auto all = arch.all_scores(some_context(), seq);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], 0.2);  // layer order: hardware first
+  EXPECT_DOUBLE_EQ(all[1], 0.7);
+}
+
+TEST(Architecture, FuseFallsBackToMaxWithoutFusion) {
+  LayeredArchitecture arch;
+  arch.set_layer(Layer::kHardware,
+                 {std::make_shared<ConstSymptom>(0.3), nullptr});
+  arch.set_layer(Layer::kApplication,
+                 {std::make_shared<ConstSymptom>(0.8), nullptr});
+  mon::ErrorSequence seq;
+  EXPECT_DOUBLE_EQ(arch.fuse(some_context(), seq), 0.8);
+}
+
+TEST(Architecture, FittedFusionCombinesLayers) {
+  LayeredArchitecture arch;
+  arch.set_layer(Layer::kHardware,
+                 {std::make_shared<ConstSymptom>(0.3), nullptr});
+  arch.set_layer(Layer::kApplication,
+                 {std::make_shared<ConstSymptom>(0.8), nullptr});
+  // Synthetic out-of-sample level-0 scores: layer 1 is informative.
+  num::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const int y = rng.bernoulli(0.3) ? 1 : 0;
+    scores.push_back(rng.uniform());                      // hardware: noise
+    scores.push_back(y ? 0.9 : 0.1);                      // app: informative
+    labels.push_back(y);
+  }
+  arch.fit_fusion(scores, labels);
+  const auto contributions = arch.contributions();
+  ASSERT_EQ(contributions.size(), 2u);
+  // Translucency: the informative layer carries the larger weight.
+  EXPECT_GT(contributions[1].stacking_weight,
+            contributions[0].stacking_weight);
+
+  mon::ErrorSequence seq;
+  const double fused = arch.fuse(some_context(), seq);
+  EXPECT_GT(fused, 0.0);
+  EXPECT_LT(fused, 1.0);
+}
+
+TEST(Architecture, FitFusionWithoutLayersThrows) {
+  LayeredArchitecture arch;
+  EXPECT_THROW(arch.fit_fusion(std::vector<double>{0.1}, std::vector<int>{1}),
+               std::logic_error);
+}
+
+TEST(Architecture, DriftDetectionFlagsRetraining) {
+  LayeredArchitecture arch;
+  arch.set_layer(Layer::kOperatingSystem,
+                 {std::make_shared<ConstSymptom>(0.5), nullptr});
+  EXPECT_TRUE(arch.take_retraining_requests().empty());
+  num::Rng rng(5);
+  // Stable behavior indicator: no drift.
+  bool drifted = false;
+  for (int i = 0; i < 300; ++i) {
+    drifted |= arch.observe_layer_behavior(Layer::kOperatingSystem,
+                                           rng.normal(0.1, 0.02));
+  }
+  EXPECT_FALSE(drifted);
+  // The layer's behavior shifts (e.g., after an upgrade).
+  int steps = 0;
+  while (!arch.observe_layer_behavior(Layer::kOperatingSystem,
+                                      rng.normal(0.9, 0.02))) {
+    ASSERT_LT(++steps, 500);
+  }
+  const auto requests = arch.take_retraining_requests();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0], Layer::kOperatingSystem);
+  // Requests are cleared after being taken.
+  EXPECT_TRUE(arch.take_retraining_requests().empty());
+}
+
+}  // namespace
+}  // namespace pfm::core

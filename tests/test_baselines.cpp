@@ -1,0 +1,242 @@
+#include "prediction/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::pred {
+namespace {
+
+WindowGeometry windows() { return {600.0, 300.0, 300.0}; }
+
+/// Variable 0 rises before failures, variable 1 is noise.
+mon::MonitoringDataset symptom_trace(std::uint64_t seed) {
+  num::Rng rng(seed);
+  mon::MonitoringDataset ds(mon::SymptomSchema({"resource", "noise"}));
+  const double period = 6000.0;
+  double next_failure = period;
+  for (double t = 0.0; t < 4.0 * 86400.0; t += 30.0) {
+    const double to_failure = next_failure - t;
+    double v = rng.normal(0.0, 0.2);
+    if (to_failure < 1200.0 && to_failure > 0.0) {
+      v += 3.0 * (1.0 - to_failure / 1200.0);
+    }
+    ds.add_sample({t, {v, rng.normal(0.0, 1.0)}});
+    if (t >= next_failure) {
+      ds.add_failure(t);
+      next_failure += period;
+    }
+  }
+  return ds;
+}
+
+SymptomContext context_of(const std::vector<mon::SymptomSample>& history,
+                          std::span<const double> failures = {}) {
+  SymptomContext ctx;
+  ctx.history = history;
+  ctx.past_failures = failures;
+  return ctx;
+}
+
+TEST(Threshold, PicksCorrelatedVariableAndDirection) {
+  const auto trace = symptom_trace(1);
+  ThresholdPredictor p(windows());
+  p.train(trace);
+  EXPECT_EQ(p.variable(), 0u);
+  const std::vector<mon::SymptomSample> low{{100.0, {0.0, 0.0}}};
+  const std::vector<mon::SymptomSample> high{{100.0, {3.0, 0.0}}};
+  EXPECT_GT(p.score(context_of(high)), p.score(context_of(low)));
+}
+
+TEST(Threshold, ErrorsAndGuards) {
+  ThresholdPredictor p(windows());
+  const std::vector<mon::SymptomSample> h{{0.0, {1.0, 1.0}}};
+  EXPECT_THROW(p.score(context_of(h)), std::logic_error);
+  mon::MonitoringDataset no_failures(mon::SymptomSchema({"a"}));
+  for (int i = 0; i < 200; ++i) no_failures.add_sample({i * 30.0, {1.0}});
+  EXPECT_THROW(p.train(no_failures), std::invalid_argument);
+  p.train(symptom_trace(2));
+  EXPECT_THROW(p.score(SymptomContext{}), std::invalid_argument);
+}
+
+TEST(Trend, RisingSlopeRaisesScore) {
+  const auto trace = symptom_trace(3);
+  TrendPredictor p(windows());
+  p.train(trace);
+  EXPECT_EQ(p.variable(), 0u);
+  // Same final level, different slopes.
+  std::vector<mon::SymptomSample> rising, flat;
+  for (int i = 0; i < 10; ++i) {
+    const double t = i * 30.0;
+    rising.push_back({t, {0.5 + 0.15 * i, 0.0}});
+    flat.push_back({t, {1.85, 0.0}});
+  }
+  EXPECT_GT(p.score(context_of(rising)), p.score(context_of(flat)));
+}
+
+TEST(Trend, SingleSampleContextFallsBackToLevel) {
+  const auto trace = symptom_trace(4);
+  TrendPredictor p(windows());
+  p.train(trace);
+  const std::vector<mon::SymptomSample> one{{0.0, {2.0, 0.0}}};
+  const double s = p.score(context_of(one));
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(FailureTracking, RequiresEnoughFailures) {
+  FailureTrackingPredictor p(windows());
+  mon::MonitoringDataset ds(mon::SymptomSchema({"a"}));
+  ds.add_sample({0.0, {1.0}});
+  ds.add_failure(100.0);
+  ds.add_failure(200.0);
+  EXPECT_THROW(p.train(ds), std::invalid_argument);
+}
+
+TEST(FailureTracking, HazardGrowsWithAgeForAgingDistribution) {
+  // Regular, tight failure spacing: Weibull shape > 1 (aging), so the
+  // conditional failure probability grows with time since repair.
+  num::Rng rng(5);
+  mon::MonitoringDataset ds(mon::SymptomSchema({"a"}));
+  double t = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    t += 3600.0 + rng.normal(0.0, 300.0);
+    ds.add_failure(t);
+  }
+  ds.add_sample({t + 100.0, {0.0}});
+  FailureTrackingPredictor p(windows());
+  p.train(ds);
+  EXPECT_TRUE(p.uses_weibull());
+
+  const std::vector<double> failures{10000.0};
+  const std::vector<mon::SymptomSample> young{{10600.0, {0.0}}};
+  const std::vector<mon::SymptomSample> old{{13400.0, {0.0}}};
+  const double s_young = p.score(context_of(young, failures));
+  const double s_old = p.score(context_of(old, failures));
+  EXPECT_GT(s_old, s_young);
+}
+
+TEST(FailureTracking, ScoreIsProbability) {
+  num::Rng rng(6);
+  mon::MonitoringDataset ds(mon::SymptomSchema({"a"}));
+  double t = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    t += rng.exponential(1.0 / 5000.0);
+    ds.add_failure(t);
+  }
+  ds.add_sample({t, {0.0}});
+  FailureTrackingPredictor p(windows());
+  p.train(ds);
+  const std::vector<double> failures{1000.0};
+  const std::vector<mon::SymptomSample> now{{5000.0, {0.0}}};
+  const double s = p.score(context_of(now, failures));
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+// --- event baselines ------------------------------------------------------------
+
+mon::ErrorSequence seq_of(std::initializer_list<std::pair<double, int>> ev,
+                          double end) {
+  mon::ErrorSequence s;
+  for (const auto& [t, id] : ev) s.events.push_back({t, id, 0, 2});
+  s.end_time = end;
+  return s;
+}
+
+std::vector<mon::ErrorSequence> some_failures() {
+  std::vector<mon::ErrorSequence> v;
+  for (int i = 0; i < 20; ++i) {
+    const double base = i * 1000.0;
+    v.push_back(seq_of({{base + 10, 201},
+                        {base + 40, 201},
+                        {base + 55, 202},
+                        {base + 60, 202},
+                        {base + 63, 204}},
+                       base + 600.0));
+  }
+  return v;
+}
+
+std::vector<mon::ErrorSequence> some_benign() {
+  std::vector<mon::ErrorSequence> v;
+  num::Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const double base = i * 1000.0;
+    mon::ErrorSequence s;
+    if (rng.bernoulli(0.5)) {
+      s.events.push_back({base + rng.uniform(0.0, 500.0),
+                          400 + static_cast<int>(rng.uniform_int(0, 5)), 0, 1});
+    }
+    s.end_time = base + 600.0;
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+TEST(Dft, TrainsAndRanksBurstsAboveQuiet) {
+  DftPredictor p;
+  EXPECT_THROW(p.score(seq_of({}, 600.0)), std::logic_error);
+  const auto fail = some_failures();
+  const auto ok = some_benign();
+  EXPECT_THROW(p.train(fail, {}), std::invalid_argument);
+  p.train(fail, ok);
+  const double burst = p.score(fail.front());
+  const double quiet = p.score(ok.front());
+  EXPECT_GT(burst, quiet);
+  EXPECT_DOUBLE_EQ(p.score(seq_of({}, 600.0)), 0.0);
+}
+
+TEST(Dft, AcceleratingErrorsFireThe33Rule) {
+  DftPredictor p;
+  p.train(some_failures(), some_benign());
+  // Inter-arrivals 200, 100, 40: each at most half the previous.
+  const auto accel =
+      seq_of({{0, 401}, {200, 401}, {300, 401}, {340, 401}}, 600.0);
+  // Evenly spread errors of the same count.
+  const auto spread =
+      seq_of({{0, 401}, {150, 401}, {300, 401}, {450, 401}}, 600.0);
+  EXPECT_GT(p.score(accel), p.score(spread));
+}
+
+TEST(Eventset, MinesIndicativeSetsAndScores) {
+  EventsetPredictor p;
+  EXPECT_THROW(p.score(seq_of({}, 0.0)), std::logic_error);
+  p.train(some_failures(), some_benign());
+  EXPECT_GT(p.num_mined_sets(), 0u);
+  // A window containing the mined failure ids scores near 1.
+  const double hit = p.score(seq_of({{10, 201}, {20, 202}}, 600.0));
+  // A window with only benign ids scores at the floor.
+  const double miss = p.score(seq_of({{10, 403}}, 600.0));
+  EXPECT_GT(hit, 0.8);
+  EXPECT_LT(miss, 0.3);
+}
+
+TEST(Eventset, ConfigValidation) {
+  EventsetPredictor::Config c;
+  c.min_support = 0.0;
+  EXPECT_THROW(EventsetPredictor{c}, std::invalid_argument);
+  c = EventsetPredictor::Config{};
+  c.max_set_size = 0;
+  EXPECT_THROW(EventsetPredictor{c}, std::invalid_argument);
+}
+
+TEST(Eventset, LookalikeSupportLowersConfidence) {
+  // When benign windows also contain {201}, the singleton's confidence
+  // drops and pairs carry the signal.
+  auto fail = some_failures();
+  std::vector<mon::ErrorSequence> ok = some_benign();
+  for (int i = 0; i < 40; ++i) {
+    ok.push_back(seq_of({{i * 100.0, 201}}, i * 100.0 + 600.0));
+  }
+  EventsetPredictor p;
+  p.train(fail, ok);
+  const double singleton = p.score(seq_of({{10, 201}}, 600.0));
+  const double pair = p.score(seq_of({{10, 201}, {20, 202}}, 600.0));
+  EXPECT_GT(pair, singleton);
+}
+
+}  // namespace
+}  // namespace pfm::pred

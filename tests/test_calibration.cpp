@@ -1,0 +1,89 @@
+#include "prediction/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace pfm::pred {
+namespace {
+
+TEST(CalibrateScore, ThresholdMapsToHalf) {
+  for (double thr : {0.1, 0.35, 0.5, 0.8, 0.95}) {
+    EXPECT_NEAR(calibrate_score(thr, thr), 0.5, 1e-12) << "thr=" << thr;
+  }
+}
+
+TEST(CalibrateScore, EndpointsPreserved) {
+  EXPECT_DOUBLE_EQ(calibrate_score(0.0, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(calibrate_score(1.0, 0.3), 1.0);
+}
+
+TEST(CalibrateScore, MonotoneInScore) {
+  const double thr = 0.42;
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const double c = calibrate_score(s, thr);
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST(CalibrateScore, DegenerateThresholdsClamped) {
+  // Thresholds at the extremes must not divide by zero.
+  EXPECT_GE(calibrate_score(0.5, 0.0), 0.0);
+  EXPECT_LE(calibrate_score(0.5, 1.0), 1.0);
+  EXPECT_GE(calibrate_score(2.0, 0.5), 0.0);   // out-of-range score clamped
+  EXPECT_LE(calibrate_score(-1.0, 0.5), 1.0);
+}
+
+class FixedSymptom final : public SymptomPredictor {
+ public:
+  explicit FixedSymptom(double v) : v_(v) {}
+  std::string name() const override { return "fixed"; }
+  void train(const mon::MonitoringDataset&) override {}
+  double score(const SymptomContext&) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+class FixedEvent final : public EventPredictor {
+ public:
+  explicit FixedEvent(double v) : v_(v) {}
+  std::string name() const override { return "fixed-event"; }
+  void train(std::span<const mon::ErrorSequence>,
+             std::span<const mon::ErrorSequence>) override {}
+  double score(const mon::ErrorSequence&) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+TEST(CalibratedSymptomPredictor, WrapsAndRenames) {
+  auto inner = std::make_shared<FixedSymptom>(0.7);
+  CalibratedSymptomPredictor cal(inner, 0.7);
+  EXPECT_EQ(cal.name(), "fixed+cal");
+  std::vector<mon::SymptomSample> h{{0.0, {}}};
+  SymptomContext ctx;
+  ctx.history = h;
+  EXPECT_NEAR(cal.score(ctx), 0.5, 1e-12);
+
+  // Below/above its threshold lands on the right side of 0.5.
+  CalibratedSymptomPredictor strict(std::make_shared<FixedSymptom>(0.6), 0.8);
+  EXPECT_LT(strict.score(ctx), 0.5);
+  CalibratedSymptomPredictor loose(std::make_shared<FixedSymptom>(0.6), 0.4);
+  EXPECT_GT(loose.score(ctx), 0.5);
+}
+
+TEST(CalibratedEventPredictor, WrapsScore) {
+  CalibratedEventPredictor cal(std::make_shared<FixedEvent>(0.9), 0.6);
+  mon::ErrorSequence seq;
+  EXPECT_GT(cal.score(seq), 0.5);
+  EXPECT_LE(cal.score(seq), 1.0);
+  EXPECT_EQ(cal.name(), "fixed-event+cal");
+}
+
+}  // namespace
+}  // namespace pfm::pred

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+#include "prediction/changepoint.hpp"
+#include "prediction/meta.hpp"
+
+namespace pfm::pred {
+namespace {
+
+TEST(Cusum, DetectsMeanShift) {
+  Cusum c(/*reference=*/0.0, /*drift=*/0.5, /*threshold=*/8.0);
+  num::Rng rng(1);
+  // In-control stream: no alarm expected.
+  bool alarm = false;
+  for (int i = 0; i < 500; ++i) alarm |= c.add(rng.normal(0.0, 0.5));
+  EXPECT_FALSE(alarm);
+  // Mean shifts to +1.5: alarm within a couple dozen observations.
+  const auto before = c.alarms();
+  int steps = 0;
+  while (!c.add(rng.normal(1.5, 0.5))) {
+    ASSERT_LT(++steps, 100);
+  }
+  EXPECT_EQ(c.alarms(), before + 1);
+}
+
+TEST(Cusum, DetectsDownwardShiftToo) {
+  Cusum c(5.0, 0.25, 4.0);
+  num::Rng rng(2);
+  int steps = 0;
+  while (!c.add(rng.normal(3.0, 0.5))) ASSERT_LT(++steps, 100);
+  EXPECT_GT(c.negative_sum() + c.positive_sum(), -1.0);  // reset happened
+}
+
+TEST(Cusum, RebaseSuppressesAlarms) {
+  Cusum c(0.0, 0.25, 4.0);
+  num::Rng rng(3);
+  for (int i = 0; i < 30; ++i) c.add(rng.normal(2.0, 0.3));
+  c.rebase(2.0);
+  bool alarm = false;
+  for (int i = 0; i < 300; ++i) alarm |= c.add(rng.normal(2.0, 0.3));
+  EXPECT_FALSE(alarm);
+}
+
+TEST(Cusum, ParameterValidation) {
+  EXPECT_THROW(Cusum(0.0, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Cusum(0.0, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(PageHinkley, DetectsIncreaseWithoutKnownBaseline) {
+  PageHinkley ph(0.05, 3.0);
+  num::Rng rng(4);
+  bool alarm = false;
+  for (int i = 0; i < 500; ++i) alarm |= ph.add(rng.normal(1.0, 0.2));
+  EXPECT_FALSE(alarm);
+  int steps = 0;
+  while (!ph.add(rng.normal(2.0, 0.2))) ASSERT_LT(++steps, 200);
+  EXPECT_EQ(ph.alarms(), 1u);
+}
+
+TEST(PageHinkley, ParameterValidation) {
+  EXPECT_THROW(PageHinkley(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(PageHinkley(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(Stacking, CombinesComplementaryPredictors) {
+  // Predictor A is right on the first half of the feature space, B on the
+  // second; the stack should beat both alone.
+  num::Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const bool regime = rng.bernoulli(0.5);
+    const int y = rng.bernoulli(0.4) ? 1 : 0;
+    const double a = regime ? (y ? 0.8 : 0.2) + rng.normal(0.0, 0.1)
+                            : rng.uniform();
+    const double b = !regime ? (y ? 0.8 : 0.2) + rng.normal(0.0, 0.1)
+                             : rng.uniform();
+    scores.push_back(a);
+    scores.push_back(b);
+    labels.push_back(y);
+  }
+  StackedGeneralization stack;
+  EXPECT_FALSE(stack.fitted());
+  stack.fit(scores, 2, labels);
+  ASSERT_TRUE(stack.fitted());
+  // Both inputs carry signal: positive weights.
+  EXPECT_GT(stack.weights()[0], 0.0);
+  EXPECT_GT(stack.weights()[1], 0.0);
+
+  // Combined accuracy beats single-predictor accuracy.
+  int correct_stack = 0, correct_a = 0;
+  for (int i = 0; i < n; ++i) {
+    const double a = scores[2 * i];
+    const double combined =
+        stack.combine(std::vector<double>{a, scores[2 * i + 1]});
+    correct_stack += (combined >= 0.5) == (labels[i] == 1) ? 1 : 0;
+    correct_a += (a >= 0.5) == (labels[i] == 1) ? 1 : 0;
+  }
+  EXPECT_GT(correct_stack, correct_a);
+}
+
+TEST(Stacking, Validation) {
+  StackedGeneralization s;
+  EXPECT_THROW(s.combine(std::vector<double>{0.5}), std::logic_error);
+  const std::vector<double> scores{0.1, 0.9};
+  EXPECT_THROW(s.fit(scores, 0, std::vector<int>{1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(s.fit(scores, 2, std::vector<int>{1, 0}),
+               std::invalid_argument);  // shape: 1 row x 2 cols vs 2 labels
+  EXPECT_THROW(s.fit(scores, 1, std::vector<int>{1, 1}),
+               std::invalid_argument);  // single class
+}
+
+}  // namespace
+}  // namespace pfm::pred

@@ -1,0 +1,134 @@
+#include "monitoring/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pfm::mon {
+namespace {
+
+MonitoringDataset small_dataset() {
+  MonitoringDataset ds(SymptomSchema({"a", "b"}));
+  for (int i = 0; i <= 100; ++i) {
+    ds.add_sample({i * 10.0, {static_cast<double>(i), 1.0}});
+  }
+  ds.add_event({50.0, 201, 0, 2});
+  ds.add_event({250.0, 202, 0, 3});
+  ds.add_event({420.0, 204, 1, 4});
+  ds.add_failure(500.0);
+  ds.add_failure(900.0);
+  return ds;
+}
+
+TEST(Dataset, SchemaMismatchRejected) {
+  MonitoringDataset ds(SymptomSchema({"a", "b"}));
+  EXPECT_THROW(ds.add_sample({0.0, {1.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(ds.add_sample({0.0, {1.0, 2.0}}));
+}
+
+TEST(Dataset, MonotonicTimestampsEnforcedPerStream) {
+  MonitoringDataset ds(SymptomSchema({"a"}));
+  ds.add_sample({10.0, {1.0}});
+  EXPECT_THROW(ds.add_sample({5.0, {1.0}}), std::invalid_argument);
+  ds.add_event({10.0, 1, 0, 1});
+  EXPECT_THROW(ds.add_event({5.0, 1, 0, 1}), std::invalid_argument);
+  ds.add_failure(10.0);
+  EXPECT_THROW(ds.add_failure(5.0), std::invalid_argument);
+  // Streams are independent: an earlier event after a later sample is fine.
+  EXPECT_NO_THROW(ds.add_event({12.0, 2, 0, 1}));
+}
+
+TEST(Dataset, EndTimeSpansAllStreams) {
+  const auto ds = small_dataset();
+  EXPECT_DOUBLE_EQ(ds.end_time(), 1000.0);  // last sample at t=1000
+}
+
+TEST(Dataset, FailureWithinUsesHalfOpenInterval) {
+  const auto ds = small_dataset();
+  EXPECT_TRUE(ds.failure_within(400.0, 600.0));
+  EXPECT_TRUE(ds.failure_within(500.0, 501.0));
+  EXPECT_FALSE(ds.failure_within(400.0, 500.0));  // [400, 500) excludes 500
+  EXPECT_FALSE(ds.failure_within(501.0, 899.0));
+}
+
+TEST(Dataset, SplitPartitionsEverything) {
+  const auto ds = small_dataset();
+  const auto [before, after] = ds.split_at(500.0);
+  EXPECT_EQ(before.samples().size() + after.samples().size(),
+            ds.samples().size());
+  EXPECT_EQ(before.events().size(), 3u);  // events at 50, 250, 420
+  EXPECT_EQ(after.events().size(), 0u);
+  EXPECT_EQ(before.failures().size(), 0u);  // failure at exactly 500 -> after
+  EXPECT_EQ(after.failures().size(), 2u);
+  for (const auto& s : before.samples()) EXPECT_LT(s.time, 500.0);
+  for (const auto& s : after.samples()) EXPECT_GE(s.time, 500.0);
+}
+
+TEST(Dataset, LabeledWindowsMarkPreFailureSamples) {
+  const auto ds = small_dataset();
+  // Lead 100 s, prediction window 100 s: a sample at t is positive when a
+  // failure falls into [t+100, t+200).
+  const auto windows = ds.labeled_windows(100.0, 100.0);
+  ASSERT_FALSE(windows.empty());
+  for (const auto& w : windows) {
+    // Failure at 500 is inside [t+100, t+200) exactly when t in (300, 400].
+    const bool expect_positive =
+        (w.time > 300.0 && w.time <= 400.0) ||
+        (w.time > 700.0 && w.time <= 800.0);
+    EXPECT_EQ(w.failure_follows, expect_positive) << "at t=" << w.time;
+    EXPECT_EQ(w.features.size(), 2u);
+  }
+  // Samples whose prediction window exceeds the trace end are dropped.
+  for (const auto& w : windows) EXPECT_LE(w.time + 200.0, ds.end_time());
+}
+
+TEST(Dataset, LabeledWindowsValidatesParameters) {
+  const auto ds = small_dataset();
+  EXPECT_THROW(ds.labeled_windows(-1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ds.labeled_windows(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Dataset, FailureSequencesUseDataWindowAndLeadTime) {
+  const auto ds = small_dataset();
+  // Failure at 500: window [500-60-240, 500-60) = [200, 440).
+  const auto seqs = ds.failure_sequences(240.0, 60.0);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_TRUE(seqs[0].preceded_failure);
+  EXPECT_DOUBLE_EQ(seqs[0].end_time, 440.0);
+  ASSERT_EQ(seqs[0].events.size(), 2u);  // events at 250 and 420
+  EXPECT_EQ(seqs[0].events[0].event_id, 202);
+  EXPECT_EQ(seqs[0].events[1].event_id, 204);
+  // Second failure window [600, 840): no events.
+  EXPECT_TRUE(seqs[1].events.empty());
+}
+
+TEST(Dataset, FailureSequencesSkipTruncatedWindows) {
+  MonitoringDataset ds{SymptomSchema{}};
+  ds.add_failure(100.0);  // window would start before t=0
+  const auto seqs = ds.failure_sequences(240.0, 60.0);
+  EXPECT_TRUE(seqs.empty());
+}
+
+TEST(Dataset, NonFailureSequencesAvoidFailureNeighborhoods) {
+  const auto ds = small_dataset();
+  const auto seqs = ds.nonfailure_sequences(240.0, 60.0, 100.0, 50.0);
+  ASSERT_FALSE(seqs.empty());
+  for (const auto& seq : seqs) {
+    EXPECT_FALSE(seq.preceded_failure);
+    // No failure may fall between window start and the end of the
+    // prediction period.
+    EXPECT_FALSE(
+        ds.failure_within(seq.end_time - 240.0, seq.end_time + 60.0 + 100.0))
+        << "sequence ending at " << seq.end_time;
+  }
+}
+
+TEST(Dataset, EventsInIsHalfOpen) {
+  const auto ds = small_dataset();
+  const auto in = ds.events_in(50.0, 250.0);  // (50, 250]
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].event_id, 202);
+}
+
+}  // namespace
+}  // namespace pfm::mon

@@ -1,0 +1,91 @@
+#include "numerics/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::num {
+namespace {
+
+TEST(Exponential, BasicProperties) {
+  const Exponential e{0.5};
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  EXPECT_NEAR(e.cdf(e.mean()), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.hazard(123.0), 0.5);
+}
+
+TEST(Exponential, MleRecoversRate) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.exponential(0.25));
+  const auto fit = Exponential::mle(samples);
+  EXPECT_NEAR(fit.rate, 0.25, 0.01);
+}
+
+TEST(Exponential, MleErrors) {
+  EXPECT_THROW(Exponential::mle(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Exponential::mle(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w{1.0, 4.0};
+  const Exponential e{0.25};
+  for (double t : {0.1, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.pdf(t), e.pdf(t), 1e-12);
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(w.hazard(t), 0.25, 1e-12);
+  }
+  EXPECT_NEAR(w.mean(), 4.0, 1e-12);
+}
+
+TEST(Weibull, IncreasingHazardForAgingShape) {
+  const Weibull w{2.5, 10.0};
+  double prev = w.hazard(0.5);
+  for (double t : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    const double h = w.hazard(t);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Weibull, CdfSurvivalComplement) {
+  const Weibull w{1.7, 3.0};
+  for (double t : {0.0, 0.3, 2.0, 9.0}) {
+    EXPECT_NEAR(w.cdf(t) + w.survival(t), 1.0, 1e-12);
+  }
+}
+
+TEST(Weibull, MleRecoversParameters) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.weibull(2.0, 5.0));
+  const auto fit = Weibull::mle(samples);
+  EXPECT_NEAR(fit.shape, 2.0, 0.05);
+  EXPECT_NEAR(fit.scale, 5.0, 0.1);
+}
+
+TEST(Weibull, MleBeatsWrongShapeInLikelihood) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.weibull(3.0, 2.0));
+  const auto fit = Weibull::mle(samples);
+  const Weibull wrong{1.0, 2.0};
+  EXPECT_GT(fit.log_likelihood(samples), wrong.log_likelihood(samples));
+}
+
+TEST(Weibull, MleErrors) {
+  EXPECT_THROW(Weibull::mle(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(Weibull::mle(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::num

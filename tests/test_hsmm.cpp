@@ -1,0 +1,252 @@
+#include "prediction/hsmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::pred {
+namespace {
+
+// --- Hsmm core ---------------------------------------------------------------
+
+HsmmSequence make_seq(std::initializer_list<std::pair<std::size_t, double>> obs) {
+  HsmmSequence s;
+  for (const auto& [sym, gap] : obs) s.push_back({sym, gap});
+  return s;
+}
+
+TEST(HsmmCore, ConfigValidation) {
+  Hsmm::Config c;
+  c.num_states = 0;
+  EXPECT_THROW(Hsmm{c}, std::invalid_argument);
+  c = Hsmm::Config{};
+  c.num_symbols = 0;
+  EXPECT_THROW(Hsmm{c}, std::invalid_argument);
+}
+
+TEST(HsmmCore, TrainRejectsBadInput) {
+  Hsmm::Config c;
+  c.num_symbols = 3;
+  Hsmm m(c);
+  EXPECT_THROW(m.train({}), std::invalid_argument);
+  EXPECT_THROW(m.train({HsmmSequence{}}), std::invalid_argument);
+  // Symbol out of range.
+  EXPECT_THROW(m.train({make_seq({{7, 0.0}})}), std::invalid_argument);
+  // Negative gap.
+  EXPECT_THROW(m.train({make_seq({{0, 0.0}, {1, -2.0}})}),
+               std::invalid_argument);
+}
+
+TEST(HsmmCore, LikelihoodBeforeTrainThrows) {
+  Hsmm::Config c;
+  c.num_symbols = 2;
+  Hsmm m(c);
+  EXPECT_THROW(m.log_likelihood(make_seq({{0, 0.0}})), std::logic_error);
+}
+
+TEST(HsmmCore, EmptySequenceHasZeroLogLikelihood) {
+  Hsmm::Config c;
+  c.num_symbols = 2;
+  c.num_states = 2;
+  Hsmm m(c);
+  m.train({make_seq({{0, 0.0}, {1, 10.0}})});
+  EXPECT_DOUBLE_EQ(m.log_likelihood({}), 0.0);
+}
+
+TEST(HsmmCore, LearnsSymbolDistribution) {
+  // Sequences over symbol 0 only vs a model asked about symbol 1.
+  Hsmm::Config c;
+  c.num_symbols = 2;
+  c.num_states = 2;
+  Hsmm m(c);
+  std::vector<HsmmSequence> train;
+  for (int i = 0; i < 20; ++i) {
+    train.push_back(make_seq({{0, 0.0}, {0, 5.0}, {0, 5.0}}));
+  }
+  m.train(train);
+  const double ll_seen = m.log_likelihood(make_seq({{0, 0.0}, {0, 5.0}}));
+  const double ll_unseen = m.log_likelihood(make_seq({{1, 0.0}, {1, 5.0}}));
+  EXPECT_GT(ll_seen, ll_unseen);
+}
+
+TEST(HsmmCore, LearnsGapTiming) {
+  // Same symbols, different characteristic gaps.
+  Hsmm::Config c;
+  c.num_symbols = 1;
+  c.num_states = 2;
+  Hsmm fast_model(c), slow_model(c);
+  std::vector<HsmmSequence> fast_seqs, slow_seqs;
+  num::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    HsmmSequence f{{0, 0.0}}, s{{0, 0.0}};
+    for (int j = 0; j < 5; ++j) {
+      f.push_back({0, rng.exponential(1.0 / 5.0)});    // ~5 s gaps
+      s.push_back({0, rng.exponential(1.0 / 500.0)});  // ~500 s gaps
+    }
+    fast_seqs.push_back(std::move(f));
+    slow_seqs.push_back(std::move(s));
+  }
+  fast_model.train(fast_seqs);
+  slow_model.train(slow_seqs);
+  const auto probe_fast = make_seq({{0, 0.0}, {0, 4.0}, {0, 6.0}});
+  const auto probe_slow = make_seq({{0, 0.0}, {0, 450.0}, {0, 520.0}});
+  // The semi-Markov part: timing alone separates the models.
+  EXPECT_GT(fast_model.log_likelihood(probe_fast),
+            slow_model.log_likelihood(probe_fast));
+  EXPECT_GT(slow_model.log_likelihood(probe_slow),
+            fast_model.log_likelihood(probe_slow));
+}
+
+TEST(HsmmCore, MeanGapIsPositive) {
+  Hsmm::Config c;
+  c.num_symbols = 1;
+  c.num_states = 3;
+  Hsmm m(c);
+  m.train({make_seq({{0, 0.0}, {0, 10.0}, {0, 12.0}})});
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_GT(m.mean_gap(s), 0.0);
+}
+
+// --- HsmmPredictor --------------------------------------------------------------
+
+mon::ErrorSequence error_seq(std::initializer_list<std::pair<double, int>> ev,
+                             double end_time) {
+  mon::ErrorSequence s;
+  for (const auto& [t, id] : ev) s.events.push_back({t, id, 0, 2});
+  s.end_time = end_time;
+  return s;
+}
+
+/// Failure pattern: 201 then 202 about 100 s apart. Non-failure: random
+/// noise ids with short gaps, plus occasional isolated 201.
+struct SequenceFactory {
+  num::Rng rng{17};
+
+  mon::ErrorSequence failure(double at) {
+    const double t1 = at + rng.uniform(0.0, 50.0);
+    const double t2 = t1 + 80.0 + rng.uniform(0.0, 40.0);
+    return error_seq({{t1, 201}, {t2, 202}}, at + 600.0);
+  }
+  mon::ErrorSequence benign(double at) {
+    mon::ErrorSequence s;
+    const auto n = rng.uniform_int(0, 3);
+    double t = at;
+    for (int i = 0; i < n; ++i) {
+      t += rng.exponential(1.0 / 30.0);
+      const int id = rng.bernoulli(0.15) ? 201 : 400 + static_cast<int>(rng.uniform_int(0, 5));
+      s.events.push_back({t, id, 0, 1});
+    }
+    s.end_time = at + 600.0;
+    return s;
+  }
+};
+
+TEST(HsmmPredictor, TrainValidation) {
+  HsmmPredictorConfig cfg;
+  HsmmPredictor h(cfg);
+  SequenceFactory f;
+  std::vector<mon::ErrorSequence> fail{f.failure(0.0)};
+  EXPECT_THROW(h.train(fail, {}), std::invalid_argument);
+  EXPECT_THROW(h.train({}, fail), std::invalid_argument);
+  EXPECT_THROW(h.score(fail[0]), std::logic_error);  // not trained
+}
+
+TEST(HsmmPredictor, SeparatesPatternFromNoise) {
+  HsmmPredictorConfig cfg;
+  cfg.num_states = 4;
+  cfg.em_iterations = 15;
+  HsmmPredictor h(cfg);
+  SequenceFactory f;
+  std::vector<mon::ErrorSequence> fail, ok;
+  for (int i = 0; i < 40; ++i) {
+    fail.push_back(f.failure(i * 1000.0));
+    ok.push_back(f.benign(i * 1000.0));
+  }
+  h.train(fail, ok);
+  EXPECT_GT(h.vocabulary_size(), 2u);
+
+  // Score fresh sequences of each kind.
+  double fail_score = 0.0, ok_score = 0.0;
+  const int probes = 20;
+  for (int i = 0; i < probes; ++i) {
+    fail_score += h.score(f.failure(1e6 + i * 1000.0));
+    ok_score += h.score(f.benign(1e6 + i * 1000.0));
+  }
+  EXPECT_GT(fail_score / probes, ok_score / probes + 0.1);
+}
+
+TEST(HsmmPredictor, TimingMattersWhenDurationsModeled) {
+  // The failure signature is 201->202 ~100 s apart; a benign lookalike has
+  // the same ids back-to-back. Only the duration-aware model separates.
+  HsmmPredictorConfig cfg;
+  cfg.num_states = 4;
+  cfg.em_iterations = 20;
+  HsmmPredictor hsmm(cfg);
+  SequenceFactory f;
+  std::vector<mon::ErrorSequence> fail, ok;
+  num::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    fail.push_back(f.failure(i * 1000.0));
+    // Benign windows contain the same id pair, tightly spaced.
+    const double t1 = i * 1000.0 + rng.uniform(0.0, 50.0);
+    ok.push_back(error_seq({{t1, 201}, {t1 + 4.0, 202}}, i * 1000.0 + 600.0));
+  }
+  hsmm.train(fail, ok);
+  const auto true_pattern = f.failure(1e7);
+  const double t1 = 1e7 + 10.0;
+  const auto lookalike = error_seq({{t1, 201}, {t1 + 4.0, 202}}, 1e7 + 600.0);
+  EXPECT_GT(hsmm.score(true_pattern), hsmm.score(lookalike));
+}
+
+TEST(HsmmPredictor, EmptyWindowScoresLowWhenFailuresHaveEvents) {
+  HsmmPredictorConfig cfg;
+  cfg.num_states = 3;
+  cfg.em_iterations = 10;
+  HsmmPredictor h(cfg);
+  SequenceFactory f;
+  std::vector<mon::ErrorSequence> fail, ok;
+  for (int i = 0; i < 30; ++i) {
+    fail.push_back(f.failure(i * 1000.0));
+    mon::ErrorSequence empty;
+    empty.end_time = i * 1000.0 + 600.0;
+    ok.push_back(empty);
+  }
+  h.train(fail, ok);
+  mon::ErrorSequence probe_empty;
+  probe_empty.end_time = 1e6;
+  EXPECT_LT(h.score(probe_empty), h.score(f.failure(1e6)));
+}
+
+TEST(HsmmPredictor, HmmAblationNameAndOperation) {
+  HsmmPredictorConfig cfg;
+  cfg.model_durations = false;
+  HsmmPredictor hmm(cfg);
+  EXPECT_EQ(hmm.name(), "HMM");
+  HsmmPredictorConfig cfg2;
+  HsmmPredictor hsmm(cfg2);
+  EXPECT_EQ(hsmm.name(), "HSMM");
+}
+
+TEST(HsmmPredictor, UnknownEventIdsHandledAtScoreTime) {
+  HsmmPredictorConfig cfg;
+  cfg.num_states = 3;
+  cfg.em_iterations = 10;
+  HsmmPredictor h(cfg);
+  SequenceFactory f;
+  std::vector<mon::ErrorSequence> fail, ok;
+  for (int i = 0; i < 20; ++i) {
+    fail.push_back(f.failure(i * 1000.0));
+    ok.push_back(f.benign(i * 1000.0));
+  }
+  h.train(fail, ok);
+  // Ids never seen during training must not crash scoring.
+  const auto unseen = error_seq({{10.0, 9999}, {20.0, 8888}}, 600.0);
+  const double s = h.score(unseen);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+}  // namespace
+}  // namespace pfm::pred

@@ -1,0 +1,71 @@
+#include "numerics/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pfm::num {
+namespace {
+
+TEST(KMeans, SeparatesTwoObviousClusters) {
+  Rng rng(8);
+  std::vector<double> data;
+  // Cluster A around (0,0), cluster B around (10,10).
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(rng.normal(0.0, 0.3));
+    data.push_back(rng.normal(0.0, 0.3));
+  }
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(rng.normal(10.0, 0.3));
+    data.push_back(rng.normal(10.0, 0.3));
+  }
+  const auto res = kmeans(data, 2, 2, rng);
+  ASSERT_EQ(res.k, 2u);
+  // One center near (0,0), the other near (10,10).
+  const auto c0 = res.center(0);
+  const auto c1 = res.center(1);
+  const bool c0_low = std::abs(c0[0]) < 1.0;
+  const auto& low = c0_low ? c0 : c1;
+  const auto& high = c0_low ? c1 : c0;
+  EXPECT_NEAR(low[0], 0.0, 0.5);
+  EXPECT_NEAR(high[0], 10.0, 0.5);
+  // All points in the same half share an assignment.
+  for (int i = 1; i < 50; ++i) {
+    EXPECT_EQ(res.assignment[0], res.assignment[i]);
+  }
+  for (int i = 51; i < 100; ++i) {
+    EXPECT_EQ(res.assignment[50], res.assignment[i]);
+  }
+  EXPECT_NE(res.assignment[0], res.assignment[50]);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(15);
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) data.push_back(rng.uniform(0.0, 100.0));
+  Rng r1(1), r2(1);
+  const auto k2 = kmeans(data, 1, 2, r1);
+  const auto k8 = kmeans(data, 1, 8, r2);
+  EXPECT_LT(k8.inertia, k2.inertia);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Rng rng(4);
+  const std::vector<double> data{1.0, 5.0, 9.0};
+  const auto res = kmeans(data, 1, 3, rng);
+  EXPECT_NEAR(res.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, Errors) {
+  Rng rng(1);
+  const std::vector<double> data{1.0, 2.0, 3.0};
+  EXPECT_THROW(kmeans(data, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, 2, 1, rng), std::invalid_argument);  // ragged
+  EXPECT_THROW(kmeans(data, 1, 5, rng), std::invalid_argument);  // k > n
+}
+
+}  // namespace
+}  // namespace pfm::num

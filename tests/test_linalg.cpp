@@ -1,0 +1,139 @@
+#include "numerics/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::num {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> b{3.0, 5.0};
+  const auto x = solve(a, b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RequiresSquare) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuDecomposition{a}, std::runtime_error);
+}
+
+TEST(Lu, SizeMismatchThrows) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  LuDecomposition lu(a);
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(lu.solve(b), std::invalid_argument);
+}
+
+TEST(Lu, Determinant) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantWithPivoting) {
+  // Leading zero forces a row swap; determinant sign must account for it.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  const Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE((a * inv).approx_equal(Matrix::identity(2), 1e-12));
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  Rng rng(42);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+      a(i, i) += static_cast<double>(n);  // diagonally dominant => regular
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    const auto b = a.apply(x_true);
+    const auto x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LeastSquares, RecoversExactSolution) {
+  // Overdetermined but consistent: y = 2x + 1.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * i + 1.0;
+  }
+  const auto x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, RidgeHandlesCollinearColumns) {
+  // Identical columns are rank-deficient; damping keeps the solve alive.
+  Matrix a(3, 2);
+  std::vector<double> b{1.0, 2.0, 3.0};
+  for (int i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  const auto x = least_squares(a, b, 1e-8);
+  // Symmetric problem: both weights equal, summing to ~the OLS coefficient.
+  EXPECT_NEAR(x[0], x[1], 1e-6);
+}
+
+TEST(LeastSquares, SizeMismatchThrows) {
+  Matrix a(3, 2);
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(least_squares(a, b), std::invalid_argument);
+}
+
+TEST(Stationary, TwoStateChain) {
+  // Up/down chain: lambda = 0.1 (fail), mu = 0.9 (repair).
+  const Matrix q{{-0.1, 0.1}, {0.9, -0.9}};
+  const auto pi = stationary_distribution(q);
+  EXPECT_NEAR(pi[0], 0.9, 1e-12);
+  EXPECT_NEAR(pi[1], 0.1, 1e-12);
+}
+
+TEST(Stationary, SumsToOneOnRandomGenerators) {
+  Rng rng(7);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    Matrix q(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        q(i, j) = rng.uniform(0.01, 2.0);
+        row += q(i, j);
+      }
+      q(i, i) = -row;
+    }
+    const auto pi = stationary_distribution(q);
+    double total = 0.0;
+    for (double p : pi) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // pi Q must vanish.
+    const auto residual = q.apply_left(pi);
+    for (double r : residual) EXPECT_NEAR(r, 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pfm::num

@@ -1,0 +1,92 @@
+#include "numerics/logistic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::num {
+namespace {
+
+TEST(Sigmoid, SymmetricAndBounded) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(5.0) + sigmoid(-5.0), 1.0, 1e-12);
+  EXPECT_GT(sigmoid(100.0), 0.999999);
+  EXPECT_LT(sigmoid(-100.0), 1e-6);
+  // No overflow at extreme arguments.
+  EXPECT_TRUE(std::isfinite(sigmoid(1e6)));
+  EXPECT_TRUE(std::isfinite(sigmoid(-1e6)));
+}
+
+TEST(LogisticRegression, LearnsSeparableProblem) {
+  // Class 1 iff x0 > 1.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    features.push_back(x);
+    labels.push_back(x > 1.0 ? 1 : 0);
+  }
+  LogisticRegression lr;
+  lr.fit(features, 1, labels);
+  EXPECT_TRUE(lr.fitted());
+  EXPECT_GT(lr.predict_probability(std::vector<double>{4.0}), 0.9);
+  EXPECT_LT(lr.predict_probability(std::vector<double>{-2.0}), 0.1);
+}
+
+TEST(LogisticRegression, TwoFeatureWeightsPointRightWay) {
+  // Label depends positively on x0 and negatively on x1.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    features.push_back(a);
+    features.push_back(b);
+    labels.push_back(a - b + 0.3 * rng.normal() > 0.0 ? 1 : 0);
+  }
+  LogisticRegression lr;
+  lr.fit(features, 2, labels);
+  EXPECT_GT(lr.weights()[0], 0.0);
+  EXPECT_LT(lr.weights()[1], 0.0);
+}
+
+TEST(LogisticRegression, ProbabilityCalibrationOnNoisyData) {
+  // P(y=1|x) = sigmoid(2x); check predicted probability tracks it.
+  std::vector<double> features;
+  std::vector<int> labels;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-2.0, 2.0);
+    features.push_back(x);
+    labels.push_back(rng.bernoulli(sigmoid(2.0 * x)) ? 1 : 0);
+  }
+  LogisticRegression lr;
+  LogisticRegression::Options opts;
+  opts.l2 = 1e-6;
+  lr.fit(features, 1, labels, opts);
+  EXPECT_NEAR(lr.predict_probability(std::vector<double>{0.0}), 0.5, 0.05);
+  EXPECT_NEAR(lr.predict_probability(std::vector<double>{1.0}),
+              sigmoid(2.0), 0.05);
+}
+
+TEST(LogisticRegression, Errors) {
+  LogisticRegression lr;
+  EXPECT_THROW(lr.predict_probability(std::vector<double>{1.0}),
+               std::invalid_argument);
+  const std::vector<double> f{1.0, 2.0};
+  const std::vector<int> y{1};
+  EXPECT_THROW(lr.fit(f, 0, y), std::invalid_argument);
+  EXPECT_THROW(lr.fit(f, 2, std::vector<int>{}), std::invalid_argument);
+  lr.fit(f, 1, std::vector<int>{0, 1});
+  EXPECT_THROW(lr.predict_probability(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::num

@@ -1,0 +1,129 @@
+#include "numerics/matexp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::num {
+namespace {
+
+TEST(Expm, ZeroMatrixIsIdentity) {
+  const Matrix z(3, 3);
+  EXPECT_TRUE(expm(z).approx_equal(Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatrix) {
+  const double d[] = {1.0, -2.0, 0.5};
+  const Matrix m = Matrix::diagonal(d);
+  const Matrix e = expm(m);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrix) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]].
+  const Matrix n{{0.0, 1.0}, {0.0, 0.0}};
+  const Matrix e = expm(n);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+  EXPECT_NEAR(e(1, 1), 1.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp(t*[[0,-1],[1,0]]) = [[cos t, -sin t],[sin t, cos t]].
+  const double t = 1.3;
+  const Matrix a{{0.0, -t}, {t, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormTriggersScaling) {
+  // Norm far above theta_13 exercises the squaring phase.
+  const Matrix a{{-50.0, 50.0}, {30.0, -30.0}};
+  const Matrix e = expm(a);
+  // Rows of exp(tQ) for a generator sum to one.
+  EXPECT_NEAR(e(0, 0) + e(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(e(1, 0) + e(1, 1), 1.0, 1e-9);
+  // Stationary distribution of this chain is (3/8, 5/8).
+  EXPECT_NEAR(e(0, 0), 3.0 / 8.0, 1e-6);
+  EXPECT_NEAR(e(0, 1), 5.0 / 8.0, 1e-6);
+}
+
+TEST(Expm, NonSquareThrows) {
+  EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Uniformization, MatchesExpmOnGenerators) {
+  Rng rng(11);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    Matrix q(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        q(i, j) = rng.uniform(0.0, 1.5);
+        row += q(i, j);
+      }
+      q(i, i) = -row;
+    }
+    const double t = rng.uniform(0.1, 5.0);
+    std::vector<double> p0(n, 0.0);
+    p0[0] = 1.0;
+    const auto via_uniform = uniformized_transient(q, p0, t);
+    const Matrix e = expm(q * t);
+    const auto via_expm = e.apply_left(p0);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(via_uniform[i], via_expm[i], 1e-9);
+    }
+  }
+}
+
+TEST(Uniformization, PreservesProbabilityMass) {
+  const Matrix q{{-0.2, 0.2}, {1.0, -1.0}};
+  const std::vector<double> p0{0.3, 0.7};
+  for (double t : {0.0, 0.5, 10.0, 500.0}) {
+    const auto p = uniformized_transient(q, p0, t);
+    double mass = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      mass += v;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+  }
+}
+
+TEST(Uniformization, SubGeneratorLosesMassMonotonically) {
+  // Absorbing chain restricted to transient states: row sums < 0.
+  const Matrix t_sub{{-1.0, 0.5}, {0.2, -0.7}};
+  const std::vector<double> p0{1.0, 0.0};
+  double prev = 1.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto p = uniformized_transient(t_sub, p0, t);
+    const double mass = p[0] + p[1];
+    EXPECT_LT(mass, prev);
+    EXPECT_GE(mass, 0.0);
+    prev = mass;
+  }
+}
+
+TEST(Uniformization, ErrorsOnBadInput) {
+  const Matrix q{{-1.0, 1.0}, {1.0, -1.0}};
+  const std::vector<double> p0{1.0, 0.0};
+  EXPECT_THROW(uniformized_transient(q, p0, -1.0), std::invalid_argument);
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(uniformized_transient(q, wrong, 1.0), std::invalid_argument);
+  EXPECT_THROW(uniformized_transient(Matrix(2, 3), p0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::num

@@ -1,0 +1,130 @@
+#include "numerics/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pfm::num {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstruction) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListConstruction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 2), 0.0);
+
+  const double d[] = {2.0, 5.0};
+  const Matrix diag = Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, AdditionSubtractionScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  const Matrix t = a * 2.0;
+  EXPECT_DOUBLE_EQ(t(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(3, 2);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);  // 2x2 * 3x2
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ApplyRightAndLeft) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const auto z = a.apply_left(x);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix a{{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, ApproxEqual) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0 + 1e-13, 2.0}};
+  EXPECT_TRUE(a.approx_equal(b, 1e-12));
+  EXPECT_FALSE(a.approx_equal(b, 1e-14));
+  Matrix c(2, 1);
+  EXPECT_FALSE(a.approx_equal(c));
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const std::vector<double> a{3.0, 4.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(sum(a), 7.0);
+  const std::vector<double> c{1.0};
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::num

@@ -1,0 +1,48 @@
+#include "monitoring/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace pfm::mon {
+namespace {
+
+TEST(Monitor, CollectsFromSourcesInOrder) {
+  Monitor m;
+  m.add_source(std::make_shared<CallbackSource>(
+      "constant", [](double) { return 7.0; }));
+  m.add_source(std::make_shared<CallbackSource>(
+      "time", [](double now) { return now * 2.0; }));
+  const auto schema = m.schema();
+  ASSERT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.name(0), "constant");
+  EXPECT_EQ(schema.name(1), "time");
+
+  const auto s = m.collect(5.0);
+  EXPECT_DOUBLE_EQ(s.time, 5.0);
+  ASSERT_EQ(s.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.values[0], 7.0);
+  EXPECT_DOUBLE_EQ(s.values[1], 10.0);
+}
+
+TEST(Monitor, RejectsNullAndDuplicateSources) {
+  Monitor m;
+  EXPECT_THROW(m.add_source(nullptr), std::invalid_argument);
+  m.add_source(std::make_shared<CallbackSource>("x", [](double) { return 0.0; }));
+  EXPECT_THROW(
+      m.add_source(std::make_shared<CallbackSource>("x", [](double) { return 1.0; })),
+      std::invalid_argument);
+}
+
+TEST(Monitor, AdaptiveInterval) {
+  Monitor m;
+  EXPECT_DOUBLE_EQ(m.interval(), 60.0);
+  EXPECT_DOUBLE_EQ(m.next_due(100.0), 160.0);
+  m.set_interval(5.0);
+  EXPECT_DOUBLE_EQ(m.next_due(100.0), 105.0);
+  EXPECT_THROW(m.set_interval(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::mon

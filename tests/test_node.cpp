@@ -1,0 +1,190 @@
+#include "telecom/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pfm::telecom {
+namespace {
+
+SimConfig inert_config() {
+  SimConfig cfg;
+  cfg.leak_mtbf = 1e12;
+  cfg.cascade_mtbf = 1e12;
+  cfg.noise_event_rate = 1e-12;
+  cfg.lookalike_event_rate = 1e-12;
+  return cfg;
+}
+
+std::vector<mon::ErrorEvent> run_node(ServiceNode& node, double t0, double t1,
+                                      double utilization = 0.5) {
+  std::vector<mon::ErrorEvent> events;
+  for (double t = t0; t < t1; t += 1.0) {
+    node.advance(t, 1.0, utilization, events);
+  }
+  return events;
+}
+
+TEST(Node, FreshNodeIsHealthy) {
+  const SimConfig cfg = inert_config();
+  num::Rng rng(1);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  EXPECT_TRUE(node.available(0.0));
+  EXPECT_FALSE(node.leak_active());
+  EXPECT_EQ(node.cascade_stage(), 0);
+  EXPECT_NEAR(node.memory_pressure(), cfg.base_memory_fraction, 1e-9);
+  EXPECT_DOUBLE_EQ(node.degradation(0.0), 1.0);
+}
+
+TEST(Node, LeakRaisesPressureAndEmitsMemoryEvents) {
+  SimConfig cfg = inert_config();
+  cfg.leak_mtbf = 1.0;  // leak starts almost immediately
+  cfg.leak_min_rate = cfg.leak_max_rate = 0.3;
+  num::Rng rng(2);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 3.0 * 3600.0);
+  EXPECT_TRUE(node.leak_active());
+  EXPECT_GT(node.memory_pressure(), 0.7);
+  // Memory events must have appeared once pressure exceeded thresholds.
+  const bool has_mem_low = std::any_of(
+      events.begin(), events.end(),
+      [](const mon::ErrorEvent& e) { return e.event_id == event_id::kMemLow; });
+  EXPECT_TRUE(has_mem_low);
+  // And degradation grows beyond nominal under heavy pressure.
+  EXPECT_GT(node.degradation(3.0 * 3600.0), 1.0);
+}
+
+TEST(Node, LeakEventOrderingFollowsSeverityLadder) {
+  SimConfig cfg = inert_config();
+  cfg.leak_mtbf = 1.0;
+  cfg.leak_min_rate = cfg.leak_max_rate = 0.3;
+  num::Rng rng(3);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 4.0 * 3600.0);
+  double first_low = 1e18, first_slow = 1e18;
+  for (const auto& e : events) {
+    if (e.event_id == event_id::kMemLow) first_low = std::min(first_low, e.time);
+    if (e.event_id == event_id::kAllocSlow) {
+      first_slow = std::min(first_slow, e.time);
+    }
+  }
+  ASSERT_LT(first_low, 1e18);
+  ASSERT_LT(first_slow, 1e18);
+  EXPECT_LT(first_low, first_slow);  // kMemLow threshold is lower
+}
+
+TEST(Node, CascadeProgressesThroughStagesInOrder) {
+  SimConfig cfg = inert_config();
+  cfg.cascade_mtbf = 1.0;
+  cfg.cascade_stage_mean = 120.0;
+  num::Rng rng(4);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 4.0 * 3600.0);
+  EXPECT_GE(node.cascade_stage(), 3);
+  double first1 = 1e18, first2 = 1e18, first3 = 1e18;
+  for (const auto& e : events) {
+    if (e.event_id == event_id::kCascadeStage1) first1 = std::min(first1, e.time);
+    if (e.event_id == event_id::kCascadeStage2) first2 = std::min(first2, e.time);
+    if (e.event_id == event_id::kCascadeStage3) first3 = std::min(first3, e.time);
+  }
+  ASSERT_LT(first1, 1e18);
+  ASSERT_LT(first2, 1e18);
+  ASSERT_LT(first3, 1e18);
+  EXPECT_LT(first1, first2);
+  EXPECT_LT(first2, first3);
+}
+
+TEST(Node, CascadeStageThreeDegradesService) {
+  SimConfig cfg = inert_config();
+  cfg.cascade_mtbf = 1.0;
+  cfg.cascade_stage_mean = 60.0;
+  num::Rng rng(5);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  std::vector<mon::ErrorEvent> events;
+  double t = 0.0;
+  while (node.cascade_stage() < 3 && t < 4.0 * 3600.0) {
+    node.advance(t, 1.0, 0.5, events);
+    t += 1.0;
+  }
+  ASSERT_EQ(node.cascade_stage(), 3);
+  // Let stage 3 progress; degradation must climb well above nominal.
+  for (int i = 0; i < 600; ++i) {
+    node.advance(t, 1.0, 0.5, events);
+    t += 1.0;
+  }
+  EXPECT_GT(node.degradation(t), 2.0);
+}
+
+TEST(Node, OverloadEmitsQueueEvents) {
+  const SimConfig cfg = inert_config();
+  num::Rng rng(6);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 3600.0, 0.95);
+  const bool has_queue_high = std::any_of(
+      events.begin(), events.end(), [](const mon::ErrorEvent& e) {
+        return e.event_id == event_id::kQueueHigh;
+      });
+  const bool has_timeout = std::any_of(
+      events.begin(), events.end(), [](const mon::ErrorEvent& e) {
+        return e.event_id == event_id::kTimeout;
+      });
+  EXPECT_TRUE(has_queue_high);
+  EXPECT_TRUE(has_timeout);
+}
+
+TEST(Node, NoOverloadEventsAtNominalLoad) {
+  const SimConfig cfg = inert_config();
+  num::Rng rng(7);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 3600.0, 0.5);
+  for (const auto& e : events) {
+    EXPECT_NE(e.event_id, event_id::kQueueHigh);
+    EXPECT_NE(e.event_id, event_id::kTimeout);
+  }
+}
+
+TEST(Node, PreventiveRestartClearsFaultsAndTakesNodeDown) {
+  SimConfig cfg = inert_config();
+  cfg.leak_mtbf = 1.0;
+  cfg.leak_min_rate = cfg.leak_max_rate = 0.3;
+  num::Rng rng(8);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  (void)run_node(node, 0.0, 2.0 * 3600.0);
+  ASSERT_TRUE(node.leak_active());
+  const double t = 2.0 * 3600.0;
+  node.preventive_restart(t);
+  EXPECT_FALSE(node.leak_active());
+  EXPECT_EQ(node.cascade_stage(), 0);
+  EXPECT_NEAR(node.memory_pressure(), cfg.base_memory_fraction, 1e-9);
+  EXPECT_FALSE(node.available(t));
+  EXPECT_TRUE(node.available(t + cfg.restart_duration + 1.0));
+  EXPECT_EQ(node.restart_count(), 1);
+}
+
+TEST(Node, UnavailableNodeEmitsNothing) {
+  SimConfig cfg = inert_config();
+  cfg.leak_mtbf = 1.0;
+  num::Rng rng(9);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  node.preventive_restart(10.0);
+  std::vector<mon::ErrorEvent> events;
+  node.advance(11.0, 1.0, 0.99, events);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Node, NoiseEventsStayInBenignRange) {
+  SimConfig cfg = inert_config();
+  cfg.noise_event_rate = 1.0;  // dense noise
+  num::Rng rng(10);
+  ServiceNode node(cfg, 0, 0.0, rng);
+  const auto events = run_node(node, 0.0, 600.0);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_GE(e.event_id, event_id::kNoiseBase);
+    EXPECT_LT(e.event_id, event_id::kNoiseBase + event_id::kNoiseCount);
+  }
+}
+
+}  // namespace
+}  // namespace pfm::telecom

@@ -1,0 +1,71 @@
+#include "numerics/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pfm::num {
+namespace {
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  auto f = [](std::span<const double> x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const std::vector<double> x0{0.0, 0.0};
+  const auto res = nelder_mead(f, x0);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(res.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(res.value, 0.0, 1e-6);
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  auto f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const std::vector<double> x0{-1.2, 1.0};
+  NelderMeadOptions opts;
+  opts.max_evaluations = 20000;
+  opts.f_tolerance = 1e-14;
+  const auto res = nelder_mead(f, x0, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, OneDimensional) {
+  auto f = [](std::span<const double> x) { return std::cos(x[0]); };
+  const std::vector<double> x0{3.0};  // near pi
+  const auto res = nelder_mead(f, x0);
+  EXPECT_NEAR(res.x[0], M_PI, 1e-3);
+  EXPECT_NEAR(res.value, -1.0, 1e-6);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  auto f = [](std::span<const double> x) { return x[0] * x[0]; };
+  const std::vector<double> x0{100.0};
+  NelderMeadOptions opts;
+  opts.max_evaluations = 10;
+  const auto res = nelder_mead(f, x0, opts);
+  EXPECT_LE(res.evaluations, 12u);  // budget + final shrink slack
+}
+
+TEST(NelderMead, EmptyStartThrows) {
+  auto f = [](std::span<const double>) { return 0.0; };
+  EXPECT_THROW(nelder_mead(f, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(NelderMead, NeverReturnsWorseThanStart) {
+  auto f = [](std::span<const double> x) {
+    return std::abs(x[0]) + std::abs(x[1]) + std::abs(x[2]);
+  };
+  const std::vector<double> x0{5.0, -3.0, 2.0};
+  const auto res = nelder_mead(f, x0);
+  EXPECT_LE(res.value, f(x0));
+}
+
+}  // namespace
+}  // namespace pfm::num

@@ -1,0 +1,208 @@
+#include "ctmc/pfm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+
+namespace pfm::ctmc {
+namespace {
+
+TEST(PredictionQuality, FMeasure) {
+  PredictionQuality q{0.70, 0.62, 0.016};
+  EXPECT_NEAR(q.f_measure(), 2.0 * 0.7 * 0.62 / (0.7 + 0.62), 1e-12);
+  PredictionQuality zero{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(zero.f_measure(), 0.0);
+}
+
+TEST(PredictionQuality, Validation) {
+  EXPECT_NO_THROW((PredictionQuality{0.5, 0.5, 0.1}).validate());
+  EXPECT_THROW((PredictionQuality{0.0, 0.5, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((PredictionQuality{0.5, 1.5, 0.1}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((PredictionQuality{0.5, 0.5, 1.0}).validate(),
+               std::invalid_argument);
+}
+
+TEST(PfmModelParams, DefaultsAndTable2Validate) {
+  EXPECT_NO_THROW(PfmModelParams{}.validate());
+  EXPECT_NO_THROW(PfmModelParams::table2_example().validate());
+  PfmModelParams bad = PfmModelParams::table2_example();
+  bad.mttf = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = PfmModelParams::table2_example();
+  bad.p_fp = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(PfmRates, DerivationConsistency) {
+  const auto params = PfmModelParams::table2_example();
+  const auto r = PfmRates::derive(params);
+  const double lambda = 1.0 / params.mttf;
+  // Failure-prone situations split into caught and missed.
+  EXPECT_NEAR(r.r_tp + r.r_fn, lambda, 1e-15);
+  // Rates reproduce the input quality metrics.
+  EXPECT_NEAR(r.r_tp / (r.r_tp + r.r_fp), params.quality.precision, 1e-12);
+  EXPECT_NEAR(r.r_tp / (r.r_tp + r.r_fn), params.quality.recall, 1e-12);
+  EXPECT_NEAR(r.r_fp / (r.r_fp + r.r_tn),
+              params.quality.false_positive_rate, 1e-12);
+  EXPECT_NEAR(r.r_r / r.r_f, params.repair_improvement, 1e-12);
+}
+
+TEST(PfmRates, PerfectPredictorEdgeCase) {
+  PfmModelParams p = PfmModelParams::table2_example();
+  p.quality = PredictionQuality{1.0, 1.0, 0.0};
+  const auto r = PfmRates::derive(p);
+  EXPECT_DOUBLE_EQ(r.r_fp, 0.0);
+  EXPECT_DOUBLE_EQ(r.r_fn, 0.0);
+  EXPECT_GT(r.r_tn, 0.0);
+}
+
+TEST(PfmRates, InconsistentFprThrows) {
+  PfmModelParams p = PfmModelParams::table2_example();
+  p.quality.false_positive_rate = 0.0;  // but precision < 1 => r_FP > 0
+  EXPECT_THROW(PfmRates::derive(p), std::invalid_argument);
+}
+
+TEST(PfmAvailabilityModel, ClosedFormMatchesNumericSteadyState) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  EXPECT_NEAR(m.availability_closed_form(), m.availability_numeric(), 1e-12);
+}
+
+TEST(PfmAvailabilityModel, ClosedFormMatchesNumericOnRandomParameters) {
+  num::Rng rng(2026);
+  for (int rep = 0; rep < 50; ++rep) {
+    PfmModelParams p;
+    p.quality.precision = rng.uniform(0.05, 1.0);
+    p.quality.recall = rng.uniform(0.0, 1.0);
+    p.quality.false_positive_rate = rng.uniform(0.001, 0.9);
+    p.mttf = rng.uniform(1000.0, 100000.0);
+    p.mttr = rng.uniform(30.0, 3600.0);
+    p.action_time = rng.uniform(1.0, 600.0);
+    p.repair_improvement = rng.uniform(0.5, 10.0);
+    p.p_tp = rng.uniform(0.0, 1.0);
+    p.p_fp = rng.uniform(0.0, 1.0);
+    p.p_tn = rng.uniform(0.0, 0.1);
+    const PfmAvailabilityModel m(p);
+    const double a_closed = m.availability_closed_form();
+    const double a_numeric = m.availability_numeric();
+    EXPECT_GE(a_closed, 0.0);
+    EXPECT_LE(a_closed, 1.0);
+    EXPECT_NEAR(a_closed, a_numeric, 1e-9);
+  }
+}
+
+TEST(PfmAvailabilityModel, Equation14RatioIsAboutHalf) {
+  // The paper's headline analytic result: unavailability roughly halved
+  // (Eq. 14: ratio ~ 0.488) for the Table 2 parameters.
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  EXPECT_NEAR(m.unavailability_ratio(), 0.488, 0.005);
+}
+
+TEST(PfmAvailabilityModel, PerfectPredictionAndAvoidanceEliminatesDowntime) {
+  PfmModelParams p = PfmModelParams::table2_example();
+  p.quality = PredictionQuality{1.0, 1.0, 0.0};
+  p.p_tp = 0.0;  // avoidance always succeeds
+  p.p_fp = 0.0;
+  p.p_tn = 0.0;
+  const PfmAvailabilityModel m(p);
+  EXPECT_NEAR(m.availability_closed_form(), 1.0, 1e-12);
+}
+
+TEST(PfmAvailabilityModel, UselessPredictorMatchesBaseline) {
+  // recall = 0 with negligible prediction overhead: no failure is caught,
+  // every failure is unprepared => availability equals the no-PFM system.
+  PfmModelParams p;
+  p.quality = PredictionQuality{1.0, 0.0, 0.5};
+  p.p_tp = 0.0;
+  p.p_fp = 0.0;
+  p.p_tn = 0.0;
+  p.action_time = 1e-7;  // instantaneous evaluation
+  const PfmAvailabilityModel m(p);
+  EXPECT_NEAR(m.availability_closed_form(), m.availability_without_pfm(),
+              1e-6);
+}
+
+TEST(PfmAvailabilityModel, BetterRecallImprovesAvailability) {
+  PfmModelParams lo = PfmModelParams::table2_example();
+  PfmModelParams hi = lo;
+  lo.quality.recall = 0.3;
+  hi.quality.recall = 0.9;
+  EXPECT_GT(PfmAvailabilityModel(hi).availability_closed_form(),
+            PfmAvailabilityModel(lo).availability_closed_form());
+}
+
+TEST(PfmAvailabilityModel, LargerKImprovesAvailability) {
+  PfmModelParams lo = PfmModelParams::table2_example();
+  PfmModelParams hi = lo;
+  lo.repair_improvement = 1.0;
+  hi.repair_improvement = 4.0;
+  EXPECT_GT(PfmAvailabilityModel(hi).availability_closed_form(),
+            PfmAvailabilityModel(lo).availability_closed_form());
+}
+
+TEST(PfmAvailabilityModel, ChainStructureMatchesFig9) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  const auto c = m.chain();
+  ASSERT_EQ(c.num_states(), 7u);
+  const auto& q = c.generator();
+  const auto& r = m.rates();
+  const auto s = [](PfmState st) { return static_cast<std::size_t>(st); };
+  // Predictions leave the up state.
+  EXPECT_DOUBLE_EQ(q(s(PfmState::kUp), s(PfmState::kTruePositive)), r.r_tp);
+  EXPECT_DOUBLE_EQ(q(s(PfmState::kUp), s(PfmState::kFalseNegative)), r.r_fn);
+  // FN goes to the unprepared down state only.
+  EXPECT_DOUBLE_EQ(q(s(PfmState::kFalseNegative), s(PfmState::kUp)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      q(s(PfmState::kFalseNegative), s(PfmState::kUnpreparedDown)), r.r_a);
+  // TP reaches the prepared down state, never the unprepared one.
+  EXPECT_GT(q(s(PfmState::kTruePositive), s(PfmState::kPreparedDown)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      q(s(PfmState::kTruePositive), s(PfmState::kUnpreparedDown)), 0.0);
+  // Repair rates.
+  EXPECT_DOUBLE_EQ(q(s(PfmState::kPreparedDown), s(PfmState::kUp)), r.r_r);
+  EXPECT_DOUBLE_EQ(q(s(PfmState::kUnpreparedDown), s(PfmState::kUp)), r.r_f);
+}
+
+TEST(PfmAvailabilityModel, ReliabilityModelBeatsBaseline) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  const auto ph = m.reliability_model();
+  // PFM reliability dominates the no-PFM exponential at sampled times
+  // (Fig. 10(a)).
+  for (double t : {1000.0, 5000.0, 20000.0, 50000.0}) {
+    EXPECT_GT(ph.reliability(t), m.baseline_reliability(t));
+  }
+}
+
+TEST(PfmAvailabilityModel, HazardBelowBaselineAndStartsAtZero) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  const auto ph = m.reliability_model();
+  // Fig. 10(b): h(0) = 0 (a failure needs at least one intermediate state),
+  // then rises toward an asymptote below the constant baseline hazard.
+  EXPECT_NEAR(ph.hazard(0.0), 0.0, 1e-12);
+  EXPECT_LT(ph.hazard(500.0), m.baseline_hazard());
+  EXPECT_LT(ph.hazard(1000.0), m.baseline_hazard());
+  EXPECT_GT(ph.hazard(1000.0), ph.hazard(10.0));
+}
+
+TEST(PfmAvailabilityModel, MeanTimeToFailureImproves) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  const auto ph = m.reliability_model();
+  EXPECT_GT(ph.mean(), m.params().mttf);
+}
+
+TEST(PfmAvailabilityModel, SteadyStateAgreesWithSimulation) {
+  const PfmAvailabilityModel m(PfmModelParams::table2_example());
+  const auto chain = m.chain();
+  num::Rng rng(7);
+  const auto occ = chain.simulate_occupancy(0, 5e7, rng);
+  double sim_avail = 0.0;
+  for (std::size_t i = 0; i <= 4; ++i) sim_avail += occ[i];
+  EXPECT_NEAR(sim_avail, m.availability_closed_form(), 2e-3);
+}
+
+}  // namespace
+}  // namespace pfm::ctmc

@@ -1,0 +1,108 @@
+#include "ctmc/phase_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::ctmc {
+namespace {
+
+TEST(PhaseType, SinglePhaseIsExponential) {
+  // One transient state with exit rate 0.5: first passage ~ Exp(0.5).
+  PhaseType ph(num::Matrix{{-0.5}}, {1.0});
+  for (double t : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(ph.cdf(t), 1.0 - std::exp(-0.5 * t), 1e-10);
+    EXPECT_NEAR(ph.pdf(t), 0.5 * std::exp(-0.5 * t), 1e-10);
+    EXPECT_NEAR(ph.hazard(t), 0.5, 1e-10);
+  }
+  EXPECT_NEAR(ph.mean(), 2.0, 1e-12);
+}
+
+TEST(PhaseType, ErlangTwoStages) {
+  // Two sequential Exp(1) stages: Erlang(2,1).
+  PhaseType ph(num::Matrix{{-1.0, 1.0}, {0.0, -1.0}}, {1.0, 0.0});
+  for (double t : {0.5, 1.0, 2.0, 4.0}) {
+    const double cdf = 1.0 - std::exp(-t) * (1.0 + t);
+    const double pdf = t * std::exp(-t);
+    EXPECT_NEAR(ph.cdf(t), cdf, 1e-10);
+    EXPECT_NEAR(ph.pdf(t), pdf, 1e-10);
+  }
+  EXPECT_NEAR(ph.mean(), 2.0, 1e-12);
+  // Erlang hazard starts at zero and increases toward 1.
+  EXPECT_NEAR(ph.hazard(0.0), 0.0, 1e-12);
+  EXPECT_LT(ph.hazard(0.5), ph.hazard(2.0));
+  // Erlang(2,1) hazard is t/(1+t).
+  EXPECT_NEAR(ph.hazard(100.0), 100.0 / 101.0, 1e-6);
+}
+
+TEST(PhaseType, HyperexponentialMixture) {
+  // Start in fast (rate 2) or slow (rate 0.1) phase with prob 1/2 each.
+  PhaseType ph(num::Matrix{{-2.0, 0.0}, {0.0, -0.1}}, {0.5, 0.5});
+  for (double t : {0.3, 1.0, 5.0}) {
+    const double sf = 0.5 * std::exp(-2.0 * t) + 0.5 * std::exp(-0.1 * t);
+    EXPECT_NEAR(ph.reliability(t), sf, 1e-10);
+  }
+  EXPECT_NEAR(ph.mean(), 0.5 / 2.0 + 0.5 / 0.1, 1e-10);
+  // Hyperexponential hazard decreases (population heterogeneity).
+  EXPECT_GT(ph.hazard(0.1), ph.hazard(10.0));
+}
+
+TEST(PhaseType, CdfMonotonicAndBounded) {
+  PhaseType ph(num::Matrix{{-1.0, 0.6}, {0.3, -0.8}}, {0.7, 0.3});
+  double prev = 0.0;
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    const double f = ph.cdf(t);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_NEAR(ph.cdf(1000.0), 1.0, 1e-9);
+}
+
+TEST(PhaseType, PdfIntegratesToCdf) {
+  PhaseType ph(num::Matrix{{-1.5, 1.0}, {0.2, -0.9}}, {1.0, 0.0});
+  // Trapezoid integral of pdf over [0, T] ~ cdf(T).
+  const double T = 8.0;
+  const int n = 4000;
+  double integral = 0.0;
+  double prev = ph.pdf(0.0);
+  for (int i = 1; i <= n; ++i) {
+    const double t = T * i / n;
+    const double cur = ph.pdf(t);
+    integral += 0.5 * (prev + cur) * (T / n);
+    prev = cur;
+  }
+  EXPECT_NEAR(integral, ph.cdf(T), 1e-5);
+}
+
+TEST(PhaseType, CurvesMatchPointEvaluations) {
+  PhaseType ph(num::Matrix{{-1.0, 0.5}, {0.0, -0.5}}, {1.0, 0.0});
+  const auto rel = ph.reliability_curve(0.5, 10);
+  const auto haz = ph.hazard_curve(0.5, 10);
+  ASSERT_EQ(rel.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double t = 0.5 * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(rel[i], ph.reliability(t));
+    EXPECT_DOUBLE_EQ(haz[i], ph.hazard(t));
+  }
+}
+
+TEST(PhaseType, ValidatesInput) {
+  EXPECT_THROW(PhaseType(num::Matrix(2, 3), {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PhaseType(num::Matrix{{-1.0}}, {1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PhaseType(num::Matrix{{-1.0}}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(PhaseType(num::Matrix{{-1.0}}, {-1.0}), std::invalid_argument);
+  // Row sums positive => not a sub-generator.
+  EXPECT_THROW(PhaseType(num::Matrix{{-1.0, 2.0}, {0.0, -1.0}}, {1.0, 0.0}),
+               std::invalid_argument);
+  // No exit at all: absorbing state unreachable.
+  EXPECT_THROW(PhaseType(num::Matrix{{-1.0, 1.0}, {1.0, -1.0}}, {1.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::ctmc

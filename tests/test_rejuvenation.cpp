@@ -1,0 +1,117 @@
+#include "actions/rejuvenation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::act {
+namespace {
+
+TEST(Rejuvenation, Validation) {
+  RejuvenationModel m;
+  EXPECT_NO_THROW(m.validate());
+  m.restart_downtime = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = RejuvenationModel{};
+  m.restart_downtime = m.failure_downtime;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = RejuvenationModel{};
+  m.lifetime.shape = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Rejuvenation, NeverRejuvenateMatchesRenewalFormula) {
+  RejuvenationModel m;
+  const double expected =
+      m.failure_downtime / (m.lifetime.mean() + m.failure_downtime);
+  EXPECT_NEAR(m.downtime_fraction_never(), expected, 1e-12);
+  EXPECT_NEAR(m.downtime_fraction(0.0), expected, 1e-12);
+  EXPECT_NEAR(m.downtime_fraction(
+                  std::numeric_limits<double>::infinity()),
+              expected, 1e-12);
+}
+
+TEST(Rejuvenation, AgingSystemHasFiniteOptimalInterval) {
+  // The classic result: increasing hazard (shape > 1) makes a finite
+  // rejuvenation schedule optimal.
+  RejuvenationModel m;
+  m.lifetime = num::Weibull{3.0, 50000.0};
+  m.restart_downtime = 60.0;
+  m.failure_downtime = 1200.0;
+  const double t_opt = m.optimal_interval();
+  ASSERT_TRUE(std::isfinite(t_opt));
+  EXPECT_GT(t_opt, 0.0);
+  EXPECT_LT(m.downtime_fraction(t_opt), m.downtime_fraction_never());
+  EXPECT_LT(m.optimal_improvement(), 1.0);
+  // Local optimality: nearby intervals are not better.
+  EXPECT_LE(m.downtime_fraction(t_opt),
+            m.downtime_fraction(t_opt * 0.5) + 1e-12);
+  EXPECT_LE(m.downtime_fraction(t_opt),
+            m.downtime_fraction(t_opt * 2.0) + 1e-12);
+}
+
+TEST(Rejuvenation, MemorylessSystemNeverBenefits) {
+  // Exponential lifetime (shape 1): restarting cannot help — the classic
+  // negative result for rejuvenation without aging.
+  RejuvenationModel m;
+  m.lifetime = num::Weibull{1.0, 50000.0};
+  EXPECT_TRUE(std::isinf(m.optimal_interval()));
+  EXPECT_NEAR(m.optimal_improvement(), 1.0, 1e-9);
+  // Any finite interval is at least as bad as never rejuvenating.
+  for (double T : {1000.0, 10000.0, 50000.0}) {
+    EXPECT_GE(m.downtime_fraction(T), m.downtime_fraction_never() - 1e-9);
+  }
+}
+
+TEST(Rejuvenation, InfantMortalityNeverBenefits) {
+  RejuvenationModel m;
+  m.lifetime = num::Weibull{0.7, 50000.0};
+  EXPECT_TRUE(std::isinf(m.optimal_interval()));
+}
+
+TEST(Rejuvenation, StrongerAgingBenefitsMoreFromRejuvenation) {
+  // The sharper the wear-out (more deterministic lifetime), the more of
+  // the failure downtime a schedule can convert into cheap restarts.
+  RejuvenationModel mild, strong;
+  mild.lifetime = num::Weibull{2.0, 50000.0};
+  strong.lifetime = num::Weibull{5.0, 50000.0};
+  ASSERT_TRUE(std::isfinite(mild.optimal_interval()));
+  ASSERT_TRUE(std::isfinite(strong.optimal_interval()));
+  EXPECT_LT(strong.optimal_improvement(), mild.optimal_improvement());
+}
+
+TEST(Rejuvenation, OptimalIntervalPrecedesWearOut) {
+  // For an aging system the optimal restart happens before the mean
+  // lifetime — waiting past it forfeits the benefit.
+  RejuvenationModel m;
+  m.lifetime = num::Weibull{4.0, 50000.0};
+  const double t_opt = m.optimal_interval();
+  ASSERT_TRUE(std::isfinite(t_opt));
+  EXPECT_LT(t_opt, m.lifetime.mean());
+}
+
+TEST(Rejuvenation, CheaperRestartsMeanMoreFrequentRejuvenation) {
+  RejuvenationModel cheap, expensive;
+  cheap.lifetime = expensive.lifetime = num::Weibull{3.0, 50000.0};
+  cheap.restart_downtime = 10.0;
+  expensive.restart_downtime = 300.0;
+  const double t_cheap = cheap.optimal_interval();
+  const double t_expensive = expensive.optimal_interval();
+  ASSERT_TRUE(std::isfinite(t_cheap));
+  ASSERT_TRUE(std::isfinite(t_expensive));
+  EXPECT_LT(t_cheap, t_expensive);
+}
+
+TEST(Rejuvenation, DowntimeFractionIsAFraction) {
+  RejuvenationModel m;
+  m.lifetime = num::Weibull{2.5, 30000.0};
+  for (double T : {100.0, 1000.0, 10000.0, 100000.0}) {
+    const double f = m.downtime_fraction(T);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pfm::act

@@ -1,0 +1,108 @@
+#include "numerics/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "numerics/stats.hpp"
+
+namespace pfm::num {
+namespace {
+
+TEST(Rng, Reproducible) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(5);
+  std::vector<int> seen(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(0, 2);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 2);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int c : seen) EXPECT_GT(c, 800);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 3.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.exponential(2.0));
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.categorical(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverPicked) {
+  Rng rng(2);
+  const std::vector<double> w{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(55);
+  auto p = rng.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(77);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / double(n), 0.2, 0.01);
+}
+
+}  // namespace
+}  // namespace pfm::num

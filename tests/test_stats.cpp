@@ -1,0 +1,133 @@
+#include "numerics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pfm::num {
+namespace {
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(v));
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  const std::vector<double> a{1.0, 5.0, 2.0};
+  const std::vector<double> b{7.0, -3.0, 4.0, 9.0};
+  RunningStats ra, rb, rall;
+  for (double x : a) {
+    ra.add(x);
+    rall.add(x);
+  }
+  for (double x : b) {
+    rb.add(x);
+    rall.add(x);
+  }
+  ra.merge(rb);
+  EXPECT_EQ(ra.count(), rall.count());
+  EXPECT_NEAR(ra.mean(), rall.mean(), 1e-12);
+  EXPECT_NEAR(ra.variance(), rall.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(ra.min(), rall.min());
+  EXPECT_DOUBLE_EQ(ra.max(), rall.max());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, MeanVarianceOfKnownData) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Quantile, InterpolatesCorrectly) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // sorted: 1,2,3,4
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.5), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectAndAnti) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  const std::vector<double> c{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(FitLine, RecoversLinearRelation) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 * xi - 1.0);
+  const auto f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, ConstantXGivesZeroSlope) {
+  const std::vector<double> x{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const auto f = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(FitLine, ErrorsOnBadInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), std::invalid_argument);
+  const std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(fit_line(x, one), std::invalid_argument);
+}
+
+TEST(FeatureScaler, ScalesToUnitRangeAndHandlesConstants) {
+  // Two columns: [0..10] and constant 7.
+  std::vector<double> data;
+  for (int i = 0; i <= 10; ++i) {
+    data.push_back(static_cast<double>(i));
+    data.push_back(7.0);
+  }
+  FeatureScaler sc;
+  sc.fit(data, 2);
+  std::vector<double> row{5.0, 7.0};
+  sc.transform(row);
+  EXPECT_NEAR(row[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(row[1], 0.5);  // constant column maps to midpoint
+
+  std::vector<double> bad{1.0};
+  EXPECT_THROW(sc.transform(bad), std::invalid_argument);
+}
+
+TEST(FeatureScaler, UnfittedThrows) {
+  FeatureScaler sc;
+  std::vector<double> row{1.0};
+  EXPECT_THROW(sc.transform(row), std::invalid_argument);
+  EXPECT_THROW(sc.fit(std::vector<double>{1.0, 2.0, 3.0}, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfm::num

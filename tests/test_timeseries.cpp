@@ -1,0 +1,73 @@
+#include "monitoring/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pfm::mon {
+namespace {
+
+TEST(RingBuffer, DropsOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[2], 5);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, IterationAndClear) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  int sum = 0;
+  for (int v : rb) sum += v;
+  EXPECT_EQ(sum, 3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(TimeSeries, PushAndAccess) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_THROW(ts.last_time(), std::out_of_range);
+  ts.push(1.0, 10.0);
+  ts.push(2.0, 20.0);
+  ts.push(2.0, 21.0);  // equal timestamps allowed
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.last_time(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.last_value(), 21.0);
+  EXPECT_THROW(ts.push(1.5, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, WindowQueriesAreHalfOpen) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.push(i, i * 1.0);
+  // (2, 5] -> values at t=3,4,5.
+  const auto w = ts.window_values(2.0, 5.0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[2], 5.0);
+  EXPECT_DOUBLE_EQ(ts.window_mean(2.0, 5.0), 4.0);
+  EXPECT_TRUE(ts.window_values(20.0, 30.0).empty());
+  EXPECT_DOUBLE_EQ(ts.window_mean(20.0, 30.0), 0.0);
+}
+
+TEST(TimeSeries, WindowSlopeDetectsTrend) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.push(i, 5.0 - 0.25 * i);
+  EXPECT_NEAR(ts.window_slope(0.0, 99.0), -0.25, 1e-12);
+  // Single point -> zero slope.
+  TimeSeries one;
+  one.push(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(one.window_slope(-1.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pfm::mon

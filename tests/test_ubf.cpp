@@ -1,0 +1,184 @@
+#include "prediction/ubf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/rng.hpp"
+#include "prediction/evaluate.hpp"
+
+namespace pfm::pred {
+namespace {
+
+/// Builds a synthetic monitoring trace where variable 0 ramps up before
+/// every failure, variable 1 is pure noise, and variable 2 is a constant.
+mon::MonitoringDataset synthetic_trace(std::uint64_t seed, double duration,
+                                       double failure_period) {
+  num::Rng rng(seed);
+  mon::MonitoringDataset ds(mon::SymptomSchema({"signal", "noise", "flat"}));
+  const double dt = 30.0;
+  double next_failure = failure_period;
+  for (double t = 0.0; t < duration; t += dt) {
+    // Signal rises linearly during the 900 s before each failure.
+    const double to_failure = next_failure - t;
+    double signal = rng.normal(1.0, 0.15);
+    if (to_failure < 900.0 && to_failure > 0.0) {
+      signal += 2.5 * (1.0 - to_failure / 900.0);
+    }
+    ds.add_sample({t, {signal, rng.normal(0.0, 1.0), 5.0}});
+    if (t >= next_failure) {
+      ds.add_failure(t);
+      next_failure += failure_period;
+    }
+  }
+  return ds;
+}
+
+UbfConfig fast_config() {
+  UbfConfig cfg;
+  cfg.windows = {600.0, 300.0, 300.0};
+  cfg.num_kernels = 4;
+  cfg.pwa_iterations = 25;
+  cfg.shape_evaluations = 120;
+  cfg.max_train_windows = 1200;
+  return cfg;
+}
+
+TEST(Ubf, ConfigValidation) {
+  UbfConfig cfg = fast_config();
+  cfg.num_kernels = 0;
+  EXPECT_THROW(UbfPredictor{cfg}, std::invalid_argument);
+  cfg = fast_config();
+  cfg.selection = VariableSelection::kExpert;  // without expert_variables
+  EXPECT_THROW(UbfPredictor{cfg}, std::invalid_argument);
+  cfg.expert_variables = {0};
+  EXPECT_NO_THROW(UbfPredictor{cfg});
+}
+
+TEST(Ubf, ScoreBeforeTrainThrows) {
+  UbfPredictor ubf(fast_config());
+  SymptomContext ctx;
+  EXPECT_THROW(ubf.score(ctx), std::logic_error);
+}
+
+TEST(Ubf, TrainRequiresBothClasses) {
+  UbfPredictor ubf(fast_config());
+  mon::MonitoringDataset empty{mon::SymptomSchema({"a"})};
+  for (int i = 0; i < 100; ++i) {
+    empty.add_sample({i * 30.0, {1.0}});
+  }
+  EXPECT_THROW(ubf.train(empty), std::invalid_argument);  // no failures
+}
+
+TEST(Ubf, LearnsSyntheticPrecursor) {
+  const auto trace = synthetic_trace(1, 6.0 * 86400.0, 5000.0);
+  const auto [train, test] = trace.split_at(4.0 * 86400.0);
+  UbfPredictor ubf(fast_config());
+  ubf.train(train);
+  EXPECT_GT(ubf.training_validation_auc(), 0.8);
+
+  EvalOptions eo;
+  eo.windows = fast_config().windows;
+  const auto report = make_report("ubf", score_on_grid(ubf, test, eo));
+  EXPECT_GT(report.auc, 0.8);
+}
+
+TEST(Ubf, SelectsTheInformativeVariable) {
+  const auto trace = synthetic_trace(2, 6.0 * 86400.0, 5000.0);
+  UbfConfig cfg = fast_config();
+  cfg.include_trend_features = false;
+  UbfPredictor ubf(cfg);
+  ubf.train(trace);
+  const auto& sel = ubf.selected_variables();
+  // Variable 0 (the precursor) must be kept.
+  EXPECT_NE(std::find(sel.begin(), sel.end(), 0u), sel.end());
+}
+
+TEST(Ubf, ExpertSelectionUsesGivenVariables) {
+  const auto trace = synthetic_trace(3, 4.0 * 86400.0, 5000.0);
+  UbfConfig cfg = fast_config();
+  cfg.selection = VariableSelection::kExpert;
+  cfg.expert_variables = {0};
+  cfg.include_trend_features = false;
+  UbfPredictor ubf(cfg);
+  ubf.train(trace);
+  ASSERT_EQ(ubf.selected_variables().size(), 1u);
+  EXPECT_EQ(ubf.selected_variables()[0], 0u);
+}
+
+TEST(Ubf, ExpertSelectionRejectsBadIndex) {
+  const auto trace = synthetic_trace(3, 2.0 * 86400.0, 5000.0);
+  UbfConfig cfg = fast_config();
+  cfg.selection = VariableSelection::kExpert;
+  cfg.expert_variables = {99};
+  UbfPredictor ubf(cfg);
+  EXPECT_THROW(ubf.train(trace), std::invalid_argument);
+}
+
+TEST(Ubf, FeatureNamesCoverLevelsAndSlopes) {
+  const auto trace = synthetic_trace(4, 4.0 * 86400.0, 5000.0);
+  UbfConfig cfg = fast_config();
+  cfg.selection = VariableSelection::kAll;
+  UbfPredictor ubf(cfg);
+  ubf.train(trace);
+  const auto names = ubf.selected_feature_names(trace.schema());
+  ASSERT_EQ(names.size(), 6u);  // 3 levels + 3 slopes
+  EXPECT_EQ(names[0], "signal");
+  EXPECT_EQ(names[3], "signal.slope");
+}
+
+TEST(Ubf, ScoreIsBoundedAndMonotoneWithSignal) {
+  const auto trace = synthetic_trace(5, 6.0 * 86400.0, 5000.0);
+  UbfConfig cfg = fast_config();
+  cfg.include_trend_features = false;
+  UbfPredictor ubf(cfg);
+  ubf.train(trace);
+
+  auto ctx_with_signal = [&](double signal) {
+    static std::vector<mon::SymptomSample> samples;
+    samples = {{1000.0, {signal, 0.0, 5.0}}};
+    SymptomContext ctx;
+    ctx.history = samples;
+    return ctx;
+  };
+  const double low = ubf.score(ctx_with_signal(1.0));
+  const double high = ubf.score(ctx_with_signal(3.4));
+  EXPECT_GE(low, 0.0);
+  EXPECT_LE(high, 1.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(Ubf, ForwardAndBackwardSelectionProduceWorkingModels) {
+  const auto trace = synthetic_trace(6, 5.0 * 86400.0, 5000.0);
+  const auto [train, test] = trace.split_at(3.5 * 86400.0);
+  for (auto sel : {VariableSelection::kForward, VariableSelection::kBackward}) {
+    UbfConfig cfg = fast_config();
+    cfg.selection = sel;
+    cfg.include_trend_features = false;
+    UbfPredictor ubf(cfg);
+    ubf.train(train);
+    EvalOptions eo;
+    eo.windows = cfg.windows;
+    const auto report = make_report("x", score_on_grid(ubf, test, eo));
+    EXPECT_GT(report.auc, 0.7) << "selection mode "
+                               << static_cast<int>(sel);
+  }
+}
+
+TEST(Ubf, PlainRbfAblationStillLearns) {
+  const auto trace = synthetic_trace(7, 5.0 * 86400.0, 5000.0);
+  const auto [train, test] = trace.split_at(3.5 * 86400.0);
+  UbfConfig cfg = fast_config();
+  cfg.mixture_kernels = false;
+  UbfPredictor rbf(cfg);
+  EXPECT_EQ(rbf.name(), "RBF");
+  rbf.train(train);
+  EvalOptions eo;
+  eo.windows = cfg.windows;
+  const auto report = make_report("rbf", score_on_grid(rbf, test, eo));
+  EXPECT_GT(report.auc, 0.7);
+}
+
+}  // namespace
+}  // namespace pfm::pred
