@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_casestudy_prediction.dir/bench_casestudy_prediction.cpp.o"
+  "CMakeFiles/bench_casestudy_prediction.dir/bench_casestudy_prediction.cpp.o.d"
+  "bench_casestudy_prediction"
+  "bench_casestudy_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casestudy_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq8_availability.dir/bench_eq8_availability.cpp.o"
+  "CMakeFiles/bench_eq8_availability.dir/bench_eq8_availability.cpp.o.d"
+  "bench_eq8_availability"
+  "bench_eq8_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq8_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

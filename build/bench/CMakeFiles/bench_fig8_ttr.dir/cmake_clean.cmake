@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ttr.dir/bench_fig8_ttr.cpp.o"
+  "CMakeFiles/bench_fig8_ttr.dir/bench_fig8_ttr.cpp.o.d"
+  "bench_fig8_ttr"
+  "bench_fig8_ttr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ttr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

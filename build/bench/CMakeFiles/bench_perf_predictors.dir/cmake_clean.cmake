@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_predictors.dir/bench_perf_predictors.cpp.o"
+  "CMakeFiles/bench_perf_predictors.dir/bench_perf_predictors.cpp.o.d"
+  "bench_perf_predictors"
+  "bench_perf_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

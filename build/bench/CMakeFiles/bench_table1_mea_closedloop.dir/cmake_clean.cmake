@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mea_closedloop.dir/bench_table1_mea_closedloop.cpp.o"
+  "CMakeFiles/bench_table1_mea_closedloop.dir/bench_table1_mea_closedloop.cpp.o.d"
+  "bench_table1_mea_closedloop"
+  "bench_table1_mea_closedloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mea_closedloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

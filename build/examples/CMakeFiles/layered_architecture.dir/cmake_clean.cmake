@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_architecture.dir/layered_architecture.cpp.o"
+  "CMakeFiles/layered_architecture.dir/layered_architecture.cpp.o.d"
+  "layered_architecture"
+  "layered_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

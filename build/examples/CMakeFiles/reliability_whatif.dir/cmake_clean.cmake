@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_whatif.dir/reliability_whatif.cpp.o"
+  "CMakeFiles/reliability_whatif.dir/reliability_whatif.cpp.o.d"
+  "reliability_whatif"
+  "reliability_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

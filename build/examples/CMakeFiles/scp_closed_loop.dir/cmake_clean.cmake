@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_closed_loop.dir/scp_closed_loop.cpp.o"
+  "CMakeFiles/scp_closed_loop.dir/scp_closed_loop.cpp.o.d"
+  "scp_closed_loop"
+  "scp_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actions/action.cpp" "src/actions/CMakeFiles/pfm_actions.dir/action.cpp.o" "gcc" "src/actions/CMakeFiles/pfm_actions.dir/action.cpp.o.d"
+  "/root/repo/src/actions/rejuvenation.cpp" "src/actions/CMakeFiles/pfm_actions.dir/rejuvenation.cpp.o" "gcc" "src/actions/CMakeFiles/pfm_actions.dir/rejuvenation.cpp.o.d"
+  "/root/repo/src/actions/selection.cpp" "src/actions/CMakeFiles/pfm_actions.dir/selection.cpp.o" "gcc" "src/actions/CMakeFiles/pfm_actions.dir/selection.cpp.o.d"
+  "/root/repo/src/actions/ttr.cpp" "src/actions/CMakeFiles/pfm_actions.dir/ttr.cpp.o" "gcc" "src/actions/CMakeFiles/pfm_actions.dir/ttr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telecom/CMakeFiles/pfm_telecom.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/pfm_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/pfm_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

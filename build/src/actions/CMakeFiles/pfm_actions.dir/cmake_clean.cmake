@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_actions.dir/action.cpp.o"
+  "CMakeFiles/pfm_actions.dir/action.cpp.o.d"
+  "CMakeFiles/pfm_actions.dir/rejuvenation.cpp.o"
+  "CMakeFiles/pfm_actions.dir/rejuvenation.cpp.o.d"
+  "CMakeFiles/pfm_actions.dir/selection.cpp.o"
+  "CMakeFiles/pfm_actions.dir/selection.cpp.o.d"
+  "CMakeFiles/pfm_actions.dir/ttr.cpp.o"
+  "CMakeFiles/pfm_actions.dir/ttr.cpp.o.d"
+  "libpfm_actions.a"
+  "libpfm_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

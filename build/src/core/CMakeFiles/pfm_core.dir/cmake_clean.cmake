@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_core.dir/architecture.cpp.o"
+  "CMakeFiles/pfm_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/pfm_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/pfm_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/pfm_core.dir/mea.cpp.o"
+  "CMakeFiles/pfm_core.dir/mea.cpp.o.d"
+  "libpfm_core.a"
+  "libpfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

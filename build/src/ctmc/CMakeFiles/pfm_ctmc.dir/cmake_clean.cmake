@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_ctmc.dir/ctmc.cpp.o"
+  "CMakeFiles/pfm_ctmc.dir/ctmc.cpp.o.d"
+  "CMakeFiles/pfm_ctmc.dir/pfm_model.cpp.o"
+  "CMakeFiles/pfm_ctmc.dir/pfm_model.cpp.o.d"
+  "CMakeFiles/pfm_ctmc.dir/phase_type.cpp.o"
+  "CMakeFiles/pfm_ctmc.dir/phase_type.cpp.o.d"
+  "libpfm_ctmc.a"
+  "libpfm_ctmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_ctmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pfm_ctmc.
+# This may be replaced when dependencies are built.

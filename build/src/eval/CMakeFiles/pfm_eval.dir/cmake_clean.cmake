@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_eval.dir/metrics.cpp.o"
+  "CMakeFiles/pfm_eval.dir/metrics.cpp.o.d"
+  "libpfm_eval.a"
+  "libpfm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitoring/dataset.cpp" "src/monitoring/CMakeFiles/pfm_monitoring.dir/dataset.cpp.o" "gcc" "src/monitoring/CMakeFiles/pfm_monitoring.dir/dataset.cpp.o.d"
+  "/root/repo/src/monitoring/io.cpp" "src/monitoring/CMakeFiles/pfm_monitoring.dir/io.cpp.o" "gcc" "src/monitoring/CMakeFiles/pfm_monitoring.dir/io.cpp.o.d"
+  "/root/repo/src/monitoring/monitor.cpp" "src/monitoring/CMakeFiles/pfm_monitoring.dir/monitor.cpp.o" "gcc" "src/monitoring/CMakeFiles/pfm_monitoring.dir/monitor.cpp.o.d"
+  "/root/repo/src/monitoring/timeseries.cpp" "src/monitoring/CMakeFiles/pfm_monitoring.dir/timeseries.cpp.o" "gcc" "src/monitoring/CMakeFiles/pfm_monitoring.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/pfm_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_monitoring.dir/dataset.cpp.o"
+  "CMakeFiles/pfm_monitoring.dir/dataset.cpp.o.d"
+  "CMakeFiles/pfm_monitoring.dir/io.cpp.o"
+  "CMakeFiles/pfm_monitoring.dir/io.cpp.o.d"
+  "CMakeFiles/pfm_monitoring.dir/monitor.cpp.o"
+  "CMakeFiles/pfm_monitoring.dir/monitor.cpp.o.d"
+  "CMakeFiles/pfm_monitoring.dir/timeseries.cpp.o"
+  "CMakeFiles/pfm_monitoring.dir/timeseries.cpp.o.d"
+  "libpfm_monitoring.a"
+  "libpfm_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/distributions.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/distributions.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/distributions.cpp.o.d"
+  "/root/repo/src/numerics/kmeans.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/kmeans.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/kmeans.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/linalg.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/linalg.cpp.o.d"
+  "/root/repo/src/numerics/logistic.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/logistic.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/logistic.cpp.o.d"
+  "/root/repo/src/numerics/matexp.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/matexp.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/matexp.cpp.o.d"
+  "/root/repo/src/numerics/matrix.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/matrix.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/matrix.cpp.o.d"
+  "/root/repo/src/numerics/optimize.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/optimize.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/optimize.cpp.o.d"
+  "/root/repo/src/numerics/rng.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/rng.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/rng.cpp.o.d"
+  "/root/repo/src/numerics/stats.cpp" "src/numerics/CMakeFiles/pfm_numerics.dir/stats.cpp.o" "gcc" "src/numerics/CMakeFiles/pfm_numerics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

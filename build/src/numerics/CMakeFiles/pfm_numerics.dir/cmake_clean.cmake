@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_numerics.dir/distributions.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/distributions.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/kmeans.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/kmeans.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/linalg.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/linalg.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/logistic.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/logistic.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/matexp.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/matexp.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/matrix.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/matrix.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/optimize.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/optimize.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/rng.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/rng.cpp.o.d"
+  "CMakeFiles/pfm_numerics.dir/stats.cpp.o"
+  "CMakeFiles/pfm_numerics.dir/stats.cpp.o.d"
+  "libpfm_numerics.a"
+  "libpfm_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

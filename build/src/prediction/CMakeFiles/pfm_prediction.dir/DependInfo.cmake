@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prediction/baselines.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/baselines.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/baselines.cpp.o.d"
+  "/root/repo/src/prediction/changepoint.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/changepoint.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/changepoint.cpp.o.d"
+  "/root/repo/src/prediction/evaluate.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/evaluate.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/evaluate.cpp.o.d"
+  "/root/repo/src/prediction/hsmm.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/hsmm.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/hsmm.cpp.o.d"
+  "/root/repo/src/prediction/meta.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/meta.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/meta.cpp.o.d"
+  "/root/repo/src/prediction/mset.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/mset.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/mset.cpp.o.d"
+  "/root/repo/src/prediction/predictor.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/predictor.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/predictor.cpp.o.d"
+  "/root/repo/src/prediction/ubf.cpp" "src/prediction/CMakeFiles/pfm_prediction.dir/ubf.cpp.o" "gcc" "src/prediction/CMakeFiles/pfm_prediction.dir/ubf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/pfm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/pfm_monitoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/pfm_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

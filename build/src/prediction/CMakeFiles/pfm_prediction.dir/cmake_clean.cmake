@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_prediction.dir/baselines.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/baselines.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/changepoint.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/changepoint.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/evaluate.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/hsmm.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/hsmm.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/meta.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/meta.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/mset.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/mset.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/predictor.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/predictor.cpp.o.d"
+  "CMakeFiles/pfm_prediction.dir/ubf.cpp.o"
+  "CMakeFiles/pfm_prediction.dir/ubf.cpp.o.d"
+  "libpfm_prediction.a"
+  "libpfm_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telecom/node.cpp" "src/telecom/CMakeFiles/pfm_telecom.dir/node.cpp.o" "gcc" "src/telecom/CMakeFiles/pfm_telecom.dir/node.cpp.o.d"
+  "/root/repo/src/telecom/simulator.cpp" "src/telecom/CMakeFiles/pfm_telecom.dir/simulator.cpp.o" "gcc" "src/telecom/CMakeFiles/pfm_telecom.dir/simulator.cpp.o.d"
+  "/root/repo/src/telecom/workload.cpp" "src/telecom/CMakeFiles/pfm_telecom.dir/workload.cpp.o" "gcc" "src/telecom/CMakeFiles/pfm_telecom.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/pfm_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitoring/CMakeFiles/pfm_monitoring.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

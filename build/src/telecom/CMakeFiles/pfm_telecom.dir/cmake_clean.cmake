@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfm_telecom.dir/node.cpp.o"
+  "CMakeFiles/pfm_telecom.dir/node.cpp.o.d"
+  "CMakeFiles/pfm_telecom.dir/simulator.cpp.o"
+  "CMakeFiles/pfm_telecom.dir/simulator.cpp.o.d"
+  "CMakeFiles/pfm_telecom.dir/workload.cpp.o"
+  "CMakeFiles/pfm_telecom.dir/workload.cpp.o.d"
+  "libpfm_telecom.a"
+  "libpfm_telecom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfm_telecom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_changepoint_meta.dir/test_changepoint_meta.cpp.o"
+  "CMakeFiles/test_changepoint_meta.dir/test_changepoint_meta.cpp.o.d"
+  "test_changepoint_meta"
+  "test_changepoint_meta.pdb"
+  "test_changepoint_meta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_changepoint_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossval_pr.dir/test_crossval_pr.cpp.o"
+  "CMakeFiles/test_crossval_pr.dir/test_crossval_pr.cpp.o.d"
+  "test_crossval_pr"
+  "test_crossval_pr.pdb"
+  "test_crossval_pr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossval_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsmm.dir/test_hsmm.cpp.o"
+  "CMakeFiles/test_hsmm.dir/test_hsmm.cpp.o.d"
+  "test_hsmm"
+  "test_hsmm.pdb"
+  "test_hsmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logistic.dir/test_logistic.cpp.o"
+  "CMakeFiles/test_logistic.dir/test_logistic.cpp.o.d"
+  "test_logistic"
+  "test_logistic.pdb"
+  "test_logistic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matexp.dir/test_matexp.cpp.o"
+  "CMakeFiles/test_matexp.dir/test_matexp.cpp.o.d"
+  "test_matexp"
+  "test_matexp.pdb"
+  "test_matexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

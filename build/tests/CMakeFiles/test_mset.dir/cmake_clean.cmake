@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mset.dir/test_mset.cpp.o"
+  "CMakeFiles/test_mset.dir/test_mset.cpp.o.d"
+  "test_mset"
+  "test_mset.pdb"
+  "test_mset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfm_model.dir/test_pfm_model.cpp.o"
+  "CMakeFiles/test_pfm_model.dir/test_pfm_model.cpp.o.d"
+  "test_pfm_model"
+  "test_pfm_model.pdb"
+  "test_pfm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

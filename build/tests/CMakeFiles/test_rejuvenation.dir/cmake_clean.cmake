@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rejuvenation.dir/test_rejuvenation.cpp.o"
+  "CMakeFiles/test_rejuvenation.dir/test_rejuvenation.cpp.o.d"
+  "test_rejuvenation"
+  "test_rejuvenation.pdb"
+  "test_rejuvenation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
