@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/mea.hpp"
+#include "runtime/scp_system.hpp"
 
 namespace {
 
@@ -51,7 +52,8 @@ void run_with_cooldown(double cooldown) {
   mc.warning_threshold = 0.70;
   mc.action_cooldown = cooldown;
   mc.enable_minimization = false;  // isolate the avoidance loop
-  core::MeaController mea(sim, mc);
+  runtime::ScpManagedSystem system(sim);
+  core::MeaController mea(system, mc);
   mea.add_symptom_predictor(std::make_shared<PressurePredictor>(idx));
   mea.add_action(std::make_unique<act::StateCleanupAction>(0.68));
   mea.run();
@@ -87,8 +89,9 @@ void BM_ControllerDay(benchmark::State& state) {
     cfg.duration = 86400.0;
     telecom::ScpSimulator sim(cfg);
     const auto idx = *sim.trace().schema().index("mem_pressure_max");
+    runtime::ScpManagedSystem system(sim);
     core::MeaConfig mc;
-    core::MeaController mea(sim, mc);
+    core::MeaController mea(system, mc);
     mea.add_symptom_predictor(std::make_shared<PressurePredictor>(idx));
     mea.add_action(std::make_unique<act::StateCleanupAction>());
     mea.run();

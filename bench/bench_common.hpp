@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <utility>
 
 #include "monitoring/dataset.hpp"
@@ -45,5 +46,40 @@ inline void print_report_header() {
   std::printf("  %-12s %6s %9s %7s %7s %7s\n", "predictor", "AUC",
               "precision", "recall", "fpr", "F");
 }
+
+/// Builds one flat JSON object and prints it as a single line, so bench
+/// output can be scraped by scripts alongside the human-readable tables.
+class JsonLine {
+ public:
+  JsonLine& field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return raw(key, buf);
+  }
+  JsonLine& field(const char* key, long long value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& field(const char* key, std::size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonLine& field(const char* key, const char* value) {
+    return raw(key, "\"" + std::string(value) + "\"");
+  }
+
+  /// Prints `{"k1":v1,...}` followed by a newline.
+  void emit() const { std::printf("{%s}\n", body_.c_str()); }
+
+ private:
+  JsonLine& raw(const char* key, const std::string& value) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  std::string body_;
+};
 
 }  // namespace pfm::bench

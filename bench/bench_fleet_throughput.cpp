@@ -1,0 +1,160 @@
+// E14 (extension) — fleet-scale MEA throughput. The FleetController runs
+// the Monitor-Evaluate-Act loop over N managed systems on a fixed thread
+// pool; results are bit-identical for any thread count, so the only
+// question is wall time. This bench sweeps the pool size at a fixed fleet
+// and prints one human-readable row plus one JSON line per configuration
+// (scrapeable via the {"bench":"fleet_throughput",...} prefix).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "prediction/baselines.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/scp_system.hpp"
+
+namespace {
+
+using namespace pfm;
+
+constexpr std::size_t kFleetNodes = 8;
+constexpr double kFleetDays = 1.0;
+
+telecom::SimConfig fleet_base_config() {
+  telecom::SimConfig cfg;
+  cfg.seed = 91;
+  cfg.duration = kFleetDays * 86400.0;
+  cfg.leak_mtbf = 43200.0;  // leak-heavy: plenty of warnings to act on
+  return cfg;
+}
+
+struct TrainedBaselines {
+  std::shared_ptr<const pred::SymptomPredictor> threshold;
+  std::shared_ptr<const pred::SymptomPredictor> trend;
+  std::shared_ptr<const pred::EventPredictor> dft;
+};
+
+/// Trains the cheap baselines once; they are shared read-only by every
+/// fleet run in the sweep.
+TrainedBaselines train_baselines() {
+  const auto g = bench::case_study_windows();
+  const auto [train, test] = bench::make_case_study(5, /*days=*/4.0);
+  (void)test;
+
+  auto threshold = std::make_shared<pred::ThresholdPredictor>(g);
+  threshold->train(train);
+  auto trend = std::make_shared<pred::TrendPredictor>(g);
+  trend->train(train);
+  auto dft = std::make_shared<pred::DftPredictor>();
+  dft->train(train.failure_sequences(g.data_window, g.lead_time),
+             train.nonfailure_sequences(g.data_window, g.lead_time,
+                                        g.prediction_window, 300.0));
+  TrainedBaselines out;
+  out.threshold = threshold;
+  out.trend = trend;
+  out.dft = dft;
+  return out;
+}
+
+runtime::FleetTelemetry run_fleet(const TrainedBaselines& preds,
+                                  std::size_t num_threads,
+                                  double* wall_seconds) {
+  runtime::FleetConfig cfg;
+  cfg.mea.windows = bench::case_study_windows();
+  cfg.mea.evaluation_interval = 60.0;
+  cfg.mea.warning_threshold = 0.6;
+  cfg.num_threads = num_threads;
+
+  runtime::FleetController fleet(
+      runtime::make_scp_fleet(fleet_base_config(), kFleetNodes), cfg);
+  fleet.add_symptom_predictor(preds.threshold);
+  fleet.add_symptom_predictor(preds.trend);
+  fleet.add_event_predictor(preds.dft);
+  fleet.add_action([] { return std::make_unique<act::StateCleanupAction>(); });
+  fleet.add_action(
+      [] { return std::make_unique<act::PreparedRepairAction>(900.0); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  *wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return fleet.telemetry();
+}
+
+void print_experiment() {
+  std::printf("== E14 (extension): fleet MEA throughput vs pool size ==\n");
+  std::printf("(%zu nodes x %.0f day(s); per-node results are identical "
+              "across thread counts)\n\n",
+              kFleetNodes, kFleetDays);
+  const auto preds = train_baselines();
+
+  std::printf("  %-8s %-9s %-9s %-10s %-12s %-10s %-10s\n", "threads",
+              "wall [s]", "speedup", "scores/s", "sim-s/s", "warnings",
+              "actions");
+  double wall_1 = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double wall = 0.0;
+    const auto t = run_fleet(preds, threads, &wall);
+    if (threads == 1) wall_1 = wall;
+    const double scores_per_sec =
+        wall > 0.0 ? static_cast<double>(t.scores_computed) / wall : 0.0;
+    const double sim_sec_per_sec =
+        wall > 0.0 ? t.system.simulated / wall : 0.0;
+    std::printf("  %-8zu %-9.2f %-9.2f %-10.0f %-12.0f %-10zu %-10zu\n",
+                threads, wall, wall > 0.0 ? wall_1 / wall : 0.0,
+                scores_per_sec, sim_sec_per_sec, t.warnings_raised,
+                t.mea.total_actions());
+    bench::JsonLine()
+        .field("bench", "fleet_throughput")
+        .field("nodes", t.nodes)
+        .field("threads", threads)
+        .field("wall_seconds", wall)
+        .field("speedup", wall > 0.0 ? wall_1 / wall : 0.0)
+        .field("rounds", t.rounds)
+        .field("scores_computed", t.scores_computed)
+        .field("scores_per_second", scores_per_sec)
+        .field("warnings", t.warnings_raised)
+        .field("actions", t.mea.total_actions())
+        .field("monitor_seconds", t.latency.monitor_seconds)
+        .field("evaluate_seconds", t.latency.evaluate_seconds)
+        .field("act_seconds", t.latency.act_seconds)
+        .field("availability", t.system.availability())
+        .emit();
+  }
+  std::printf("\n(the Monitor stage dominates: node simulation is the bulk "
+              "of each round, and it parallelizes across nodes)\n\n");
+}
+
+void BM_FleetRoundSingleThread(benchmark::State& state) {
+  // Cost of one lockstep MEA round (Monitor+Evaluate+Act) at 1 thread.
+  const auto preds = train_baselines();
+  runtime::FleetConfig cfg;
+  cfg.mea.windows = bench::case_study_windows();
+  cfg.mea.evaluation_interval = 60.0;
+  cfg.mea.warning_threshold = 0.6;
+  cfg.num_threads = 1;
+  runtime::FleetController fleet(
+      runtime::make_scp_fleet(fleet_base_config(), kFleetNodes), cfg);
+  fleet.add_symptom_predictor(preds.threshold);
+  fleet.add_symptom_predictor(preds.trend);
+  fleet.add_event_predictor(preds.dft);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += cfg.mea.evaluation_interval;
+    fleet.run_until(t);
+    benchmark::DoNotOptimize(fleet.telemetry().rounds);
+  }
+}
+BENCHMARK(BM_FleetRoundSingleThread)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "prediction/calibration.hpp"
 #include "prediction/hsmm.hpp"
 #include "prediction/ubf.hpp"
+#include "runtime/scp_system.hpp"
 
 namespace {
 
@@ -78,6 +79,7 @@ StrategyResult run_strategy(const char* name, const TrainedPredictors& preds,
   cfg.seed = seed;
   cfg.duration = 14.0 * 86400.0;
   telecom::ScpSimulator sim(cfg);
+  runtime::ScpManagedSystem system(sim);
 
   core::MeaConfig mc;
   mc.windows = bench::case_study_windows();
@@ -86,7 +88,7 @@ StrategyResult run_strategy(const char* name, const TrainedPredictors& preds,
   mc.enable_avoidance = avoidance;
   mc.enable_minimization = minimization;
 
-  core::MeaController mea(sim, mc);
+  core::MeaController mea(system, mc);
   if (avoidance || minimization) {
     mea.add_symptom_predictor(preds.symptom);
     mea.add_event_predictor(preds.event);
@@ -129,8 +131,9 @@ void BM_MeaEvaluationStep(benchmark::State& state) {
   cfg.duration = 3600.0;
   telecom::ScpSimulator sim(cfg);
   sim.step_to(1800.0);
+  runtime::ScpManagedSystem system(sim);
   core::MeaConfig mc;
-  core::MeaController mea(sim, mc);
+  core::MeaController mea(system, mc);
   // A cheap stand-in predictor isolates controller overhead.
   class Flat final : public pred::SymptomPredictor {
    public:

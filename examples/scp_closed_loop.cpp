@@ -13,6 +13,7 @@
 #include "prediction/evaluate.hpp"
 #include "prediction/hsmm.hpp"
 #include "prediction/ubf.hpp"
+#include "runtime/scp_system.hpp"
 
 int main() {
   using namespace pfm;
@@ -59,10 +60,11 @@ int main() {
   unmanaged.run();
 
   telecom::ScpSimulator managed(run_cfg);
+  runtime::ScpManagedSystem managed_system(managed);
   core::MeaConfig mea_cfg;
   mea_cfg.windows = windows;
   mea_cfg.warning_threshold = 0.5;
-  core::MeaController mea(managed, mea_cfg);
+  core::MeaController mea(managed_system, mea_cfg);
   mea.add_symptom_predictor(
       std::make_shared<pred::CalibratedSymptomPredictor>(
           ubf, ubf_report.threshold));

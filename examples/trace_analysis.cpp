@@ -11,6 +11,7 @@
 #include "core/diagnosis.hpp"
 #include "monitoring/io.hpp"
 #include "numerics/stats.hpp"
+#include "runtime/scp_system.hpp"
 #include "telecom/simulator.hpp"
 
 int main(int argc, char** argv) {
@@ -70,8 +71,9 @@ int main(int argc, char** argv) {
     const double first_failure = trace.failures().front();
     telecom::ScpSimulator replay(cfg);
     replay.step_to(first_failure - 300.0);  // lead time before the failure
+    runtime::ScpManagedSystem replay_system(replay);
     core::Diagnoser diagnoser;
-    const auto suspects = diagnoser.diagnose(replay);
+    const auto suspects = diagnoser.diagnose(replay_system);
     std::printf("\ndiagnosis %.0f s before the first failure (t=%.0f):\n",
                 300.0, first_failure);
     if (suspects.empty()) {

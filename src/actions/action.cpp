@@ -52,15 +52,16 @@ void ActionProperties::validate() const {
 
 namespace {
 
-/// Index of the node with the highest memory pressure; the node must be
+/// Index of the unit with the highest memory pressure; the unit must be
 /// available to be a restart target.
-std::size_t worst_pressure_node(const telecom::ScpSimulator& sim) {
+std::size_t worst_pressure_unit(const core::ManagedSystem& system) {
   std::size_t arg = 0;
   double best = -1.0;
-  for (std::size_t i = 0; i < sim.num_nodes(); ++i) {
-    if (!sim.node(i).available(sim.now())) continue;
-    if (sim.node(i).memory_pressure() > best) {
-      best = sim.node(i).memory_pressure();
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (!health.available) continue;
+    if (health.memory_pressure > best) {
+      best = health.memory_pressure;
       arg = i;
     }
   }
@@ -79,42 +80,40 @@ StateCleanupAction::StateCleanupAction(double pressure_trigger)
 }
 
 bool StateCleanupAction::applicable(
-    const telecom::ScpSimulator& system) const {
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    if (system.node(i).available(system.now()) &&
-        system.node(i).memory_pressure() > pressure_trigger_) {
+    const core::ManagedSystem& system) const {
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (health.available && health.memory_pressure > pressure_trigger_) {
       return true;
     }
   }
   return false;
 }
 
-void StateCleanupAction::execute(telecom::ScpSimulator& system,
+void StateCleanupAction::execute(core::ManagedSystem& system,
                                  double /*confidence*/) {
-  system.preventive_restart(worst_pressure_node(system));
+  system.restart_unit(worst_pressure_unit(system));
 }
 
 // --- PreventiveFailoverAction ------------------------------------------------------
 
 bool PreventiveFailoverAction::applicable(
-    const telecom::ScpSimulator& system) const {
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    if (system.node(i).available(system.now()) &&
-        system.node(i).cascade_stage() >= 1) {
-      return true;
-    }
+    const core::ManagedSystem& system) const {
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (health.available && health.cascade_stage >= 1) return true;
   }
   return false;
 }
 
-void PreventiveFailoverAction::execute(telecom::ScpSimulator& system,
+void PreventiveFailoverAction::execute(core::ManagedSystem& system,
                                        double /*confidence*/) {
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    if (system.node(i).available(system.now()) &&
-        system.node(i).cascade_stage() >= 1) {
-      // Taking the node out of service re-routes its traffic to the
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (health.available && health.cascade_stage >= 1) {
+      // Taking the unit out of service re-routes its traffic to the
       // replicas and clears the faulty process state on restart.
-      system.preventive_restart(i);
+      system.restart_unit(i);
       return;
     }
   }
@@ -132,18 +131,17 @@ LoadLoweringAction::LoadLoweringAction(double utilization_trigger,
 }
 
 bool LoadLoweringAction::applicable(
-    const telecom::ScpSimulator& system) const {
+    const core::ManagedSystem& system) const {
   std::size_t alive = 0;
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    alive += system.node(i).available(system.now()) ? 1 : 0;
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    alive += system.unit_health(i).available ? 1 : 0;
   }
   if (alive == 0) return false;
-  const double per_node = system.current_arrival_rate() /
-                          static_cast<double>(alive);
-  return per_node / system.config().node_capacity > utilization_trigger_;
+  const double per_unit = system.offered_load() / static_cast<double>(alive);
+  return per_unit / system.unit_capacity() > utilization_trigger_;
 }
 
-void LoadLoweringAction::execute(telecom::ScpSimulator& system,
+void LoadLoweringAction::execute(core::ManagedSystem& system,
                                  double confidence) {
   // Sect. 4.2: "the number of allowed connections is adaptive and would
   // depend on the assessed risk of failure" — shed more when more sure.
@@ -161,11 +159,11 @@ PreparedRepairAction::PreparedRepairAction(double preparation_window)
 }
 
 bool PreparedRepairAction::applicable(
-    const telecom::ScpSimulator& /*system*/) const {
+    const core::ManagedSystem& /*system*/) const {
   return true;  // preparation never hurts (small cost, no downtime)
 }
 
-void PreparedRepairAction::execute(telecom::ScpSimulator& system,
+void PreparedRepairAction::execute(core::ManagedSystem& system,
                                    double /*confidence*/) {
   system.prepare_for_failure(preparation_window_);
 }
@@ -173,29 +171,29 @@ void PreparedRepairAction::execute(telecom::ScpSimulator& system,
 // --- PreventiveRestartAction ----------------------------------------------------------
 
 bool PreventiveRestartAction::applicable(
-    const telecom::ScpSimulator& system) const {
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    if (system.node(i).available(system.now()) &&
-        (system.node(i).leak_active() ||
-         system.node(i).cascade_stage() >= 1)) {
+    const core::ManagedSystem& system) const {
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (health.available &&
+        (health.leak_active || health.cascade_stage >= 1)) {
       return true;
     }
   }
   return false;
 }
 
-void PreventiveRestartAction::execute(telecom::ScpSimulator& system,
+void PreventiveRestartAction::execute(core::ManagedSystem& system,
                                       double /*confidence*/) {
-  // Restart the most suspicious node: active cascade first, then the
+  // Restart the most suspicious unit: active cascade first, then the
   // highest memory pressure.
-  for (std::size_t i = 0; i < system.num_nodes(); ++i) {
-    if (system.node(i).available(system.now()) &&
-        system.node(i).cascade_stage() >= 1) {
-      system.preventive_restart(i);
+  for (std::size_t i = 0; i < system.num_units(); ++i) {
+    const auto health = system.unit_health(i);
+    if (health.available && health.cascade_stage >= 1) {
+      system.restart_unit(i);
       return;
     }
   }
-  system.preventive_restart(worst_pressure_node(system));
+  system.restart_unit(worst_pressure_unit(system));
 }
 
 }  // namespace pfm::act

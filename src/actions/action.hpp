@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <string>
 
-#include "telecom/simulator.hpp"
+#include "core/managed_system.hpp"
 
 namespace pfm::act {
 
@@ -40,8 +40,9 @@ struct ActionProperties {
   void validate() const;
 };
 
-/// A prediction-triggered countermeasure executable against the simulated
-/// SCP. Concrete actions wrap the simulator's countermeasure hooks.
+/// A prediction-triggered countermeasure executable against any managed
+/// system. Concrete actions operate through the ManagedSystem
+/// countermeasure hooks.
 class Action {
  public:
   virtual ~Action() = default;
@@ -53,15 +54,15 @@ class Action {
   virtual const ActionProperties& properties() const = 0;
 
   /// True when the action is worth attempting in the system's current
-  /// state (e.g., restarting is pointless when no node is degraded).
-  virtual bool applicable(const telecom::ScpSimulator& system) const = 0;
+  /// state (e.g., restarting is pointless when no unit is degraded).
+  virtual bool applicable(const core::ManagedSystem& system) const = 0;
 
   /// Executes against the system. `confidence` is the failure warning's
   /// score in (0,1); actions may scale their aggressiveness with it.
-  virtual void execute(telecom::ScpSimulator& system, double confidence) = 0;
+  virtual void execute(core::ManagedSystem& system, double confidence) = 0;
 };
 
-/// State clean-up (downtime avoidance): restart of the node with the
+/// State clean-up (downtime avoidance): restart of the unit with the
 /// highest memory pressure, clearing leaked state.
 class StateCleanupAction final : public Action {
  public:
@@ -70,23 +71,23 @@ class StateCleanupAction final : public Action {
   std::string name() const override { return "state-cleanup"; }
   ActionKind kind() const override { return ActionKind::kStateCleanup; }
   const ActionProperties& properties() const override { return props_; }
-  bool applicable(const telecom::ScpSimulator& system) const override;
-  void execute(telecom::ScpSimulator& system, double confidence) override;
+  bool applicable(const core::ManagedSystem& system) const override;
+  void execute(core::ManagedSystem& system, double confidence) override;
 
  private:
   double pressure_trigger_;
   ActionProperties props_{0.8, 0.9, 1.0};
 };
 
-/// Preventive failover (downtime avoidance): take the node with an active
+/// Preventive failover (downtime avoidance): take the unit with an active
 /// error cascade out of service so the replicas carry its traffic.
 class PreventiveFailoverAction final : public Action {
  public:
   std::string name() const override { return "preventive-failover"; }
   ActionKind kind() const override { return ActionKind::kPreventiveFailover; }
   const ActionProperties& properties() const override { return props_; }
-  bool applicable(const telecom::ScpSimulator& system) const override;
-  void execute(telecom::ScpSimulator& system, double confidence) override;
+  bool applicable(const core::ManagedSystem& system) const override;
+  void execute(core::ManagedSystem& system, double confidence) override;
 
  private:
   ActionProperties props_{1.2, 0.85, 1.5};
@@ -102,8 +103,8 @@ class LoadLoweringAction final : public Action {
   std::string name() const override { return "load-lowering"; }
   ActionKind kind() const override { return ActionKind::kLoadLowering; }
   const ActionProperties& properties() const override { return props_; }
-  bool applicable(const telecom::ScpSimulator& system) const override;
-  void execute(telecom::ScpSimulator& system, double confidence) override;
+  bool applicable(const core::ManagedSystem& system) const override;
+  void execute(core::ManagedSystem& system, double confidence) override;
 
  private:
   double utilization_trigger_;
@@ -120,8 +121,8 @@ class PreparedRepairAction final : public Action {
   std::string name() const override { return "prepared-repair"; }
   ActionKind kind() const override { return ActionKind::kPreparedRepair; }
   const ActionProperties& properties() const override { return props_; }
-  bool applicable(const telecom::ScpSimulator& system) const override;
-  void execute(telecom::ScpSimulator& system, double confidence) override;
+  bool applicable(const core::ManagedSystem& system) const override;
+  void execute(core::ManagedSystem& system, double confidence) override;
 
  private:
   double preparation_window_;
@@ -129,15 +130,15 @@ class PreparedRepairAction final : public Action {
 };
 
 /// Preventive restart / rejuvenation (downtime minimization): forced
-/// restart of the most degraded node, trading a short planned outage
+/// restart of the most degraded unit, trading a short planned outage
 /// against a longer unplanned one.
 class PreventiveRestartAction final : public Action {
  public:
   std::string name() const override { return "preventive-restart"; }
   ActionKind kind() const override { return ActionKind::kPreventiveRestart; }
   const ActionProperties& properties() const override { return props_; }
-  bool applicable(const telecom::ScpSimulator& system) const override;
-  void execute(telecom::ScpSimulator& system, double confidence) override;
+  bool applicable(const core::ManagedSystem& system) const override;
+  void execute(core::ManagedSystem& system, double confidence) override;
 
  private:
   ActionProperties props_{1.5, 0.9, 1.3};

@@ -14,7 +14,7 @@ ActionSelector::ActionSelector(ObjectiveWeights weights) : weights_(weights) {}
 
 Action* ActionSelector::select(
     std::span<const std::unique_ptr<Action>> actions,
-    const telecom::ScpSimulator& system, double confidence) const {
+    const core::ManagedSystem& system, double confidence) const {
   Action* best = nullptr;
   double best_score = 0.0;  // "do nothing" scores zero
   for (const auto& a : actions) {

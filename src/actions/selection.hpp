@@ -38,7 +38,7 @@ class ActionSelector {
   /// Picks argmax of the objective over applicable actions with positive
   /// score. `actions` may contain nullptr entries (skipped).
   Action* select(std::span<const std::unique_ptr<Action>> actions,
-                 const telecom::ScpSimulator& system,
+                 const core::ManagedSystem& system,
                  double confidence) const;
 
   const ObjectiveWeights& weights() const noexcept { return weights_; }

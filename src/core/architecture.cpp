@@ -22,9 +22,7 @@ std::string to_string(Layer layer) {
 }
 
 LayeredArchitecture::LayeredArchitecture()
-    : layers_(kNumLayers),
-      needs_retraining_(kNumLayers, false),
-      last_scores_(kNumLayers, 0.0) {
+    : layers_(kNumLayers), needs_retraining_(kNumLayers, false) {
   drift_.reserve(kNumLayers);
   for (std::size_t i = 0; i < kNumLayers; ++i) {
     drift_.emplace_back(/*delta=*/0.02, /*threshold=*/1.0);
@@ -65,7 +63,6 @@ std::optional<double> LayeredArchitecture::layer_score(
     any = true;
   }
   if (!any) return std::nullopt;
-  last_scores_[static_cast<std::size_t>(layer)] = score;
   return score;
 }
 
@@ -101,6 +98,16 @@ double LayeredArchitecture::fuse(const pred::SymptomContext& context,
 }
 
 std::vector<LayerContribution> LayeredArchitecture::contributions() const {
+  return contributions(std::span<const double>{});
+}
+
+std::vector<LayerContribution> LayeredArchitecture::contributions(
+    std::span<const double> active_scores) const {
+  if (!active_scores.empty() &&
+      active_scores.size() != num_active_layers()) {
+    throw std::invalid_argument(
+        "contributions: active_scores must have one entry per active layer");
+  }
   std::vector<LayerContribution> out;
   const auto w = fusion_.fitted() ? fusion_.weights() : std::span<const double>{};
   std::size_t active = 0;
@@ -109,7 +116,7 @@ std::vector<LayerContribution> LayeredArchitecture::contributions() const {
     LayerContribution c;
     c.layer = static_cast<Layer>(i);
     c.stacking_weight = active < w.size() ? w[active] : 0.0;
-    c.last_score = last_scores_[i];
+    c.last_score = active < active_scores.size() ? active_scores[active] : 0.0;
     out.push_back(c);
     ++active;
   }

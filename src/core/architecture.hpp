@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,7 @@ struct LayerPredictors {
 struct LayerContribution {
   Layer layer = Layer::kHardware;
   double stacking_weight = 0.0;  ///< weight learned by the meta-learner
-  double last_score = 0.0;       ///< most recent raw score of this layer
+  double last_score = 0.0;       ///< raw score supplied by the caller
 };
 
 /// The cross-layer prediction fabric of Fig. 11: per-layer predictors
@@ -53,6 +54,12 @@ struct LayerContribution {
 /// The Act component must span all layers (the paper's VMM-migration vs.
 /// hardware-restart example); fuse() gives it the single consistent
 /// system-level view it needs.
+///
+/// Thread safety: the const scoring methods (layer_score, all_scores,
+/// fuse, contributions) mutate no state and may run concurrently from
+/// many threads against one instance, as the fleet runtime does.
+/// Mutators (set_layer, fit_fusion, observe_layer_behavior,
+/// take_retraining_requests) require external synchronization.
 class LayeredArchitecture {
  public:
   LayeredArchitecture();
@@ -82,8 +89,18 @@ class LayeredArchitecture {
   double fuse(const pred::SymptomContext& context,
               const mon::ErrorSequence& sequence) const;
 
-  /// Translucency report over active layers.
+  /// Translucency report over active layers (weights only; last_score
+  /// stays 0). Scoring methods are pure, so the architecture keeps no
+  /// "most recent score" state — pass the scores you computed to the
+  /// overload below to embed them in the report.
   std::vector<LayerContribution> contributions() const;
+
+  /// Translucency report with the caller's scores (in active-layer order,
+  /// as produced by all_scores()) filled into last_score. Throws
+  /// std::invalid_argument when a non-empty `active_scores` does not have
+  /// one entry per active layer.
+  std::vector<LayerContribution> contributions(
+      std::span<const double> active_scores) const;
 
   /// Feeds one observation of a layer's behavior indicator (e.g., its
   /// prediction error) to that layer's change-point detector; returns true
@@ -98,7 +115,6 @@ class LayeredArchitecture {
   pred::StackedGeneralization fusion_;
   std::vector<pred::PageHinkley> drift_;
   std::vector<bool> needs_retraining_;
-  mutable std::vector<double> last_scores_;
 };
 
 }  // namespace pfm::core

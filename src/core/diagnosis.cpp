@@ -13,10 +13,10 @@ Diagnoser::Diagnoser(Config config) : config_(config) {
 }
 
 std::vector<Suspicion> Diagnoser::diagnose(
-    const telecom::ScpSimulator& system) const {
+    const ManagedSystem& system) const {
   const double now = system.now();
   const auto& trace = system.trace();
-  const std::size_t n = system.num_nodes();
+  const std::size_t n = system.num_units();
 
   // Channel 1: severity-weighted error-report intensity per component.
   std::vector<double> report_weight(n, 0.0);
@@ -34,27 +34,27 @@ std::vector<Suspicion> Diagnoser::diagnose(
 
   std::vector<Suspicion> out;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& node = system.node(i);
+    const auto unit = system.unit_health(i);
     double score = 0.45 * report_weight[i] / max_report;
     std::ostringstream evidence;
     if (report_weight[i] > 0.0) {
       evidence << "error reports (weight " << report_weight[i] << ")";
     }
     // Channel 2: resource-state anomaly.
-    if (node.memory_pressure() > config_.pressure_threshold) {
+    if (unit.memory_pressure > config_.pressure_threshold) {
       score += 0.3 * std::min(
-                         (node.memory_pressure() - config_.pressure_threshold) /
+                         (unit.memory_pressure - config_.pressure_threshold) /
                              (1.0 - config_.pressure_threshold),
                          1.0);
       if (evidence.tellp() > 0) evidence << "; ";
-      evidence << "memory pressure " << node.memory_pressure();
+      evidence << "memory pressure " << unit.memory_pressure;
     }
     // Channel 3: active degradation (cascade in progress).
-    if (node.cascade_stage() >= 1) {
-      score += 0.25 * static_cast<double>(std::min(node.cascade_stage(), 3)) /
+    if (unit.cascade_stage >= 1) {
+      score += 0.25 * static_cast<double>(std::min(unit.cascade_stage, 3)) /
                3.0;
       if (evidence.tellp() > 0) evidence << "; ";
-      evidence << "error cascade stage " << node.cascade_stage();
+      evidence << "error cascade stage " << unit.cascade_stage;
     }
     if (score > 0.05) {
       out.push_back({static_cast<std::int32_t>(i), std::min(score, 1.0),
@@ -66,12 +66,12 @@ std::vector<Suspicion> Diagnoser::diagnose(
   // problem, not a component fault.
   std::size_t alive = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    alive += system.node(i).available(now) ? 1 : 0;
+    alive += system.unit_health(i).available ? 1 : 0;
   }
   if (alive > 0) {
     const double per_node =
-        system.current_arrival_rate() / static_cast<double>(alive);
-    const double util = per_node / system.config().node_capacity;
+        system.offered_load() / static_cast<double>(alive);
+    const double util = per_node / system.unit_capacity();
     if (util > config_.overload_threshold) {
       std::ostringstream evidence;
       evidence << "offered load " << util << " of capacity";
@@ -88,7 +88,7 @@ std::vector<Suspicion> Diagnoser::diagnose(
 }
 
 std::int32_t Diagnoser::prime_suspect(
-    const telecom::ScpSimulator& system) const {
+    const ManagedSystem& system) const {
   const auto suspects = diagnose(system);
   return suspects.empty() ? -1 : suspects.front().component;
 }

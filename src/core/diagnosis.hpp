@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "telecom/simulator.hpp"
+#include "core/managed_system.hpp"
 
 namespace pfm::core {
 
@@ -42,11 +42,11 @@ class Diagnoser {
   /// Ranks suspects for the current state of the system, most suspicious
   /// first. An empty result means "no component stands out" (the warning
   /// may be a false positive).
-  std::vector<Suspicion> diagnose(const telecom::ScpSimulator& system) const;
+  std::vector<Suspicion> diagnose(const ManagedSystem& system) const;
 
   /// Convenience: the top suspect's component id, or -1 for system-wide /
   /// nothing.
-  std::int32_t prime_suspect(const telecom::ScpSimulator& system) const;
+  std::int32_t prime_suspect(const ManagedSystem& system) const;
 
  private:
   Config config_;

@@ -5,7 +5,57 @@
 
 namespace pfm::core {
 
-MeaController::MeaController(telecom::ScpSimulator& system, MeaConfig config)
+void ActEngine::add_action(std::unique_ptr<act::Action> action) {
+  if (!action) throw std::invalid_argument("ActEngine: null action");
+  actions_.push_back(std::move(action));
+}
+
+void ActEngine::act(ManagedSystem& system, double score,
+                    const MeaConfig& config, MeaStats& stats) {
+  const double now = system.now();
+  auto cooled_down = [&](act::ActionKind kind) {
+    return now - last_action_time_[static_cast<std::size_t>(kind)] >=
+           config.action_cooldown;
+  };
+  auto record = [&](act::ActionKind kind) {
+    last_action_time_[static_cast<std::size_t>(kind)] = now;
+    ++stats.actions_by_kind[static_cast<std::size_t>(kind)];
+  };
+
+  // Downtime minimization: preparing for an anticipated failure is cheap
+  // and safe, so it accompanies every warning (Table 1: "prepare repair").
+  if (config.enable_minimization) {
+    for (const auto& a : actions_) {
+      if (a->goal() != act::ActionGoal::kDowntimeMinimization) continue;
+      if (!a->applicable(system) || !cooled_down(a->kind())) continue;
+      a->execute(system, score);
+      record(a->kind());
+    }
+  }
+
+  // Downtime avoidance: pick the single most effective applicable action
+  // by the objective function.
+  if (config.enable_avoidance) {
+    act::Action* best = nullptr;
+    double best_score = 0.0;
+    for (const auto& a : actions_) {
+      if (a->goal() != act::ActionGoal::kDowntimeAvoidance) continue;
+      if (!cooled_down(a->kind())) continue;
+      if (!a->applicable(system)) continue;
+      const double s = act::objective_score(*a, score, selector_.weights());
+      if (s > best_score) {
+        best_score = s;
+        best = a.get();
+      }
+    }
+    if (best != nullptr) {
+      best->execute(system, score);
+      record(best->kind());
+    }
+  }
+}
+
+MeaController::MeaController(ManagedSystem& system, MeaConfig config)
     : system_(&system), config_(std::move(config)) {
   config_.windows.validate();
   if (config_.evaluation_interval <= 0.0) {
@@ -14,7 +64,6 @@ MeaController::MeaController(telecom::ScpSimulator& system, MeaConfig config)
   if (config_.warning_threshold < 0.0 || config_.warning_threshold > 1.0) {
     throw std::invalid_argument("MeaController: threshold in [0,1]");
   }
-  last_action_time_.fill(-1e18);
 }
 
 void MeaController::add_symptom_predictor(
@@ -30,80 +79,25 @@ void MeaController::add_event_predictor(
 }
 
 void MeaController::add_action(std::unique_ptr<act::Action> action) {
-  if (!action) throw std::invalid_argument("MeaController: null action");
-  actions_.push_back(std::move(action));
+  engine_.add_action(std::move(action));
 }
 
 double MeaController::evaluate_now() const {
-  const auto& trace = system_->trace();
-  const double now = system_->now();
   double combined = 0.0;
 
-  if (!symptom_.empty() && !trace.samples().empty()) {
-    const auto samples = trace.samples();
-    const std::size_t n = samples.size();
-    const std::size_t first =
-        n >= config_.context_samples ? n - config_.context_samples : 0;
-    pred::SymptomContext ctx;
-    ctx.history = samples.subspan(first, n - first);
-    ctx.past_failures = trace.failures();
+  if (!symptom_.empty() && !system_->trace().samples().empty()) {
+    const auto ctx = system_->symptom_context(config_.context_samples);
     for (const auto& p : symptom_) {
       combined = std::max(combined, p->score(ctx));
     }
   }
   if (!event_.empty()) {
-    mon::ErrorSequence seq;
-    seq.events = trace.events_in(now - config_.windows.data_window, now);
-    seq.end_time = now;
+    const auto seq = system_->error_sequence(config_.windows.data_window);
     for (const auto& p : event_) {
       combined = std::max(combined, p->score(seq));
     }
   }
   return combined;
-}
-
-void MeaController::act(double score) {
-  const double now = system_->now();
-  auto cooled_down = [&](act::ActionKind kind) {
-    return now - last_action_time_[static_cast<std::size_t>(kind)] >=
-           config_.action_cooldown;
-  };
-  auto record = [&](act::ActionKind kind) {
-    last_action_time_[static_cast<std::size_t>(kind)] = now;
-    ++stats_.actions_by_kind[static_cast<std::size_t>(kind)];
-  };
-
-  // Downtime minimization: preparing for an anticipated failure is cheap
-  // and safe, so it accompanies every warning (Table 1: "prepare repair").
-  if (config_.enable_minimization) {
-    for (const auto& a : actions_) {
-      if (a->goal() != act::ActionGoal::kDowntimeMinimization) continue;
-      if (!a->applicable(*system_) || !cooled_down(a->kind())) continue;
-      a->execute(*system_, score);
-      record(a->kind());
-    }
-  }
-
-  // Downtime avoidance: pick the single most effective applicable action
-  // by the objective function.
-  if (config_.enable_avoidance) {
-    act::Action* best = nullptr;
-    double best_score = 0.0;
-    for (const auto& a : actions_) {
-      if (a->goal() != act::ActionGoal::kDowntimeAvoidance) continue;
-      if (!cooled_down(a->kind())) continue;
-      if (!a->applicable(*system_)) continue;
-      const double s = act::objective_score(*a, score, selector_.weights());
-      if (s > best_score) {
-        best_score = s;
-        best = a.get();
-      }
-    }
-    if (best != nullptr) {
-      best->execute(*system_, score);
-      record(best->kind());
-    }
-  }
 }
 
 void MeaController::run_until(double t) {
@@ -114,11 +108,11 @@ void MeaController::run_until(double t) {
     const double score = evaluate_now();
     if (score >= config_.warning_threshold) {
       ++stats_.warnings;
-      act(score);
+      engine_.act(*system_, score, config_, stats_);
     }
   }
 }
 
-void MeaController::run() { run_until(system_->config().duration); }
+void MeaController::run() { run_until(system_->horizon()); }
 
 }  // namespace pfm::core

@@ -5,8 +5,8 @@
 #include <vector>
 
 #include "actions/selection.hpp"
+#include "core/managed_system.hpp"
 #include "prediction/predictor.hpp"
-#include "telecom/simulator.hpp"
 
 namespace pfm::core {
 
@@ -40,12 +40,49 @@ struct MeaStats {
     for (auto a : actions_by_kind) s += a;
     return s;
   }
+
+  MeaStats& operator+=(const MeaStats& other) noexcept {
+    evaluations += other.evaluations;
+    warnings += other.warnings;
+    for (std::size_t k = 0; k < actions_by_kind.size(); ++k) {
+      actions_by_kind[k] += other.actions_by_kind[k];
+    }
+    return *this;
+  }
 };
 
-/// The Monitor-Evaluate-Act control loop (Fig. 1) driving the simulated
-/// SCP:
-///  - Monitor: the simulator continuously appends symptom samples and
-///    error events to its trace;
+/// The Act component (Fig. 1): owns the registered countermeasures, the
+/// per-kind cooldown clocks and the objective-function selection policy.
+/// Extracted from MeaController so a fleet controller can keep one engine
+/// per managed node while sharing predictors across the fleet.
+class ActEngine {
+ public:
+  ActEngine() { last_action_time_.fill(-1e18); }
+
+  /// Registers a countermeasure. Throws on nullptr.
+  void add_action(std::unique_ptr<act::Action> action);
+
+  bool empty() const noexcept { return actions_.empty(); }
+
+  /// Responds to one failure warning of confidence `score`:
+  ///  - downtime minimization: every applicable, cooled-down action runs
+  ///    (preparing for a failure is cheap and safe);
+  ///  - downtime avoidance: the objective function picks the single most
+  ///    effective applicable action.
+  /// Executed actions are counted into `stats` and stamp their cooldown.
+  void act(ManagedSystem& system, double score, const MeaConfig& config,
+           MeaStats& stats);
+
+ private:
+  std::vector<std::unique_ptr<act::Action>> actions_;
+  act::ActionSelector selector_;
+  std::array<double, act::kNumActionKinds> last_action_time_{};
+};
+
+/// The Monitor-Evaluate-Act control loop (Fig. 1) driving one managed
+/// system:
+///  - Monitor: the system continuously appends symptom samples and error
+///    events to its trace;
 ///  - Evaluate: at each evaluation instant the registered (pre-trained)
 ///    predictors score the current context; the combined score is their
 ///    maximum (a warning from any layer is a warning);
@@ -54,7 +91,7 @@ struct MeaStats {
 ///    avoidance action, subject to per-kind cooldowns.
 class MeaController {
  public:
-  MeaController(telecom::ScpSimulator& system, MeaConfig config);
+  MeaController(ManagedSystem& system, MeaConfig config);
 
   /// Registers a trained symptom predictor (one per architecture layer).
   void add_symptom_predictor(std::shared_ptr<const pred::SymptomPredictor> p);
@@ -65,7 +102,7 @@ class MeaController {
   /// Registers a countermeasure.
   void add_action(std::unique_ptr<act::Action> action);
 
-  /// Runs the loop until the simulation finishes.
+  /// Runs the loop until the managed system's horizon.
   void run();
 
   /// Runs until time `t`.
@@ -78,15 +115,11 @@ class MeaController {
   double evaluate_now() const;
 
  private:
-  void act(double score);
-
-  telecom::ScpSimulator* system_;
+  ManagedSystem* system_;
   MeaConfig config_;
   std::vector<std::shared_ptr<const pred::SymptomPredictor>> symptom_;
   std::vector<std::shared_ptr<const pred::EventPredictor>> event_;
-  std::vector<std::unique_ptr<act::Action>> actions_;
-  act::ActionSelector selector_;
-  std::array<double, act::kNumActionKinds> last_action_time_{};
+  ActEngine engine_;
   MeaStats stats_;
 };
 

@@ -89,6 +89,21 @@ double ThresholdPredictor::score(const SymptomContext& context) const {
   return num::sigmoid(direction_ * (v - mean_) / stddev_);
 }
 
+void ThresholdPredictor::score_batch(std::span<const SymptomContext> contexts,
+                                     std::span<double> out) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("ThresholdPredictor: not trained");
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    if (contexts[i].history.empty()) {
+      throw std::invalid_argument("ThresholdPredictor: empty context");
+    }
+    const double v = contexts[i].history.back().values.at(variable_);
+    out[i] = num::sigmoid(direction_ * (v - mean_) / stddev_);
+  }
+}
+
 // --- TrendPredictor ----------------------------------------------------------
 
 TrendPredictor::TrendPredictor(WindowGeometry windows) : windows_(windows) {
@@ -130,6 +145,35 @@ double TrendPredictor::score(const SymptomContext& context) const {
   // Level tells where we are, the slope where we are heading (projected
   // resource exhaustion); both oriented so positive means failure-prone.
   return num::sigmoid(0.7 * z_level + 1.1 * z_slope);
+}
+
+void TrendPredictor::score_batch(std::span<const SymptomContext> contexts,
+                                 std::span<double> out) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("TrendPredictor: not trained");
+  std::vector<double> t, v;
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const auto& ctx = contexts[i];
+    if (ctx.history.empty()) {
+      throw std::invalid_argument("TrendPredictor: empty context");
+    }
+    const double level = ctx.history.back().values.at(variable_);
+    const double z_level = direction_ * (level - mean_) / stddev_;
+    double z_slope = 0.0;
+    if (ctx.history.size() >= 2) {
+      t.clear();
+      v.clear();
+      for (const auto& s : ctx.history) {
+        t.push_back(s.time);
+        v.push_back(s.values.at(variable_));
+      }
+      const auto fit = num::fit_line(t, v);
+      z_slope = direction_ * fit.slope * slope_scale_;
+    }
+    out[i] = num::sigmoid(0.7 * z_level + 1.1 * z_slope);
+  }
 }
 
 // --- FailureTrackingPredictor --------------------------------------------------
@@ -193,6 +237,33 @@ double FailureTrackingPredictor::score(const SymptomContext& context) const {
   return 1.0 - s1 / s0;
 }
 
+void FailureTrackingPredictor::score_batch(
+    std::span<const SymptomContext> contexts, std::span<double> out) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  if (!trained_) {
+    throw std::logic_error("FailureTrackingPredictor: not trained");
+  }
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const auto& ctx = contexts[i];
+    const double now = ctx.now();
+    double since = now;
+    if (!ctx.past_failures.empty()) since = now - ctx.past_failures.back();
+    const double horizon_start = since + windows_.lead_time;
+    const double horizon_end = horizon_start + windows_.prediction_window;
+    double s0, s1;
+    if (use_weibull_) {
+      s0 = weibull_.survival(horizon_start);
+      s1 = weibull_.survival(horizon_end);
+    } else {
+      s0 = exponential_.survival(horizon_start);
+      s1 = exponential_.survival(horizon_end);
+    }
+    out[i] = s0 <= 0.0 ? 1.0 : 1.0 - s1 / s0;
+  }
+}
+
 // --- DftPredictor -------------------------------------------------------------
 
 DftPredictor::DftPredictor() = default;
@@ -250,6 +321,19 @@ double DftPredictor::score(const mon::ErrorSequence& seq) const {
   const double density =
       std::min(static_cast<double>(ev.size()) / (rate_threshold_ * 4.0), 0.19);
   return static_cast<double>(fired) / 4.0 * 0.8 + density;
+}
+
+void DftPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
+                               std::span<double> out) const {
+  if (sequences.size() != out.size()) {
+    throw std::invalid_argument("score_batch: sequences/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("DftPredictor: not trained");
+  // score() is allocation-free; the batch path only saves the per-item
+  // virtual dispatch (DftPredictor is final, so these calls are direct).
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    out[i] = score(sequences[i]);
+  }
 }
 
 // --- EventsetPredictor ----------------------------------------------------------
@@ -352,6 +436,31 @@ double EventsetPredictor::score(const mon::ErrorSequence& sequence) const {
     if (all) best = std::max(best, ms.confidence);
   }
   return best;
+}
+
+void EventsetPredictor::score_batch(
+    std::span<const mon::ErrorSequence> sequences, std::span<double> out) const {
+  if (sequences.size() != out.size()) {
+    throw std::invalid_argument("score_batch: sequences/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("EventsetPredictor: not trained");
+  std::set<std::int32_t> have;  // one scratch set for the whole batch
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    have.clear();
+    for (const auto& e : sequences[i].events) have.insert(e.event_id);
+    double best = base_rate_ * 0.5;
+    for (const auto& ms : sets_) {
+      bool all = true;
+      for (auto id : ms.ids) {
+        if (!have.contains(id)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) best = std::max(best, ms.confidence);
+    }
+    out[i] = best;
+  }
 }
 
 }  // namespace pfm::pred

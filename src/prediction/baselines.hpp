@@ -20,6 +20,8 @@ class ThresholdPredictor final : public SymptomPredictor {
   std::string name() const override { return "Threshold"; }
   void train(const mon::MonitoringDataset& data) override;
   double score(const SymptomContext& context) const override;
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out) const override;
 
   /// Index of the chosen variable (valid after training).
   std::size_t variable() const noexcept { return variable_; }
@@ -45,6 +47,9 @@ class TrendPredictor final : public SymptomPredictor {
   std::string name() const override { return "Trend"; }
   void train(const mon::MonitoringDataset& data) override;
   double score(const SymptomContext& context) const override;
+  /// Vectorized: reuses the regression buffers across the batch.
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out) const override;
 
   std::size_t variable() const noexcept { return variable_; }
 
@@ -72,6 +77,8 @@ class FailureTrackingPredictor final : public SymptomPredictor {
   std::string name() const override { return "FailureTracking"; }
   void train(const mon::MonitoringDataset& data) override;
   double score(const SymptomContext& context) const override;
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out) const override;
 
   bool uses_weibull() const noexcept { return use_weibull_; }
 
@@ -96,6 +103,8 @@ class DftPredictor final : public EventPredictor {
   void train(std::span<const mon::ErrorSequence> failure_sequences,
              std::span<const mon::ErrorSequence> nonfailure_sequences) override;
   double score(const mon::ErrorSequence& sequence) const override;
+  void score_batch(std::span<const mon::ErrorSequence> sequences,
+                   std::span<double> out) const override;
 
  private:
   double rate_threshold_ = 1.0;  // events per window, 95th pct of non-failure
@@ -120,6 +129,10 @@ class EventsetPredictor final : public EventPredictor {
   void train(std::span<const mon::ErrorSequence> failure_sequences,
              std::span<const mon::ErrorSequence> nonfailure_sequences) override;
   double score(const mon::ErrorSequence& sequence) const override;
+  /// Vectorized: reuses one event-id set across the batch instead of
+  /// building a fresh std::set per sequence.
+  void score_batch(std::span<const mon::ErrorSequence> sequences,
+                   std::span<double> out) const override;
 
   std::size_t num_mined_sets() const noexcept { return sets_.size(); }
 

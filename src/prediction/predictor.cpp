@@ -4,6 +4,26 @@
 
 namespace pfm::pred {
 
+void SymptomPredictor::score_batch(std::span<const SymptomContext> contexts,
+                                   std::span<double> out) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    out[i] = score(contexts[i]);
+  }
+}
+
+void EventPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
+                                 std::span<double> out) const {
+  if (sequences.size() != out.size()) {
+    throw std::invalid_argument("score_batch: sequences/out size mismatch");
+  }
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    out[i] = score(sequences[i]);
+  }
+}
+
 void WindowGeometry::validate() const {
   if (data_window <= 0.0) {
     throw std::invalid_argument("WindowGeometry: data_window must be > 0");

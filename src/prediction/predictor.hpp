@@ -42,6 +42,15 @@ class SymptomPredictor {
   /// Failure-proneness of the current state; higher = more failure-prone.
   /// Throws std::logic_error when called before train().
   virtual double score(const SymptomContext& context) const = 0;
+
+  /// Scores many contexts in one call — the fleet runtime's hot path
+  /// (one virtual call per predictor instead of one per node×layer).
+  /// `out[i]` receives score(contexts[i]); the default loops, overrides
+  /// vectorize by hoisting per-call setup and reusing scratch buffers.
+  /// Must be safe to call concurrently on disjoint spans.
+  /// Throws std::invalid_argument when the span sizes differ.
+  virtual void score_batch(std::span<const SymptomContext> contexts,
+                           std::span<double> out) const;
 };
 
 /// Online failure predictor over detected-error event sequences (the
@@ -60,6 +69,11 @@ class EventPredictor {
   /// Failure-proneness of the error sequence observed in the current data
   /// window; higher = more failure-prone.
   virtual double score(const mon::ErrorSequence& sequence) const = 0;
+
+  /// Batched counterpart of score(); same contract as
+  /// SymptomPredictor::score_batch.
+  virtual void score_batch(std::span<const mon::ErrorSequence> sequences,
+                           std::span<double> out) const;
 };
 
 /// Shared window geometry (Fig. 6): data window Delta t_d, lead time

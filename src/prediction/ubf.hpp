@@ -72,6 +72,12 @@ class UbfPredictor final : public SymptomPredictor {
   void train(const mon::MonitoringDataset& data) override;
   double score(const SymptomContext& context) const override;
 
+  /// Vectorized scoring: reuses one feature scratch buffer across the
+  /// batch and computes only the selected features (score() derives the
+  /// slope of every variable; the batch path skips unselected ones).
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out) const override;
+
   /// Indices into the (possibly trend-augmented) feature space of the
   /// selected variables: index j < schema.size() is the level of variable
   /// j; index j >= schema.size() is the slope of variable

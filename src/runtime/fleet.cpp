@@ -1,0 +1,173 @@
+#include "runtime/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace pfm::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+FleetController::FleetController(
+    std::vector<std::unique_ptr<core::ManagedSystem>> nodes,
+    FleetConfig config)
+    : nodes_(std::move(nodes)),
+      config_(std::move(config)),
+      engines_(nodes_.size()),
+      stats_(nodes_.size()),
+      pool_(config_.num_threads) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("FleetController: empty fleet");
+  }
+  for (const auto& n : nodes_) {
+    if (!n) throw std::invalid_argument("FleetController: null node");
+  }
+  config_.mea.windows.validate();
+  if (config_.mea.evaluation_interval <= 0.0) {
+    throw std::invalid_argument("FleetController: evaluation interval > 0");
+  }
+  if (config_.mea.warning_threshold < 0.0 ||
+      config_.mea.warning_threshold > 1.0) {
+    throw std::invalid_argument("FleetController: threshold in [0,1]");
+  }
+}
+
+void FleetController::add_symptom_predictor(
+    std::shared_ptr<const pred::SymptomPredictor> p) {
+  if (!p) throw std::invalid_argument("FleetController: null predictor");
+  symptom_.push_back(std::move(p));
+}
+
+void FleetController::add_event_predictor(
+    std::shared_ptr<const pred::EventPredictor> p) {
+  if (!p) throw std::invalid_argument("FleetController: null predictor");
+  event_.push_back(std::move(p));
+}
+
+void FleetController::add_action(
+    const std::function<std::unique_ptr<act::Action>()>& factory) {
+  if (!factory) throw std::invalid_argument("FleetController: null factory");
+  for (auto& engine : engines_) engine.add_action(factory());
+}
+
+void FleetController::run() {
+  double horizon = 0.0;
+  for (const auto& n : nodes_) horizon = std::max(horizon, n->horizon());
+  run_until(horizon);
+}
+
+void FleetController::run_until(double t) {
+  const double interval = config_.mea.evaluation_interval;
+  const double threshold = config_.mea.warning_threshold;
+
+  std::vector<std::size_t> active;              // node index per stepped node
+  std::vector<pred::SymptomContext> contexts;   // one per scoreable node
+  std::vector<std::size_t> context_owner;       // active-list position
+  std::vector<mon::ErrorSequence> sequences;    // one per active node
+  std::vector<double> combined;                 // max score per active node
+  std::vector<std::vector<double>> columns;     // one column per predictor
+
+  for (;;) {
+    active.clear();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i]->finished() && nodes_[i]->now() < t) active.push_back(i);
+    }
+    if (active.empty()) break;
+    ++rounds_;
+
+    // --- Monitor: advance every live node one evaluation interval. ----------
+    const auto monitor_start = Clock::now();
+    pool_.parallel_for(active.size(), [&](std::size_t a) {
+      auto& node = *nodes_[active[a]];
+      node.step_to(std::min(node.now() + interval, t));
+    });
+    latency_.monitor_seconds += seconds_since(monitor_start);
+
+    // --- Evaluate: one score_batch call per predictor over the fleet. -------
+    const auto evaluate_start = Clock::now();
+    contexts.clear();
+    context_owner.clear();
+    sequences.clear();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      auto& node = *nodes_[active[a]];
+      ++stats_[active[a]].evaluations;
+      if (!symptom_.empty() && !node.trace().samples().empty()) {
+        contexts.push_back(node.symptom_context(config_.mea.context_samples));
+        context_owner.push_back(a);
+      }
+      if (!event_.empty()) {
+        sequences.push_back(
+            node.error_sequence(config_.mea.windows.data_window));
+      }
+    }
+
+    const std::size_t tasks = symptom_.size() + event_.size();
+    columns.resize(tasks);
+    pool_.parallel_for(tasks, [&](std::size_t p) {
+      auto& column = columns[p];
+      if (p < symptom_.size()) {
+        column.resize(contexts.size());
+        symptom_[p]->score_batch(contexts, column);
+      } else {
+        column.resize(sequences.size());
+        event_[p - symptom_.size()]->score_batch(sequences, column);
+      }
+    });
+    scores_computed_ +=
+        symptom_.size() * contexts.size() + event_.size() * sequences.size();
+
+    // Reduce: per node, the max over predictor columns (a warning from
+    // any layer is a warning) — same combination rule as MeaController.
+    combined.assign(active.size(), 0.0);
+    for (std::size_t p = 0; p < symptom_.size(); ++p) {
+      for (std::size_t c = 0; c < contexts.size(); ++c) {
+        combined[context_owner[c]] =
+            std::max(combined[context_owner[c]], columns[p][c]);
+      }
+    }
+    for (std::size_t p = 0; p < event_.size(); ++p) {
+      const auto& column = columns[symptom_.size() + p];
+      for (std::size_t a = 0; a < sequences.size(); ++a) {
+        combined[a] = std::max(combined[a], column[a]);
+      }
+    }
+    latency_.evaluate_seconds += seconds_since(evaluate_start);
+
+    // --- Act: warned nodes run their own countermeasure engines. ------------
+    const auto act_start = Clock::now();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (combined[a] >= threshold) ++warnings_raised_;
+    }
+    pool_.parallel_for(active.size(), [&](std::size_t a) {
+      if (combined[a] < threshold) return;
+      const std::size_t i = active[a];
+      ++stats_[i].warnings;
+      engines_[i].act(*nodes_[i], combined[a], config_.mea, stats_[i]);
+    });
+    latency_.act_seconds += seconds_since(act_start);
+  }
+}
+
+FleetTelemetry FleetController::telemetry() const {
+  FleetTelemetry out;
+  out.nodes = nodes_.size();
+  out.rounds = rounds_;
+  out.scores_computed = scores_computed_;
+  out.warnings_raised = warnings_raised_;
+  out.latency = latency_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.mea += stats_[i];
+    out.system += nodes_[i]->system_stats();
+  }
+  return out;
+}
+
+}  // namespace pfm::runtime

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/managed_system.hpp"
+#include "core/mea.hpp"
+#include "prediction/predictor.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace pfm::runtime {
+
+/// FleetController configuration: the per-node MEA parameters plus the
+/// degree of parallelism.
+struct FleetConfig {
+  core::MeaConfig mea;
+  /// Threads applied to the fleet loop (caller included). The thread
+  /// count never affects results — only wall time.
+  std::size_t num_threads = 1;
+};
+
+/// Wall time spent in each MEA stage, summed over rounds (seconds).
+struct StageLatency {
+  double monitor_seconds = 0.0;   ///< advancing the managed systems
+  double evaluate_seconds = 0.0;  ///< batched predictor scoring + reduce
+  double act_seconds = 0.0;       ///< countermeasure selection/execution
+};
+
+/// Fleet-level telemetry snapshot: aggregated MEA and downtime statistics
+/// plus per-stage latency counters.
+struct FleetTelemetry {
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;           ///< lockstep evaluation rounds run
+  std::size_t scores_computed = 0;  ///< individual predictor scores
+  std::size_t warnings_raised = 0;  ///< across the whole fleet
+  StageLatency latency;
+  core::MeaStats mea;         ///< sum of the per-node MeaStats
+  core::SystemStats system;   ///< sum of the per-node SystemStats
+};
+
+/// Runs the Monitor-Evaluate-Act loop over a fleet of managed systems on
+/// a fixed thread pool — the runtime shape of the Fig. 11 blueprint at
+/// production scale: shared, immutable predictors; one Act engine and
+/// one deterministic RNG stream per node.
+///
+/// Rounds are lockstep: every unfinished node advances one evaluation
+/// interval (Monitor, parallel over nodes), then each predictor scores
+/// the whole fleet in one score_batch call (Evaluate, parallel over
+/// predictors), then warned nodes run their countermeasures (Act,
+/// parallel over nodes). Nodes never share mutable state, every output
+/// lands in its own slot, and per-node randomness lives inside the node,
+/// so results are bit-identical for any thread count.
+class FleetController {
+ public:
+  FleetController(std::vector<std::unique_ptr<core::ManagedSystem>> nodes,
+                  FleetConfig config);
+
+  /// Registers a trained symptom predictor, shared (read-only) by all
+  /// nodes.
+  void add_symptom_predictor(std::shared_ptr<const pred::SymptomPredictor> p);
+
+  /// Registers a trained event predictor, shared (read-only) by all nodes.
+  void add_event_predictor(std::shared_ptr<const pred::EventPredictor> p);
+
+  /// Registers a countermeasure with every node's Act engine: the factory
+  /// is invoked once per node, so actions never see another node's
+  /// system.
+  void add_action(
+      const std::function<std::unique_ptr<act::Action>()>& factory);
+
+  /// Runs every node to its horizon.
+  void run();
+
+  /// Runs every node until time `t` (or its horizon, whichever is first).
+  void run_until(double t);
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  const core::ManagedSystem& node(std::size_t i) const { return *nodes_.at(i); }
+  const core::MeaStats& node_mea_stats(std::size_t i) const {
+    return stats_.at(i);
+  }
+
+  /// Aggregates the current per-node statistics and latency counters.
+  FleetTelemetry telemetry() const;
+
+ private:
+  std::vector<std::unique_ptr<core::ManagedSystem>> nodes_;
+  FleetConfig config_;
+  std::vector<std::shared_ptr<const pred::SymptomPredictor>> symptom_;
+  std::vector<std::shared_ptr<const pred::EventPredictor>> event_;
+  std::vector<core::ActEngine> engines_;  // one per node
+  std::vector<core::MeaStats> stats_;     // one per node
+  ThreadPool pool_;
+
+  std::size_t rounds_ = 0;
+  std::size_t scores_computed_ = 0;
+  std::size_t warnings_raised_ = 0;
+  StageLatency latency_;
+};
+
+}  // namespace pfm::runtime

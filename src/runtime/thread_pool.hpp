@@ -1,0 +1,63 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfm::runtime {
+
+/// Fixed-size thread pool for data-parallel index loops. Deliberately
+/// minimal — no task queue, no work stealing: the fleet controller's
+/// stages are homogeneous index ranges, so a shared atomic cursor
+/// balances load well enough and keeps the scheduling deterministic in
+/// everything that matters (which thread runs an index never influences
+/// results; outputs go to disjoint slots).
+///
+/// The constructing thread participates in every parallel_for, so
+/// ThreadPool(1) spawns no workers at all and runs loops inline.
+class ThreadPool {
+ public:
+  /// `num_threads` counts the caller: the pool spawns num_threads - 1
+  /// workers. 0 is treated as 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads applied to a loop, caller included.
+  std::size_t num_threads() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(0) ... fn(n-1), distributed over the pool; returns when all
+  /// n calls finished. Not reentrant and not thread-safe: only the
+  /// owning thread may call it, and fn must not call parallel_for on the
+  /// same pool. If any fn throws, the first exception is rethrown here
+  /// after the loop drains (remaining indices may or may not run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: new batch / stop
+  std::condition_variable done_cv_;  // signals caller: workers drained
+  std::uint64_t generation_ = 0;     // batch counter, guarded by mu_
+  std::size_t workers_pending_ = 0;  // workers still in the current batch
+  bool stop_ = false;
+
+  // Current batch, written by parallel_for before workers are woken.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;  // first exception, guarded by mu_
+};
+
+}  // namespace pfm::runtime

@@ -5,6 +5,7 @@
 #include "actions/action.hpp"
 #include "actions/selection.hpp"
 #include "actions/ttr.hpp"
+#include "runtime/scp_system.hpp"
 
 namespace pfm::act {
 namespace {
@@ -54,11 +55,12 @@ TEST(Properties, Validation) {
 
 TEST(StateCleanup, TriggersOnPressureAndRestartsWorstNode) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   StateCleanupAction cleanup(0.70);
-  EXPECT_FALSE(cleanup.applicable(sim));  // fresh system
+  EXPECT_FALSE(cleanup.applicable(system));  // fresh system
   sim.step_to(3.0 * 3600.0);  // leak grows past the trigger
-  ASSERT_TRUE(cleanup.applicable(sim));
-  cleanup.execute(sim, 0.9);
+  ASSERT_TRUE(cleanup.applicable(system));
+  cleanup.execute(system, 0.9);
   EXPECT_EQ(sim.stats().preventive_restarts, 1);
 }
 
@@ -74,9 +76,10 @@ TEST(Failover, TriggersOnCascade) {
   cfg.leak_mtbf = 1e12;
   cfg.spike_mtbf = 1e12;
   telecom::ScpSimulator sim(cfg);
+  runtime::ScpManagedSystem system(sim);
   PreventiveFailoverAction failover;
   sim.step_to(60.0);
-  ASSERT_TRUE(failover.applicable(sim));  // cascade onset happened
+  ASSERT_TRUE(failover.applicable(system));  // cascade onset happened
   // With cascade_mtbf=1 every node cascades; each execution clears one.
   auto cascading = [&] {
     std::size_t n = 0;
@@ -87,7 +90,7 @@ TEST(Failover, TriggersOnCascade) {
   };
   const auto before = cascading();
   ASSERT_GT(before, 0u);
-  failover.execute(sim, 0.8);
+  failover.execute(system, 0.8);
   EXPECT_EQ(sim.stats().preventive_restarts, 1);
   EXPECT_EQ(cascading(), before - 1);
 }
@@ -100,10 +103,11 @@ TEST(LoadLowering, AppliesConfidenceScaledShedding) {
   cfg.cascade_mtbf = 1e12;
   cfg.spike_mtbf = 1e12;
   telecom::ScpSimulator sim(cfg);
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(60.0);
   LoadLoweringAction shed(0.75, 600.0);
-  ASSERT_TRUE(shed.applicable(sim));
-  shed.execute(sim, 1.0);
+  ASSERT_TRUE(shed.applicable(system));
+  shed.execute(system, 1.0);
   sim.step_to(600.0);
   EXPECT_GT(sim.stats().shed_requests, 0);
 }
@@ -115,17 +119,19 @@ TEST(LoadLowering, NotApplicableAtNominalLoad) {
   cfg.cascade_mtbf = 1e12;
   cfg.spike_mtbf = 1e12;
   telecom::ScpSimulator sim(cfg);
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(60.0);
   LoadLoweringAction shed;
-  EXPECT_FALSE(shed.applicable(sim));
+  EXPECT_FALSE(shed.applicable(system));
 }
 
 TEST(PreparedRepair, AlwaysApplicableAndPreparesSystem) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   PreparedRepairAction prepare(900.0);
-  EXPECT_TRUE(prepare.applicable(sim));
+  EXPECT_TRUE(prepare.applicable(system));
   sim.step_to(60.0);
-  prepare.execute(sim, 0.7);
+  prepare.execute(system, 0.7);
   // Preparation is visible through a shortened repair of the next failure
   // (verified end-to-end in the simulator tests); here we check the
   // objective properties are sane.
@@ -135,10 +141,11 @@ TEST(PreparedRepair, AlwaysApplicableAndPreparesSystem) {
 
 TEST(PreventiveRestart, TargetsSuspiciousNode) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   PreventiveRestartAction restart;
   sim.step_to(3.0 * 3600.0);
-  ASSERT_TRUE(restart.applicable(sim));
-  restart.execute(sim, 0.9);
+  ASSERT_TRUE(restart.applicable(system));
+  restart.execute(system, 0.9);
   EXPECT_EQ(sim.stats().preventive_restarts, 1);
 }
 
@@ -154,6 +161,7 @@ TEST(Objective, ScoresFollowSect2Formula) {
 
 TEST(Selector, PicksBestApplicableAction) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(3.0 * 3600.0);  // pressure high: cleanup applicable
 
   std::vector<std::unique_ptr<Action>> actions;
@@ -162,13 +170,14 @@ TEST(Selector, PicksBestApplicableAction) {
   actions.push_back(nullptr);  // tolerated
 
   ActionSelector selector;
-  Action* chosen = selector.select(actions, sim, 0.9);
+  Action* chosen = selector.select(actions, system, 0.9);
   ASSERT_NE(chosen, nullptr);
   EXPECT_EQ(chosen->kind(), ActionKind::kStateCleanup);
 }
 
 TEST(Selector, ReturnsNullWhenNothingWorthwhile) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(3.0 * 3600.0);
   std::vector<std::unique_ptr<Action>> actions;
   actions.push_back(std::make_unique<StateCleanupAction>());
@@ -176,18 +185,19 @@ TEST(Selector, ReturnsNullWhenNothingWorthwhile) {
   ObjectiveWeights w;
   w.failure_cost = 0.1;
   ActionSelector selector(w);
-  EXPECT_EQ(selector.select(actions, sim, 0.05), nullptr);
+  EXPECT_EQ(selector.select(actions, system, 0.05), nullptr);
 }
 
 TEST(Selector, RespectsBudgetConstraint) {
   telecom::ScpSimulator sim(leaky_config());
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(3.0 * 3600.0);
   std::vector<std::unique_ptr<Action>> actions;
   actions.push_back(std::make_unique<StateCleanupAction>());
   ObjectiveWeights w;
   w.max_action_cost = 0.1;  // everything is too expensive
   ActionSelector selector(w);
-  EXPECT_EQ(selector.select(actions, sim, 0.99), nullptr);
+  EXPECT_EQ(selector.select(actions, system, 0.99), nullptr);
 }
 
 TEST(Ttr, Fig8Decomposition) {

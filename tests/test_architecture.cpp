@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "numerics/rng.hpp"
 
@@ -123,6 +125,59 @@ TEST(Architecture, FitFusionWithoutLayersThrows) {
   LayeredArchitecture arch;
   EXPECT_THROW(arch.fit_fusion(std::vector<double>{0.1}, std::vector<int>{1}),
                std::logic_error);
+}
+
+TEST(Architecture, ContributionsEmbedCallerScores) {
+  LayeredArchitecture arch;
+  arch.set_layer(Layer::kHardware,
+                 {std::make_shared<ConstSymptom>(0.2), nullptr});
+  arch.set_layer(Layer::kApplication,
+                 {std::make_shared<ConstSymptom>(0.7), nullptr});
+
+  // Scoring keeps no state, so the no-arg report leaves last_score at 0.
+  mon::ErrorSequence seq;
+  const auto scores = arch.all_scores(some_context(), seq);
+  for (const auto& c : arch.contributions()) {
+    EXPECT_DOUBLE_EQ(c.last_score, 0.0);
+  }
+
+  const auto report = arch.contributions(scores);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].layer, Layer::kHardware);
+  EXPECT_DOUBLE_EQ(report[0].last_score, 0.2);
+  EXPECT_EQ(report[1].layer, Layer::kApplication);
+  EXPECT_DOUBLE_EQ(report[1].last_score, 0.7);
+
+  EXPECT_THROW(arch.contributions(std::vector<double>{0.1}),
+               std::invalid_argument);
+}
+
+TEST(Architecture, ConstScoringIsSafeFromManyThreads) {
+  // Regression for the old `mutable last_scores_` member: layer_score and
+  // friends are const and must not write shared state, so hammering one
+  // instance from several threads is race-free (run under
+  // -DPFM_SANITIZE=thread to prove it) and every thread sees the same
+  // values.
+  LayeredArchitecture arch;
+  arch.set_layer(Layer::kHardware,
+                 {std::make_shared<ConstSymptom>(0.3), nullptr});
+  arch.set_layer(Layer::kApplication,
+                 {std::make_shared<ConstSymptom>(0.8), nullptr});
+  mon::ErrorSequence seq;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const auto all = arch.all_scores(some_context(), seq);
+        if (all.size() != 2 || all[0] != 0.3 || all[1] != 0.8) ++mismatches;
+        if (arch.fuse(some_context(), seq) != 0.8) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(Architecture, DriftDetectionFlagsRetraining) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/scp_system.hpp"
+
 #include <stdexcept>
 
 namespace pfm::core {
@@ -26,10 +28,11 @@ TEST(Diagnoser, ConfigValidation) {
 
 TEST(Diagnoser, HealthySystemHasNoSuspects) {
   telecom::ScpSimulator sim(quiet_config());
+  runtime::ScpManagedSystem system(sim);
   sim.step_to(3600.0);
   Diagnoser d;
-  EXPECT_TRUE(d.diagnose(sim).empty());
-  EXPECT_EQ(d.prime_suspect(sim), -1);
+  EXPECT_TRUE(d.diagnose(system).empty());
+  EXPECT_EQ(d.prime_suspect(system), -1);
 }
 
 TEST(Diagnoser, LeakingNodeBecomesPrimeSuspect) {
@@ -49,8 +52,9 @@ TEST(Diagnoser, LeakingNodeBecomesPrimeSuspect) {
     }
   }
   ASSERT_GT(worst_pressure, 0.70) << "test premise: some node under pressure";
+  runtime::ScpManagedSystem system(sim);
   Diagnoser d;
-  const auto suspects = d.diagnose(sim);
+  const auto suspects = d.diagnose(system);
   ASSERT_FALSE(suspects.empty());
   EXPECT_EQ(suspects.front().component, static_cast<std::int32_t>(worst));
   EXPECT_NE(suspects.front().evidence.find("memory pressure"),
@@ -70,8 +74,9 @@ TEST(Diagnoser, CascadingNodeIsFlaggedWithEvidence) {
     }
     if (any) break;
   }
+  runtime::ScpManagedSystem system(sim);
   Diagnoser d;
-  const auto suspects = d.diagnose(sim);
+  const auto suspects = d.diagnose(system);
   ASSERT_FALSE(suspects.empty());
   bool cascade_flagged = false;
   for (const auto& s : suspects) {
@@ -88,8 +93,9 @@ TEST(Diagnoser, OverloadIsSystemWideNotComponent) {
   cfg.arrival_rate = 150.0;  // well beyond 4 x 30 capacity at peak
   telecom::ScpSimulator sim(cfg);
   sim.step_to(12.0 * 3600.0);  // midday peak
+  runtime::ScpManagedSystem system(sim);
   Diagnoser d;
-  const auto suspects = d.diagnose(sim);
+  const auto suspects = d.diagnose(system);
   bool system_wide = false;
   for (const auto& s : suspects) {
     if (s.component == -1) {
@@ -107,8 +113,9 @@ TEST(Diagnoser, SuspicionsSortedAndBounded) {
   cfg.noise_event_rate = 1.0 / 300.0;
   telecom::ScpSimulator sim(cfg);
   sim.step_to(3.0 * 3600.0);
+  runtime::ScpManagedSystem system(sim);
   Diagnoser d;
-  const auto suspects = d.diagnose(sim);
+  const auto suspects = d.diagnose(system);
   for (std::size_t i = 0; i < suspects.size(); ++i) {
     EXPECT_GE(suspects[i].score, 0.0);
     EXPECT_LE(suspects[i].score, 1.0);

@@ -126,6 +126,10 @@ TEST(Evaluate, WindowGeometryValidation) {
   EXPECT_THROW(g.validate(), std::invalid_argument);
   g = {600.0, 300.0, 300.0};
   EXPECT_NO_THROW(g.validate());
+  // Boundary: zero lead time is legal (warn at the failure instant),
+  // zero-width data or prediction windows are not.
+  g = {600.0, 0.0, 300.0};
+  EXPECT_NO_THROW(g.validate());
 }
 
 }  // namespace

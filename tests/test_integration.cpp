@@ -12,6 +12,7 @@
 #include "prediction/evaluate.hpp"
 #include "prediction/hsmm.hpp"
 #include "prediction/ubf.hpp"
+#include "runtime/scp_system.hpp"
 
 namespace pfm {
 namespace {
@@ -131,10 +132,11 @@ TEST_F(PipelineTest, ClosedLoopWithTrainedPredictorImprovesAvailability) {
   plain.run();
 
   telecom::ScpSimulator managed(cfg);
+  runtime::ScpManagedSystem managed_system(managed);
   core::MeaConfig mc;
   mc.windows = g;
   mc.warning_threshold = 0.5;
-  core::MeaController mea(managed, mc);
+  core::MeaController mea(managed_system, mc);
   mea.add_symptom_predictor(
       std::make_shared<pred::CalibratedSymptomPredictor>(trend,
                                                          report.threshold));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/scp_system.hpp"
+
 #include <memory>
 #include <stdexcept>
 
@@ -49,14 +51,15 @@ std::size_t pressure_index(const telecom::ScpSimulator& sim) {
 
 TEST(Mea, ConfigValidation) {
   telecom::ScpSimulator sim(leaky_config(0.01));
+  runtime::ScpManagedSystem system(sim);
   MeaConfig cfg;
   cfg.evaluation_interval = 0.0;
-  EXPECT_THROW(MeaController(sim, cfg), std::invalid_argument);
+  EXPECT_THROW(MeaController(system, cfg), std::invalid_argument);
   cfg = MeaConfig{};
   cfg.warning_threshold = 1.5;
-  EXPECT_THROW(MeaController(sim, cfg), std::invalid_argument);
+  EXPECT_THROW(MeaController(system, cfg), std::invalid_argument);
   cfg = MeaConfig{};
-  MeaController mea(sim, cfg);
+  MeaController mea(system, cfg);
   EXPECT_THROW(mea.add_symptom_predictor(nullptr), std::invalid_argument);
   EXPECT_THROW(mea.add_event_predictor(nullptr), std::invalid_argument);
   EXPECT_THROW(mea.add_action(nullptr), std::invalid_argument);
@@ -64,8 +67,9 @@ TEST(Mea, ConfigValidation) {
 
 TEST(Mea, NoWarningsWithSilentPredictor) {
   telecom::ScpSimulator sim(leaky_config(0.5));
+  runtime::ScpManagedSystem system(sim);
   MeaConfig cfg;
-  MeaController mea(sim, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(std::make_shared<SilentPredictor>());
   mea.run();
   EXPECT_GT(mea.stats().evaluations, 0u);
@@ -81,10 +85,11 @@ TEST(Mea, AvoidanceCutsFailuresOnLeakWorkload) {
 
   // PFM with a pressure-triggered state clean-up.
   telecom::ScpSimulator managed(leaky_config());
+  runtime::ScpManagedSystem system(managed);
   MeaConfig cfg;
   cfg.warning_threshold = 0.72;
   cfg.action_cooldown = 600.0;
-  MeaController mea(managed, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(
       std::make_shared<PressurePredictor>(pressure_index(managed)));
   mea.add_action(std::make_unique<act::StateCleanupAction>(0.70));
@@ -99,10 +104,11 @@ TEST(Mea, AvoidanceCutsFailuresOnLeakWorkload) {
 
 TEST(Mea, MinimizationAlonePreparesRepairs) {
   telecom::ScpSimulator managed(leaky_config());
+  runtime::ScpManagedSystem system(managed);
   MeaConfig cfg;
   cfg.warning_threshold = 0.72;
   cfg.enable_avoidance = false;  // only prepare, never avoid
-  MeaController mea(managed, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(
       std::make_shared<PressurePredictor>(pressure_index(managed)));
   mea.add_action(std::make_unique<act::StateCleanupAction>(0.70));
@@ -118,12 +124,13 @@ TEST(Mea, MinimizationAlonePreparesRepairs) {
 
 TEST(Mea, CooldownLimitsActionRate) {
   telecom::ScpSimulator managed(leaky_config(1.0));
+  runtime::ScpManagedSystem system(managed);
   MeaConfig cfg;
   cfg.warning_threshold = 0.0;  // warn every evaluation
   cfg.evaluation_interval = 60.0;
   cfg.action_cooldown = 7200.0;
   cfg.enable_minimization = false;
-  MeaController mea(managed, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(
       std::make_shared<PressurePredictor>(pressure_index(managed)));
   mea.add_action(std::make_unique<act::StateCleanupAction>(0.44));
@@ -135,8 +142,9 @@ TEST(Mea, CooldownLimitsActionRate) {
 
 TEST(Mea, EvaluateNowReflectsPredictors) {
   telecom::ScpSimulator sim(leaky_config(0.2));
+  runtime::ScpManagedSystem system(sim);
   MeaConfig cfg;
-  MeaController mea(sim, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(std::make_shared<SilentPredictor>());
   mea.run_until(3600.0);
   EXPECT_DOUBLE_EQ(mea.evaluate_now(), 0.0);
@@ -144,8 +152,9 @@ TEST(Mea, EvaluateNowReflectsPredictors) {
 
 TEST(Mea, RunUntilStopsAtRequestedTime) {
   telecom::ScpSimulator sim(leaky_config(1.0));
+  runtime::ScpManagedSystem system(sim);
   MeaConfig cfg;
-  MeaController mea(sim, cfg);
+  MeaController mea(system, cfg);
   mea.add_symptom_predictor(std::make_shared<SilentPredictor>());
   mea.run_until(3600.0);
   EXPECT_GE(sim.now(), 3600.0);
