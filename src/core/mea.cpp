@@ -1,6 +1,7 @@
 #include "core/mea.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace pfm::core {
@@ -10,12 +11,42 @@ void ActEngine::add_action(std::unique_ptr<act::Action> action) {
   actions_.push_back(std::move(action));
 }
 
+bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
+                            double score, const MeaConfig& config,
+                            MeaStats& stats) {
+  const std::size_t k = static_cast<std::size_t>(action.kind());
+  const std::size_t attempts = std::max<std::size_t>(1, config.retry.max_attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++stats.action_retries;
+    try {
+      action.execute(system, score);
+      abandoned_streak_[k] = 0;
+      backoff_until_[k] = -1e18;
+      return true;
+    } catch (const std::exception&) {
+      ++stats.action_faults;
+      if (config.retry.rethrow) throw;
+    }
+  }
+  // All attempts failed: back the kind off exponentially in simulated
+  // time, doubling per consecutive abandoned execution.
+  ++stats.actions_abandoned;
+  const double backoff =
+      std::min(config.retry.backoff_initial *
+                   std::exp2(static_cast<double>(abandoned_streak_[k])),
+               config.retry.backoff_max);
+  ++abandoned_streak_[k];
+  backoff_until_[k] = system.now() + backoff;
+  return false;
+}
+
 void ActEngine::act(ManagedSystem& system, double score,
                     const MeaConfig& config, MeaStats& stats) {
   const double now = system.now();
   auto cooled_down = [&](act::ActionKind kind) {
-    return now - last_action_time_[static_cast<std::size_t>(kind)] >=
-           config.action_cooldown;
+    const std::size_t k = static_cast<std::size_t>(kind);
+    return now - last_action_time_[k] >= config.action_cooldown &&
+           now >= backoff_until_[k];
   };
   auto record = [&](act::ActionKind kind) {
     last_action_time_[static_cast<std::size_t>(kind)] = now;
@@ -28,8 +59,7 @@ void ActEngine::act(ManagedSystem& system, double score,
     for (const auto& a : actions_) {
       if (a->goal() != act::ActionGoal::kDowntimeMinimization) continue;
       if (!a->applicable(system) || !cooled_down(a->kind())) continue;
-      a->execute(system, score);
-      record(a->kind());
+      if (try_execute(*a, system, score, config, stats)) record(a->kind());
     }
   }
 
@@ -48,8 +78,8 @@ void ActEngine::act(ManagedSystem& system, double score,
         best = a.get();
       }
     }
-    if (best != nullptr) {
-      best->execute(system, score);
+    if (best != nullptr &&
+        try_execute(*best, system, score, config, stats)) {
       record(best->kind());
     }
   }
@@ -82,20 +112,27 @@ void MeaController::add_action(std::unique_ptr<act::Action> action) {
   engine_.add_action(std::move(action));
 }
 
-double MeaController::evaluate_now() const {
+double MeaController::evaluate_now(std::size_t* sanitized) const {
   double combined = 0.0;
+  // A predictor may misbehave and emit NaN/inf (e.g. a numerically
+  // degenerate model); a non-finite score must neither poison the max
+  // reduce (+inf would warn forever) nor silently vanish — it is excluded
+  // and counted.
+  auto fold = [&](double score) {
+    if (!std::isfinite(score)) {
+      if (sanitized != nullptr) ++*sanitized;
+      return;
+    }
+    combined = std::max(combined, score);
+  };
 
   if (!symptom_.empty() && !system_->trace().samples().empty()) {
     const auto ctx = system_->symptom_context(config_.context_samples);
-    for (const auto& p : symptom_) {
-      combined = std::max(combined, p->score(ctx));
-    }
+    for (const auto& p : symptom_) fold(p->score(ctx));
   }
   if (!event_.empty()) {
     const auto seq = system_->error_sequence(config_.windows.data_window);
-    for (const auto& p : event_) {
-      combined = std::max(combined, p->score(seq));
-    }
+    for (const auto& p : event_) fold(p->score(seq));
   }
   return combined;
 }
@@ -105,7 +142,7 @@ void MeaController::run_until(double t) {
     system_->step_to(
         std::min(system_->now() + config_.evaluation_interval, t));
     ++stats_.evaluations;
-    const double score = evaluate_now();
+    const double score = evaluate_now(&stats_.scores_sanitized);
     if (score >= config_.warning_threshold) {
       ++stats_.warnings;
       engine_.act(*system_, score, config_, stats_);

@@ -10,6 +10,24 @@
 
 namespace pfm::core {
 
+/// Bounded-retry / exponential-backoff policy for countermeasure
+/// execution. A throwing action is retried up to `max_attempts` total
+/// tries within the same warning; when all attempts fail, the action's
+/// kind is backed off in *simulated* time (initial * 2^consecutive
+/// abandoned executions, capped at `backoff_max`) before it may run
+/// again, and the failure is absorbed into the stats instead of
+/// propagating. Actions that never throw see none of this — the
+/// fault-free path is bit-identical to a policy-free loop.
+struct ActionRetryPolicy {
+  std::size_t max_attempts = 3;  ///< total tries per execution; >= 1
+  double backoff_initial = 120.0;  ///< seconds, doubles per failure
+  double backoff_max = 3600.0;
+  /// Propagate the last exception instead of absorbing it (pre-hardening
+  /// behavior; the fault-injection bench uses this as its "no hardening"
+  /// arm).
+  bool rethrow = false;
+};
+
 /// Configuration of the Monitor-Evaluate-Act loop.
 struct MeaConfig {
   /// Seconds between MEA evaluations.
@@ -27,13 +45,20 @@ struct MeaConfig {
   /// E9 experiment toggles these.
   bool enable_avoidance = true;
   bool enable_minimization = true;
+  /// Failure handling for countermeasure execution.
+  ActionRetryPolicy retry;
 };
 
-/// Counters of one MEA run.
+/// Counters of one MEA run. The fault counters stay zero unless a
+/// component actually misbehaves.
 struct MeaStats {
   std::size_t evaluations = 0;
   std::size_t warnings = 0;
   std::array<std::size_t, act::kNumActionKinds> actions_by_kind{};
+  std::size_t scores_sanitized = 0;   ///< non-finite scores excluded
+  std::size_t action_faults = 0;      ///< execution attempts that threw
+  std::size_t action_retries = 0;     ///< re-attempts after a failed try
+  std::size_t actions_abandoned = 0;  ///< executions that exhausted retries
 
   std::size_t total_actions() const noexcept {
     std::size_t s = 0;
@@ -47,6 +72,10 @@ struct MeaStats {
     for (std::size_t k = 0; k < actions_by_kind.size(); ++k) {
       actions_by_kind[k] += other.actions_by_kind[k];
     }
+    scores_sanitized += other.scores_sanitized;
+    action_faults += other.action_faults;
+    action_retries += other.action_retries;
+    actions_abandoned += other.actions_abandoned;
     return *this;
   }
 };
@@ -57,7 +86,10 @@ struct MeaStats {
 /// per managed node while sharing predictors across the fleet.
 class ActEngine {
  public:
-  ActEngine() { last_action_time_.fill(-1e18); }
+  ActEngine() {
+    last_action_time_.fill(-1e18);
+    backoff_until_.fill(-1e18);
+  }
 
   /// Registers a countermeasure. Throws on nullptr.
   void add_action(std::unique_ptr<act::Action> action);
@@ -70,13 +102,28 @@ class ActEngine {
   ///  - downtime avoidance: the objective function picks the single most
   ///    effective applicable action.
   /// Executed actions are counted into `stats` and stamp their cooldown.
+  /// Throwing actions follow `config.retry` (bounded retries, then
+  /// exponential backoff on the action's kind, failure absorbed into
+  /// `stats` unless the policy says rethrow).
   void act(ManagedSystem& system, double score, const MeaConfig& config,
            MeaStats& stats);
 
+  /// Simulated-time instant before which `kind` is backed off (-inf when
+  /// it never failed); exposed for the retry-schedule tests.
+  double backoff_until(act::ActionKind kind) const noexcept {
+    return backoff_until_[static_cast<std::size_t>(kind)];
+  }
+
  private:
+  /// Runs one action under the retry policy; true on success.
+  bool try_execute(act::Action& action, ManagedSystem& system, double score,
+                   const MeaConfig& config, MeaStats& stats);
+
   std::vector<std::unique_ptr<act::Action>> actions_;
   act::ActionSelector selector_;
   std::array<double, act::kNumActionKinds> last_action_time_{};
+  std::array<double, act::kNumActionKinds> backoff_until_{};
+  std::array<std::size_t, act::kNumActionKinds> abandoned_streak_{};
 };
 
 /// The Monitor-Evaluate-Act control loop (Fig. 1) driving one managed
@@ -111,8 +158,10 @@ class MeaController {
   const MeaStats& stats() const noexcept { return stats_; }
 
   /// Combined failure-proneness at the current instant (exposed for tests
-  /// and examples).
-  double evaluate_now() const;
+  /// and examples). Non-finite predictor scores are excluded from the max
+  /// reduce; when `sanitized` is non-null it is incremented per excluded
+  /// score.
+  double evaluate_now(std::size_t* sanitized = nullptr) const;
 
  private:
   ManagedSystem* system_;

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace pfm::inj {
+
+/// Exception thrown by a FaultyManagedSystem once its scripted crash time
+/// has passed: every subsequent interaction with the node fails with it,
+/// the way a dead remote endpoint fails every RPC.
+class NodeCrashError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exception thrown by FaultySymptomPredictor / FaultyEventPredictor when
+/// a scoring call is scripted to fail.
+class PredictorFaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Exception thrown by FaultyAction when a countermeasure execution is
+/// scripted to fail (outright or after partial completion).
+class ActionFaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Scripted faults of one managed system. Times are in the node's own
+/// simulated seconds; probabilities are per interaction and drawn from
+/// the injector's deterministic decision stream.
+struct NodeFaultSpec {
+  /// Node crashes (throws NodeCrashError from every method) once its time
+  /// reaches this instant. <0 disables.
+  double crash_at = -1.0;
+  /// Node hangs (step_to makes no progress) for `hang_steps` Monitor
+  /// steps starting at the first step at or after this instant. <0
+  /// disables.
+  double hang_at = -1.0;
+  std::size_t hang_steps = 0;
+  /// Probability that a freshly monitored symptom sample is silently
+  /// dropped from the trace (sensor outage).
+  double drop_sample_p = 0.0;
+  /// Probability that a freshly monitored symptom sample is corrupted:
+  /// every value replaced by quiet NaN (sensor garbage).
+  double corrupt_sample_p = 0.0;
+};
+
+/// Scripted faults of one predictor (identified by the id given at wrap
+/// time). Probabilities are per scored item.
+struct PredictorFaultSpec {
+  double throw_p = 0.0;  ///< scoring throws PredictorFaultError
+  double nan_p = 0.0;    ///< score comes back as quiet NaN
+  double inf_p = 0.0;    ///< score comes back as +infinity
+  /// Extra wall latency per score_batch call, seconds (stage slowdown;
+  /// never affects results, only timing telemetry).
+  double added_latency = 0.0;
+};
+
+/// Scripted faults of one action wrapper. Probabilities are per execution
+/// attempt, so retries re-roll the dice — a retried action can succeed.
+struct ActionFaultSpec {
+  double fail_p = 0.0;     ///< throws before touching the system
+  double partial_p = 0.0;  ///< executes, then throws (work done, ack lost)
+};
+
+/// A declarative, fully deterministic fault scenario: which nodes,
+/// predictors and actions misbehave and how. Applied by FaultInjector via
+/// decorator wrappers; an empty (default) plan injects nothing and leaves
+/// every wrapped component bit-identical to the bare one.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Per-node specs keyed by node index; absent nodes are fault-free.
+  std::unordered_map<std::size_t, NodeFaultSpec> nodes;
+  /// Spec applied to every node in addition to its own entry-free default
+  /// (a node with an explicit entry uses that entry instead).
+  NodeFaultSpec default_node;
+
+  /// Per-predictor specs keyed by the id passed to wrap_*_predictor.
+  std::unordered_map<std::size_t, PredictorFaultSpec> predictors;
+  PredictorFaultSpec default_predictor;
+
+  /// Per-action specs keyed by the action wrapper's stream id (assigned
+  /// in wrap order).
+  std::unordered_map<std::size_t, ActionFaultSpec> actions;
+  ActionFaultSpec default_action;
+
+  const NodeFaultSpec& node_spec(std::size_t index) const {
+    auto it = nodes.find(index);
+    return it != nodes.end() ? it->second : default_node;
+  }
+  const PredictorFaultSpec& predictor_spec(std::size_t id) const {
+    auto it = predictors.find(id);
+    return it != predictors.end() ? it->second : default_predictor;
+  }
+  const ActionFaultSpec& action_spec(std::size_t id) const {
+    auto it = actions.find(id);
+    return it != actions.end() ? it->second : default_action;
+  }
+};
+
+/// One deterministic decision stream of the injector: a counted sequence
+/// of uniform draws that is a pure function of (plan seed, stream kind,
+/// stream id). Wrappers own one stream each and consult it in their own
+/// deterministic call order, so injected runs are bit-identical for a
+/// fixed (seed, plan) at any thread count — no shared RNG state exists.
+class DecisionStream {
+ public:
+  DecisionStream() = default;
+  DecisionStream(std::uint64_t seed, std::uint64_t kind, std::uint64_t id)
+      : key_(mix(mix(seed ^ 0x9e3779b97f4a7c15ULL, kind), id)) {}
+
+  /// Next uniform draw in [0, 1).
+  double uniform() {
+    return static_cast<double>(mix(key_, counter_++) >> 11) * 0x1.0p-53;
+  }
+
+  /// Next Bernoulli draw; p <= 0 never fires (and burns no draw), so a
+  /// zero-probability plan leaves the stream untouched.
+  bool fire(double p) { return p > 0.0 && uniform() < p; }
+
+ private:
+  /// splitmix64 finalizer over a combined key (same construction as
+  /// runtime::derive_node_seed).
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t key_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+/// Injection-side counters: how many faults each wrapper family actually
+/// injected. The runtime's FleetTelemetry reports the *observed* side
+/// (quarantines, trips, retries); these report the *cause* side.
+struct InjectionStats {
+  std::size_t node_crashes = 0;
+  std::size_t node_hangs = 0;        ///< stalled Monitor steps served
+  std::size_t samples_dropped = 0;
+  std::size_t samples_corrupted = 0;
+  std::size_t predictor_throws = 0;
+  std::size_t predictor_nans = 0;    ///< NaN and inf scores
+  std::size_t action_failures = 0;   ///< outright and partial
+
+  std::size_t total() const noexcept {
+    return node_crashes + node_hangs + samples_dropped + samples_corrupted +
+           predictor_throws + predictor_nans + action_failures;
+  }
+
+  InjectionStats& operator+=(const InjectionStats& other) noexcept {
+    node_crashes += other.node_crashes;
+    node_hangs += other.node_hangs;
+    samples_dropped += other.samples_dropped;
+    samples_corrupted += other.samples_corrupted;
+    predictor_throws += other.predictor_throws;
+    predictor_nans += other.predictor_nans;
+    action_failures += other.action_failures;
+    return *this;
+  }
+};
+
+}  // namespace pfm::inj

@@ -1,0 +1,38 @@
+#include "injection/faulty_action.hpp"
+
+#include <stdexcept>
+
+namespace pfm::inj {
+
+namespace {
+constexpr std::uint64_t kActionStream = 3;
+
+std::uint64_t action_stream_id(std::size_t action_id,
+                               std::size_t instance) noexcept {
+  return (static_cast<std::uint64_t>(action_id) << 32) | instance;
+}
+}  // namespace
+
+FaultyAction::FaultyAction(std::unique_ptr<act::Action> inner,
+                           std::size_t action_id, std::size_t instance,
+                           const FaultPlan& plan)
+    : inner_(std::move(inner)),
+      spec_(plan.action_spec(action_id)),
+      stream_(plan.seed, kActionStream, action_stream_id(action_id, instance)) {
+  if (!inner_) throw std::invalid_argument("FaultyAction: null inner");
+}
+
+void FaultyAction::execute(core::ManagedSystem& system, double confidence) {
+  if (stream_.fire(spec_.fail_p)) {
+    ++stats_.action_failures;
+    throw ActionFaultError(inner_->name() + ": injected outright failure");
+  }
+  const bool partial = stream_.fire(spec_.partial_p);
+  inner_->execute(system, confidence);
+  if (partial) {
+    ++stats_.action_failures;
+    throw ActionFaultError(inner_->name() + ": injected partial completion");
+  }
+}
+
+}  // namespace pfm::inj

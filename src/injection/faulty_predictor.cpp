@@ -1,0 +1,99 @@
+#include "injection/faulty_predictor.hpp"
+
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace pfm::inj {
+
+namespace detail {
+
+namespace {
+constexpr std::uint64_t kPredictorStream = 2;
+}  // namespace
+
+PredictorFaultState::PredictorFaultState(const FaultPlan& plan,
+                                         std::size_t id)
+    : spec_(plan.predictor_spec(id)),
+      stream_(plan.seed, kPredictorStream, id) {}
+
+void PredictorFaultState::corrupt(std::span<double> out) const {
+  if (spec_.added_latency > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec_.added_latency));
+  }
+  for (auto& value : out) {
+    if (stream_.fire(spec_.throw_p)) {
+      ++stats_.predictor_throws;
+      throw PredictorFaultError("injected predictor fault");
+    }
+    if (stream_.fire(spec_.nan_p)) {
+      ++stats_.predictor_nans;
+      value = std::numeric_limits<double>::quiet_NaN();
+    } else if (stream_.fire(spec_.inf_p)) {
+      ++stats_.predictor_nans;
+      value = std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+}  // namespace detail
+
+FaultySymptomPredictor::FaultySymptomPredictor(
+    std::shared_ptr<const pred::SymptomPredictor> inner, std::size_t id,
+    const FaultPlan& plan)
+    : inner_(std::move(inner)), state_(plan, id) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultySymptomPredictor: null inner");
+  }
+}
+
+void FaultySymptomPredictor::train(const mon::MonitoringDataset&) {
+  // Wrappers decorate already-trained predictors shared read-only across
+  // the fleet; training through the wrapper is a wiring mistake.
+  throw std::logic_error("FaultySymptomPredictor: wrap after training");
+}
+
+double FaultySymptomPredictor::score(
+    const pred::SymptomContext& context) const {
+  double value = inner_->score(context);
+  state_.corrupt({&value, 1});
+  return value;
+}
+
+void FaultySymptomPredictor::score_batch(
+    std::span<const pred::SymptomContext> contexts,
+    std::span<double> out) const {
+  inner_->score_batch(contexts, out);
+  state_.corrupt(out);
+}
+
+FaultyEventPredictor::FaultyEventPredictor(
+    std::shared_ptr<const pred::EventPredictor> inner, std::size_t id,
+    const FaultPlan& plan)
+    : inner_(std::move(inner)), state_(plan, id) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultyEventPredictor: null inner");
+  }
+}
+
+void FaultyEventPredictor::train(std::span<const mon::ErrorSequence>,
+                                 std::span<const mon::ErrorSequence>) {
+  throw std::logic_error("FaultyEventPredictor: wrap after training");
+}
+
+double FaultyEventPredictor::score(const mon::ErrorSequence& sequence) const {
+  double value = inner_->score(sequence);
+  state_.corrupt({&value, 1});
+  return value;
+}
+
+void FaultyEventPredictor::score_batch(
+    std::span<const mon::ErrorSequence> sequences,
+    std::span<double> out) const {
+  inner_->score_batch(sequences, out);
+  state_.corrupt(out);
+}
+
+}  // namespace pfm::inj

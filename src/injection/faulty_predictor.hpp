@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+
+#include "injection/fault_plan.hpp"
+#include "prediction/predictor.hpp"
+
+namespace pfm::inj {
+
+namespace detail {
+
+/// Shared fault machinery of the two predictor decorators: per-item rolls
+/// of (throw, NaN, inf) from one decision stream, plus optional wall
+/// latency per batch call. Mutable because the predictor contracts are
+/// const; unlike bare predictors, a faulty wrapper must therefore not be
+/// scored concurrently with itself (the fleet runtime issues one
+/// score_batch per predictor per round, which satisfies this).
+class PredictorFaultState {
+ public:
+  PredictorFaultState(const FaultPlan& plan, std::size_t id);
+
+  /// Applies the per-item rolls to `out` (already filled by the inner
+  /// predictor) and sleeps the injected latency. Throws
+  /// PredictorFaultError when the throw roll fires for any item.
+  void corrupt(std::span<double> out) const;
+
+  const InjectionStats& stats() const noexcept { return stats_; }
+
+ private:
+  PredictorFaultSpec spec_;
+  mutable DecisionStream stream_;
+  mutable InjectionStats stats_;
+};
+
+}  // namespace detail
+
+/// Decorator applying a PredictorFaultSpec to a symptom predictor. With a
+/// zero spec it forwards scoring untouched (bit-identical scores).
+class FaultySymptomPredictor final : public pred::SymptomPredictor {
+ public:
+  FaultySymptomPredictor(std::shared_ptr<const pred::SymptomPredictor> inner,
+                         std::size_t id, const FaultPlan& plan);
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+  void train(const mon::MonitoringDataset& data) override;
+  double score(const pred::SymptomContext& context) const override;
+  void score_batch(std::span<const pred::SymptomContext> contexts,
+                   std::span<double> out) const override;
+
+  const InjectionStats& injection_stats() const noexcept {
+    return state_.stats();
+  }
+
+ private:
+  std::shared_ptr<const pred::SymptomPredictor> inner_;
+  detail::PredictorFaultState state_;
+};
+
+/// Decorator applying a PredictorFaultSpec to an event predictor.
+class FaultyEventPredictor final : public pred::EventPredictor {
+ public:
+  FaultyEventPredictor(std::shared_ptr<const pred::EventPredictor> inner,
+                       std::size_t id, const FaultPlan& plan);
+
+  std::string name() const override { return inner_->name() + "+faults"; }
+  void train(
+      std::span<const mon::ErrorSequence> failure_sequences,
+      std::span<const mon::ErrorSequence> nonfailure_sequences) override;
+  double score(const mon::ErrorSequence& sequence) const override;
+  void score_batch(std::span<const mon::ErrorSequence> sequences,
+                   std::span<double> out) const override;
+
+  const InjectionStats& injection_stats() const noexcept {
+    return state_.stats();
+  }
+
+ private:
+  std::shared_ptr<const pred::EventPredictor> inner_;
+  detail::PredictorFaultState state_;
+};
+
+}  // namespace pfm::inj

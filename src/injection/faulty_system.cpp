@@ -1,0 +1,100 @@
+#include "injection/faulty_system.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pfm::inj {
+
+namespace {
+// Stream-kind tags keeping the per-family decision streams disjoint.
+constexpr std::uint64_t kNodeStream = 1;
+}  // namespace
+
+FaultyManagedSystem::FaultyManagedSystem(
+    std::unique_ptr<core::ManagedSystem> inner, std::size_t node_index,
+    const FaultPlan& plan)
+    : inner_(std::move(inner)),
+      spec_(plan.node_spec(node_index)),
+      stream_(plan.seed, kNodeStream, node_index) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultyManagedSystem: null inner system");
+  }
+  filtering_ = spec_.drop_sample_p > 0.0 || spec_.corrupt_sample_p > 0.0;
+  if (filtering_) {
+    shadow_ = mon::MonitoringDataset(inner_->trace().schema());
+    sync_shadow();
+  }
+}
+
+void FaultyManagedSystem::throw_if_crashed() const {
+  if (crashed_) {
+    throw NodeCrashError(inner_->name() + ": node crashed at t=" +
+                         std::to_string(spec_.crash_at));
+  }
+}
+
+void FaultyManagedSystem::step_to(double t) {
+  throw_if_crashed();
+  if (spec_.crash_at >= 0.0 && inner_->now() >= spec_.crash_at) {
+    crashed_ = true;
+    ++stats_.node_crashes;
+    throw_if_crashed();
+  }
+  if (spec_.hang_at >= 0.0 && inner_->now() >= spec_.hang_at &&
+      hang_steps_served_ < spec_.hang_steps) {
+    ++hang_steps_served_;
+    ++stats_.node_hangs;
+    return;  // liveness fault: the call returns but time stands still
+  }
+  inner_->step_to(t);
+  if (filtering_) sync_shadow();
+}
+
+void FaultyManagedSystem::sync_shadow() {
+  const auto& t = inner_->trace();
+  const auto samples = t.samples();
+  for (; samples_seen_ < samples.size(); ++samples_seen_) {
+    if (stream_.fire(spec_.drop_sample_p)) {
+      ++stats_.samples_dropped;
+      continue;
+    }
+    mon::SymptomSample s = samples[samples_seen_];
+    if (stream_.fire(spec_.corrupt_sample_p)) {
+      ++stats_.samples_corrupted;
+      for (auto& v : s.values) {
+        v = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    shadow_.add_sample(std::move(s));
+  }
+  const auto events = t.events();
+  for (; events_seen_ < events.size(); ++events_seen_) {
+    shadow_.add_event(events[events_seen_]);
+  }
+  const auto failures = t.failures();
+  for (; failures_seen_ < failures.size(); ++failures_seen_) {
+    shadow_.add_failure(failures[failures_seen_]);
+  }
+}
+
+void FaultyManagedSystem::restart_unit(std::size_t unit) {
+  throw_if_crashed();
+  inner_->restart_unit(unit);
+}
+
+void FaultyManagedSystem::shed_load(double fraction, double duration) {
+  throw_if_crashed();
+  inner_->shed_load(fraction, duration);
+}
+
+void FaultyManagedSystem::checkpoint() {
+  throw_if_crashed();
+  inner_->checkpoint();
+}
+
+void FaultyManagedSystem::prepare_for_failure(double window) {
+  throw_if_crashed();
+  inner_->prepare_for_failure(window);
+}
+
+}  // namespace pfm::inj

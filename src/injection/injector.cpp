@@ -1,0 +1,67 @@
+#include "injection/injector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pfm::inj {
+
+std::unique_ptr<core::ManagedSystem> FaultInjector::wrap_node(
+    std::size_t index, std::unique_ptr<core::ManagedSystem> inner) {
+  auto wrapped =
+      std::make_unique<FaultyManagedSystem>(std::move(inner), index, plan_);
+  systems_.push_back(wrapped.get());
+  return wrapped;
+}
+
+std::vector<std::unique_ptr<core::ManagedSystem>> FaultInjector::wrap_fleet(
+    std::vector<std::unique_ptr<core::ManagedSystem>> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i] = wrap_node(i, std::move(nodes[i]));
+  }
+  return nodes;
+}
+
+std::shared_ptr<const pred::SymptomPredictor>
+FaultInjector::wrap_symptom_predictor(
+    std::size_t id, std::shared_ptr<const pred::SymptomPredictor> inner) {
+  auto wrapped =
+      std::make_shared<FaultySymptomPredictor>(std::move(inner), id, plan_);
+  symptom_.push_back(wrapped.get());
+  return wrapped;
+}
+
+std::shared_ptr<const pred::EventPredictor>
+FaultInjector::wrap_event_predictor(
+    std::size_t id, std::shared_ptr<const pred::EventPredictor> inner) {
+  auto wrapped =
+      std::make_shared<FaultyEventPredictor>(std::move(inner), id, plan_);
+  event_.push_back(wrapped.get());
+  return wrapped;
+}
+
+std::function<std::unique_ptr<act::Action>()>
+FaultInjector::wrap_action_factory(
+    std::size_t id, std::function<std::unique_ptr<act::Action>()> factory) {
+  if (!factory) {
+    throw std::invalid_argument("FaultInjector: null action factory");
+  }
+  // Instances are numbered in creation order — FleetController invokes
+  // the factory once per node, in node order, on the caller thread.
+  return [this, id, factory = std::move(factory)]() {
+    auto wrapped = std::make_unique<FaultyAction>(factory(), id,
+                                                  action_instances_++, plan_);
+    actions_.push_back(wrapped.get());
+    return std::unique_ptr<act::Action>(std::move(wrapped));
+  };
+}
+
+InjectionStats FaultInjector::stats() const {
+  InjectionStats out;
+  for (const auto* s : systems_) out += s->injection_stats();
+  for (const auto* p : symptom_) out += p->injection_stats();
+  for (const auto* p : event_) out += p->injection_stats();
+  for (const auto* a : actions_) out += a->injection_stats();
+  return out;
+}
+
+}  // namespace pfm::inj

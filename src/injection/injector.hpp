@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "injection/fault_plan.hpp"
+#include "injection/faulty_action.hpp"
+#include "injection/faulty_predictor.hpp"
+#include "injection/faulty_system.hpp"
+
+namespace pfm::inj {
+
+/// Applies one FaultPlan to the components of a fleet by wrapping them in
+/// the decorator types of this subsystem. The injector owns nothing: it
+/// hands the wrappers to the caller (typically a runtime::FleetController)
+/// and keeps non-owning pointers so stats() can aggregate what was
+/// actually injected. Call stats() only while the wrapped components are
+/// alive and no run is in flight.
+///
+/// Everything is deterministic: wrapper decision streams are pure
+/// functions of (plan seed, component identity), and components consult
+/// them in an order fixed by the round structure — so a fixed (seed,
+/// plan) produces the same faults at any thread count, and an empty plan
+/// produces none at all (wrappers forward bit-identically).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Wraps node `index` of the fleet.
+  std::unique_ptr<core::ManagedSystem> wrap_node(
+      std::size_t index, std::unique_ptr<core::ManagedSystem> inner);
+
+  /// Wraps every node of a fleet, preserving order (node i gets spec i).
+  std::vector<std::unique_ptr<core::ManagedSystem>> wrap_fleet(
+      std::vector<std::unique_ptr<core::ManagedSystem>> nodes);
+
+  /// Wraps an already-trained symptom predictor under plan id `id`.
+  std::shared_ptr<const pred::SymptomPredictor> wrap_symptom_predictor(
+      std::size_t id, std::shared_ptr<const pred::SymptomPredictor> inner);
+
+  /// Wraps an already-trained event predictor under plan id `id`.
+  std::shared_ptr<const pred::EventPredictor> wrap_event_predictor(
+      std::size_t id, std::shared_ptr<const pred::EventPredictor> inner);
+
+  /// Wraps an action factory under plan id `id`: every action the factory
+  /// produces (one per node, in FleetController::add_action) becomes a
+  /// FaultyAction with its own decision stream, numbered in creation
+  /// order.
+  std::function<std::unique_ptr<act::Action>()> wrap_action_factory(
+      std::size_t id, std::function<std::unique_ptr<act::Action>()> factory);
+
+  /// Sum of the injected-fault counters over every wrapper created so
+  /// far.
+  InjectionStats stats() const;
+
+ private:
+  FaultPlan plan_;
+  // Non-owning observation points for stats(); the wrapped components
+  // (and, for factories, the injector itself) must stay alive while the
+  // returned wrappers are in use.
+  std::vector<const FaultyManagedSystem*> systems_;
+  std::vector<const FaultySymptomPredictor*> symptom_;
+  std::vector<const FaultyEventPredictor*> event_;
+  std::vector<const FaultyAction*> actions_;
+  std::size_t action_instances_ = 0;
+};
+
+}  // namespace pfm::inj

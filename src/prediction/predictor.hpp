@@ -29,6 +29,13 @@ struct SymptomContext {
 /// thresholded by the caller (Sect. 3.3: the precision/recall trade-off is
 /// controlled by a threshold), so absolute calibration is not required —
 /// only ordering matters.
+///
+/// Fault model: callers do not trust scores blindly. The MEA/fleet
+/// controllers exclude non-finite scores from the warning reduce (counted
+/// as sanitized), and the fleet runtime trips a predictor that throws or
+/// emits non-finite scores repeatedly out of the ensemble via a circuit
+/// breaker. A predictor should still strive to return finite values —
+/// degraded mode costs prediction coverage.
 class SymptomPredictor {
  public:
   virtual ~SymptomPredictor() = default;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 
 namespace pfm::runtime {
@@ -23,6 +24,7 @@ FleetController::FleetController(
       config_(std::move(config)),
       engines_(nodes_.size()),
       stats_(nodes_.size()),
+      node_state_(nodes_.size()),
       pool_(config_.num_threads) {
   if (nodes_.empty()) {
     throw std::invalid_argument("FleetController: empty fleet");
@@ -64,20 +66,50 @@ void FleetController::run() {
   run_until(horizon);
 }
 
+std::string FleetController::describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+void FleetController::quarantine(std::size_t node_index,
+                                 const std::string& reason) {
+  auto& state = node_state_[node_index];
+  if (state.quarantined) return;
+  state.quarantined = true;
+  state.reason = reason;
+  state.quarantine_time = nodes_[node_index]->now();
+}
+
 void FleetController::run_until(double t) {
   const double interval = config_.mea.evaluation_interval;
   const double threshold = config_.mea.warning_threshold;
+  const ResilienceConfig& res = config_.resilience;
+  const bool hardened = res.enabled;
+
+  // Breakers persist across run_until calls; predictors may have been
+  // registered since the last call.
+  const std::size_t num_predictors = symptom_.size() + event_.size();
+  breakers_.resize(num_predictors);
 
   std::vector<std::size_t> active;              // node index per stepped node
+  std::vector<double> pre_step_time;            // now() before Monitor, per active
+  std::vector<std::exception_ptr> errors;       // per-task capture buffer
   std::vector<pred::SymptomContext> contexts;   // one per scoreable node
   std::vector<std::size_t> context_owner;       // active-list position
   std::vector<mon::ErrorSequence> sequences;    // one per active node
   std::vector<double> combined;                 // max score per active node
-  std::vector<std::vector<double>> columns;     // one column per predictor
+  std::vector<std::vector<double>> columns(num_predictors);
+  std::vector<std::size_t> live;                // predictors scored this round
 
   for (;;) {
     active.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (node_state_[i].quarantined) continue;
       if (!nodes_[i]->finished() && nodes_[i]->now() < t) active.push_back(i);
     }
     if (active.empty()) break;
@@ -85,11 +117,47 @@ void FleetController::run_until(double t) {
 
     // --- Monitor: advance every live node one evaluation interval. ----------
     const auto monitor_start = Clock::now();
-    pool_.parallel_for(active.size(), [&](std::size_t a) {
+    pre_step_time.resize(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      pre_step_time[a] = nodes_[active[a]]->now();
+    }
+    auto step_node = [&](std::size_t a) {
       auto& node = *nodes_[active[a]];
       node.step_to(std::min(node.now() + interval, t));
-    });
+    };
+    if (hardened) {
+      pool_.parallel_for_captured(active.size(), step_node, errors);
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t i = active[a];
+        if (errors[a]) {
+          ++resilience_.node_faults;
+          quarantine(i, describe(errors[a]));
+        } else if (!nodes_[i]->finished() &&
+                   nodes_[i]->now() <= pre_step_time[a]) {
+          // The node returned but made no time progress: a hang, not a
+          // crash. Quarantine only after a persistent streak so a
+          // transient stall can recover.
+          ++resilience_.stall_detections;
+          if (++node_state_[i].stall_streak >= res.max_stall_rounds) {
+            quarantine(i, "stalled: no monitor progress for " +
+                              std::to_string(node_state_[i].stall_streak) +
+                              " rounds");
+          }
+        } else {
+          node_state_[i].stall_streak = 0;
+        }
+      }
+      // Nodes quarantined this round drop out of Evaluate/Act.
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](std::size_t i) {
+                                    return node_state_[i].quarantined;
+                                  }),
+                   active.end());
+    } else {
+      pool_.parallel_for(active.size(), step_node);
+    }
     latency_.monitor_seconds += seconds_since(monitor_start);
+    if (active.empty()) continue;
 
     // --- Evaluate: one score_batch call per predictor over the fleet. -------
     const auto evaluate_start = Clock::now();
@@ -109,9 +177,19 @@ void FleetController::run_until(double t) {
       }
     }
 
-    const std::size_t tasks = symptom_.size() + event_.size();
-    columns.resize(tasks);
-    pool_.parallel_for(tasks, [&](std::size_t p) {
+    // Breaker scheduling: open breakers sit out their cooldown, then get
+    // one half-open probe round; closed (and probing) predictors score.
+    live.clear();
+    for (std::size_t p = 0; p < num_predictors; ++p) {
+      if (hardened && breakers_[p].open && breakers_[p].open_rounds_left > 0) {
+        --breakers_[p].open_rounds_left;
+        continue;
+      }
+      live.push_back(p);
+    }
+
+    auto score_live = [&](std::size_t lp) {
+      const std::size_t p = live[lp];
       auto& column = columns[p];
       if (p < symptom_.size()) {
         column.resize(contexts.size());
@@ -120,23 +198,63 @@ void FleetController::run_until(double t) {
         column.resize(sequences.size());
         event_[p - symptom_.size()]->score_batch(sequences, column);
       }
-    });
-    scores_computed_ +=
-        symptom_.size() * contexts.size() + event_.size() * sequences.size();
-
-    // Reduce: per node, the max over predictor columns (a warning from
-    // any layer is a warning) — same combination rule as MeaController.
-    combined.assign(active.size(), 0.0);
-    for (std::size_t p = 0; p < symptom_.size(); ++p) {
-      for (std::size_t c = 0; c < contexts.size(); ++c) {
-        combined[context_owner[c]] =
-            std::max(combined[context_owner[c]], columns[p][c]);
-      }
+    };
+    if (hardened) {
+      pool_.parallel_for_captured(live.size(), score_live, errors);
+    } else {
+      pool_.parallel_for(live.size(), score_live);
     }
-    for (std::size_t p = 0; p < event_.size(); ++p) {
-      const auto& column = columns[symptom_.size() + p];
-      for (std::size_t a = 0; a < sequences.size(); ++a) {
-        combined[a] = std::max(combined[a], column[a]);
+
+    // Per-predictor outcome: a throw or any non-finite score is a faulty
+    // round feeding the breaker; a clean round closes/heals it.
+    combined.assign(active.size(), 0.0);
+    for (std::size_t lp = 0; lp < live.size(); ++lp) {
+      const std::size_t p = live[lp];
+      const bool threw = hardened && errors[lp] != nullptr;
+      bool faulty = threw;
+      if (!threw) {
+        const auto& column = columns[p];
+        const std::size_t n = column.size();
+        scores_computed_ += n;
+        if (p < symptom_.size()) {
+          for (std::size_t c = 0; c < n; ++c) {
+            const double v = column[c];
+            if (hardened && !std::isfinite(v)) {
+              ++resilience_.scores_sanitized;
+              faulty = true;
+              continue;
+            }
+            combined[context_owner[c]] =
+                std::max(combined[context_owner[c]], v);
+          }
+        } else {
+          for (std::size_t a = 0; a < n; ++a) {
+            const double v = column[a];
+            if (hardened && !std::isfinite(v)) {
+              ++resilience_.scores_sanitized;
+              faulty = true;
+              continue;
+            }
+            combined[a] = std::max(combined[a], v);
+          }
+        }
+      }
+      if (!hardened) continue;
+      auto& breaker = breakers_[p];
+      if (faulty) {
+        ++resilience_.predictor_faults;
+        if (breaker.open) {
+          // Half-open probe failed: back to a full cooldown.
+          breaker.open_rounds_left = res.breaker_open_rounds;
+          ++resilience_.breaker_trips;
+        } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
+          breaker.open = true;
+          breaker.open_rounds_left = res.breaker_open_rounds;
+          ++resilience_.breaker_trips;
+        }
+      } else {
+        breaker.open = false;  // closes after a successful probe
+        breaker.failure_streak = 0;
       }
     }
     latency_.evaluate_seconds += seconds_since(evaluate_start);
@@ -146,12 +264,22 @@ void FleetController::run_until(double t) {
     for (std::size_t a = 0; a < active.size(); ++a) {
       if (combined[a] >= threshold) ++warnings_raised_;
     }
-    pool_.parallel_for(active.size(), [&](std::size_t a) {
+    auto act_node = [&](std::size_t a) {
       if (combined[a] < threshold) return;
       const std::size_t i = active[a];
       ++stats_[i].warnings;
       engines_[i].act(*nodes_[i], combined[a], config_.mea, stats_[i]);
-    });
+    };
+    if (hardened) {
+      pool_.parallel_for_captured(active.size(), act_node, errors);
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        if (!errors[a]) continue;
+        ++resilience_.node_faults;
+        quarantine(active[a], describe(errors[a]));
+      }
+    } else {
+      pool_.parallel_for(active.size(), act_node);
+    }
     latency_.act_seconds += seconds_since(act_start);
   }
 }
@@ -163,6 +291,13 @@ FleetTelemetry FleetController::telemetry() const {
   out.scores_computed = scores_computed_;
   out.warnings_raised = warnings_raised_;
   out.latency = latency_;
+  out.resilience = resilience_;
+  for (const auto& state : node_state_) {
+    if (state.quarantined) ++out.resilience.nodes_quarantined;
+  }
+  for (const auto& breaker : breakers_) {
+    if (breaker.open) ++out.resilience.breakers_open;
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out.mea += stats_[i];
     out.system += nodes_[i]->system_stats();

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/managed_system.hpp"
@@ -11,6 +13,23 @@
 
 namespace pfm::runtime {
 
+/// Fault handling of the fleet loop itself. Enabled by default: with
+/// healthy components none of it ever engages, so the fault-free path is
+/// bit-identical to a resilience-free loop. Disabled, the controller
+/// reverts to fail-fast (the first component exception aborts the run) —
+/// the fault-injection bench's "no hardening" arm.
+struct ResilienceConfig {
+  bool enabled = true;
+  /// Consecutive Monitor rounds a node may make no time progress before
+  /// it is quarantined as hung.
+  std::size_t max_stall_rounds = 3;
+  /// Consecutive faulty Evaluate rounds (a throw, or any non-finite
+  /// score) before a predictor's circuit breaker opens.
+  std::size_t breaker_trip_failures = 3;
+  /// Rounds a tripped predictor sits out before a half-open probe round.
+  std::size_t breaker_open_rounds = 8;
+};
+
 /// FleetController configuration: the per-node MEA parameters plus the
 /// degree of parallelism.
 struct FleetConfig {
@@ -18,6 +37,7 @@ struct FleetConfig {
   /// Threads applied to the fleet loop (caller included). The thread
   /// count never affects results — only wall time.
   std::size_t num_threads = 1;
+  ResilienceConfig resilience;
 };
 
 /// Wall time spent in each MEA stage, summed over rounds (seconds).
@@ -27,15 +47,30 @@ struct StageLatency {
   double act_seconds = 0.0;       ///< countermeasure selection/execution
 };
 
+/// Observed-fault counters of one fleet run: what the hardening actually
+/// absorbed. All zero on a healthy fleet. (The injection subsystem's
+/// InjectionStats counts the cause side; these count the effect side.)
+struct ResilienceStats {
+  std::size_t node_faults = 0;         ///< exceptions caught in Monitor/Act
+  std::size_t nodes_quarantined = 0;   ///< currently quarantined nodes
+  std::size_t stall_detections = 0;    ///< no-progress Monitor node-rounds
+  std::size_t predictor_faults = 0;    ///< faulty predictor-rounds
+  std::size_t breaker_trips = 0;       ///< closed/half-open -> open events
+  std::size_t breakers_open = 0;       ///< currently open breakers
+  std::size_t scores_sanitized = 0;    ///< non-finite scores excluded
+};
+
 /// Fleet-level telemetry snapshot: aggregated MEA and downtime statistics
-/// plus per-stage latency counters.
+/// plus per-stage latency and fault counters.
 struct FleetTelemetry {
   std::size_t nodes = 0;
   std::size_t rounds = 0;           ///< lockstep evaluation rounds run
   std::size_t scores_computed = 0;  ///< individual predictor scores
   std::size_t warnings_raised = 0;  ///< across the whole fleet
   StageLatency latency;
-  core::MeaStats mea;         ///< sum of the per-node MeaStats
+  ResilienceStats resilience;
+  core::MeaStats mea;         ///< sum of the per-node MeaStats (includes
+                              ///< action retry/abandon counters)
   core::SystemStats system;   ///< sum of the per-node SystemStats
 };
 
@@ -51,6 +86,22 @@ struct FleetTelemetry {
 /// parallel over nodes). Nodes never share mutable state, every output
 /// lands in its own slot, and per-node randomness lives inside the node,
 /// so results are bit-identical for any thread count.
+///
+/// The loop is itself proactively fault-managed (ResilienceConfig):
+///  - a node whose Monitor/Act stage throws, or that stops making time
+///    progress, is *quarantined* — recorded with its reason and excluded
+///    from further rounds while the rest of the fleet keeps running;
+///  - a predictor that throws or emits non-finite scores repeatedly is
+///    tripped out of the ensemble by a per-predictor *circuit breaker*
+///    and periodically re-probed (half-open); the remaining predictors
+///    carry the Evaluate stage in degraded mode;
+///  - non-finite scores never reach the warning decision (sanitized and
+///    counted);
+///  - failing countermeasures follow the core ActionRetryPolicy (bounded
+///    retry, exponential backoff).
+/// All of it is deterministic: quarantine and breaker transitions depend
+/// only on per-round outcomes, which are themselves thread-count
+/// invariant.
 class FleetController {
  public:
   FleetController(std::vector<std::unique_ptr<core::ManagedSystem>> nodes,
@@ -69,7 +120,9 @@ class FleetController {
   void add_action(
       const std::function<std::unique_ptr<act::Action>()>& factory);
 
-  /// Runs every node to its horizon.
+  /// Runs every node to its horizon. With resilience enabled this never
+  /// throws on component faults: failing nodes are quarantined and the
+  /// run completes with whatever remains of the fleet.
   void run();
 
   /// Runs every node until time `t` (or its horizon, whichever is first).
@@ -81,22 +134,57 @@ class FleetController {
     return stats_.at(i);
   }
 
+  bool node_quarantined(std::size_t i) const {
+    return node_state_.at(i).quarantined;
+  }
+  /// Human-readable cause ("" while not quarantined).
+  const std::string& node_quarantine_reason(std::size_t i) const {
+    return node_state_.at(i).reason;
+  }
+
+  /// True when predictor `p`'s breaker is currently open (predictors are
+  /// numbered symptom first, then event, in registration order).
+  bool predictor_tripped(std::size_t p) const {
+    return p < breakers_.size() && breakers_[p].open;
+  }
+
   /// Aggregates the current per-node statistics and latency counters.
   FleetTelemetry telemetry() const;
 
  private:
+  /// Per-node loop state beyond the MEA counters.
+  struct NodeState {
+    bool quarantined = false;
+    std::string reason;
+    double quarantine_time = 0.0;
+    std::size_t stall_streak = 0;  ///< consecutive no-progress rounds
+  };
+
+  /// Per-predictor circuit breaker (closed -> open -> half-open probe).
+  struct Breaker {
+    std::size_t failure_streak = 0;   ///< consecutive faulty rounds
+    bool open = false;
+    std::size_t open_rounds_left = 0; ///< rounds until the half-open probe
+  };
+
+  void quarantine(std::size_t node_index, const std::string& reason);
+  static std::string describe(const std::exception_ptr& error);
+
   std::vector<std::unique_ptr<core::ManagedSystem>> nodes_;
   FleetConfig config_;
   std::vector<std::shared_ptr<const pred::SymptomPredictor>> symptom_;
   std::vector<std::shared_ptr<const pred::EventPredictor>> event_;
   std::vector<core::ActEngine> engines_;  // one per node
   std::vector<core::MeaStats> stats_;     // one per node
+  std::vector<NodeState> node_state_;     // one per node
+  std::vector<Breaker> breakers_;         // one per predictor, sized lazily
   ThreadPool pool_;
 
   std::size_t rounds_ = 0;
   std::size_t scores_computed_ = 0;
   std::size_t warnings_raised_ = 0;
   StageLatency latency_;
+  ResilienceStats resilience_;
 };
 
 }  // namespace pfm::runtime

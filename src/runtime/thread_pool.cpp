@@ -26,9 +26,7 @@ void ThreadPool::run_indices() {
     try {
       (*fn_)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!error_) error_ = std::current_exception();
-      return;
+      (*errors_)[i] = std::current_exception();  // slot i is this task's own
     }
   }
 }
@@ -53,11 +51,19 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_captured(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    std::vector<std::exception_ptr>& errors) {
+  errors.assign(n, nullptr);
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
     return;
   }
   {
@@ -65,7 +71,7 @@ void ThreadPool::parallel_for(std::size_t n,
     fn_ = &fn;
     n_ = n;
     next_.store(0, std::memory_order_relaxed);
-    error_ = nullptr;
+    errors_ = &errors;
     workers_pending_ = workers_.size();
     ++generation_;
   }
@@ -74,10 +80,14 @@ void ThreadPool::parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
   fn_ = nullptr;
-  if (error_) {
-    auto e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
+  errors_ = nullptr;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_captured(n, fn, scratch_errors_);
+  for (const auto& e : scratch_errors_) {
+    if (e) std::rethrow_exception(e);
   }
 }
 

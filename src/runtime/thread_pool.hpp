@@ -36,9 +36,18 @@ class ThreadPool {
   /// Runs fn(0) ... fn(n-1), distributed over the pool; returns when all
   /// n calls finished. Not reentrant and not thread-safe: only the
   /// owning thread may call it, and fn must not call parallel_for on the
-  /// same pool. If any fn throws, the first exception is rethrown here
-  /// after the loop drains (remaining indices may or may not run).
+  /// same pool. If any fn throws, every index still runs and the
+  /// lowest-index exception is rethrown here after the loop drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for, but failures never propagate: `errors` is resized
+  /// to n and errors[i] receives the exception fn(i) threw (null when it
+  /// succeeded). Every index runs, so a caller can map each failure back
+  /// to the task — the fleet loop uses this to quarantine the one node
+  /// that threw instead of aborting the round.
+  void parallel_for_captured(std::size_t n,
+                             const std::function<void(std::size_t)>& fn,
+                             std::vector<std::exception_ptr>& errors);
 
  private:
   void worker_loop();
@@ -53,11 +62,13 @@ class ThreadPool {
   std::size_t workers_pending_ = 0;  // workers still in the current batch
   bool stop_ = false;
 
-  // Current batch, written by parallel_for before workers are woken.
+  // Current batch, written by parallel_for_captured before workers are
+  // woken. Exceptions land in (*errors_)[i] — disjoint slots, no lock.
   const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t n_ = 0;
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;  // first exception, guarded by mu_
+  std::vector<std::exception_ptr>* errors_ = nullptr;
+  std::vector<std::exception_ptr> scratch_errors_;  // parallel_for's buffer
 };
 
 }  // namespace pfm::runtime

@@ -1,0 +1,407 @@
+// Hardened runtime semantics: quarantine keeps the fleet running, the
+// per-predictor circuit breaker trips and half-opens, failed actions
+// follow the bounded-retry/exponential-backoff schedule, and non-finite
+// scores never reach the warning decision.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/mea.hpp"
+#include "injection/injector.hpp"
+#include "runtime/fleet.hpp"
+#include "runtime/scp_system.hpp"
+
+namespace pfm {
+namespace {
+
+class PressurePredictor final : public pred::SymptomPredictor {
+ public:
+  explicit PressurePredictor(std::size_t pressure_index)
+      : index_(pressure_index) {}
+  std::string name() const override { return "pressure"; }
+  void train(const mon::MonitoringDataset&) override {}
+  double score(const pred::SymptomContext& ctx) const override {
+    return ctx.history.back().values.at(index_);
+  }
+
+ private:
+  std::size_t index_;
+};
+
+/// Returns a fixed (possibly non-finite) value and counts scored calls —
+/// the probe-visibility hook for the breaker tests.
+class ScriptedPredictor final : public pred::SymptomPredictor {
+ public:
+  /// Emits `bad` for the first `faulty_calls` score_batch calls, then
+  /// `good` forever.
+  ScriptedPredictor(double bad, double good, std::size_t faulty_calls)
+      : bad_(bad), good_(good), faulty_calls_(faulty_calls) {}
+  std::string name() const override { return "scripted"; }
+  void train(const mon::MonitoringDataset&) override {}
+  double score(const pred::SymptomContext&) const override {
+    return calls_ <= faulty_calls_ ? bad_ : good_;
+  }
+  void score_batch(std::span<const pred::SymptomContext> contexts,
+                   std::span<double> out) const override {
+    ++calls_;
+    const double v = calls_ <= faulty_calls_ ? bad_ : good_;
+    for (std::size_t i = 0; i < contexts.size(); ++i) out[i] = v;
+  }
+  std::size_t calls() const noexcept { return calls_; }
+
+ private:
+  double bad_;
+  double good_;
+  std::size_t faulty_calls_;
+  mutable std::size_t calls_ = 0;
+};
+
+/// Fails the first `failures` execute attempts, then succeeds.
+class FlakyAction final : public act::Action {
+ public:
+  explicit FlakyAction(std::size_t failures) : failures_left_(failures) {}
+  std::string name() const override { return "flaky"; }
+  act::ActionKind kind() const override {
+    return act::ActionKind::kPreparedRepair;
+  }
+  const act::ActionProperties& properties() const override { return props_; }
+  bool applicable(const core::ManagedSystem&) const override { return true; }
+  void execute(core::ManagedSystem& system, double) override {
+    ++attempts_;
+    if (failures_left_ > 0) {
+      --failures_left_;
+      throw std::runtime_error("flaky actuator");
+    }
+    system.checkpoint();
+    ++successes_;
+  }
+  std::size_t attempts() const noexcept { return attempts_; }
+  std::size_t successes() const noexcept { return successes_; }
+
+ private:
+  std::size_t failures_left_;
+  std::size_t attempts_ = 0;
+  std::size_t successes_ = 0;
+  act::ActionProperties props_{0.5, 0.95, 1.0};
+};
+
+telecom::SimConfig sim_config() {
+  telecom::SimConfig cfg;
+  cfg.seed = 21;
+  cfg.duration = 0.5 * 86400.0;
+  cfg.leak_mtbf = 21600.0;
+  cfg.cascade_mtbf = 1e12;
+  cfg.spike_mtbf = 1e12;
+  return cfg;
+}
+
+std::size_t pressure_index() {
+  telecom::ScpSimulator sim(sim_config());
+  return *sim.trace().schema().index("mem_pressure_max");
+}
+
+// --- quarantine -------------------------------------------------------------
+
+TEST(Resilience, QuarantineKeepsTheFleetRunning) {
+  const std::size_t kNodes = 4;
+  inj::FaultPlan plan;
+  plan.nodes[1].crash_at = 3600.0;
+  inj::FaultInjector injector(plan);
+
+  runtime::FleetConfig cfg;
+  cfg.mea.warning_threshold = 0.72;
+  cfg.num_threads = 2;
+  runtime::FleetController fleet(
+      injector.wrap_fleet(runtime::make_scp_fleet(sim_config(), kNodes)), cfg);
+  fleet.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+  fleet.add_action([] {
+    return std::make_unique<act::StateCleanupAction>(0.70);
+  });
+
+  EXPECT_NO_THROW(fleet.run());
+
+  EXPECT_TRUE(fleet.node_quarantined(1));
+  EXPECT_NE(fleet.node_quarantine_reason(1).find("crashed"),
+            std::string::npos);
+  for (std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_FALSE(fleet.node_quarantined(i)) << "node " << i;
+    EXPECT_DOUBLE_EQ(fleet.node(i).system_stats().simulated,
+                     sim_config().duration)
+        << "healthy node " << i << " must run to its horizon";
+  }
+  const auto t = fleet.telemetry();
+  EXPECT_EQ(t.resilience.nodes_quarantined, 1u);
+  EXPECT_GE(t.resilience.node_faults, 1u);
+  // The dead node stops accumulating coverage at its crash instant.
+  EXPECT_LT(fleet.node(1).system_stats().simulated, sim_config().duration);
+}
+
+TEST(Resilience, DisabledResilienceFailsFast) {
+  inj::FaultPlan plan;
+  plan.nodes[0].crash_at = 3600.0;
+  inj::FaultInjector injector(plan);
+
+  runtime::FleetConfig cfg;
+  cfg.resilience.enabled = false;
+  runtime::FleetController fleet(
+      injector.wrap_fleet(runtime::make_scp_fleet(sim_config(), 2)), cfg);
+  fleet.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+  EXPECT_THROW(fleet.run(), inj::NodeCrashError);
+}
+
+TEST(Resilience, FaultFreeRunIsIdenticalWithAndWithoutHardening) {
+  auto run_one = [&](bool hardened) {
+    runtime::FleetConfig cfg;
+    cfg.mea.warning_threshold = 0.72;
+    cfg.mea.action_cooldown = 600.0;
+    cfg.num_threads = 2;
+    cfg.resilience.enabled = hardened;
+    runtime::FleetController fleet(runtime::make_scp_fleet(sim_config(), 4),
+                                   cfg);
+    fleet.add_symptom_predictor(
+        std::make_shared<PressurePredictor>(pressure_index()));
+    fleet.add_action([] {
+      return std::make_unique<act::StateCleanupAction>(0.70);
+    });
+    fleet.run();
+    return fleet.telemetry();
+  };
+
+  const auto on = run_one(true);
+  const auto off = run_one(false);
+  EXPECT_EQ(on.rounds, off.rounds);
+  EXPECT_EQ(on.scores_computed, off.scores_computed);
+  EXPECT_EQ(on.warnings_raised, off.warnings_raised);
+  EXPECT_EQ(on.mea.total_actions(), off.mea.total_actions());
+  EXPECT_DOUBLE_EQ(on.system.downtime, off.system.downtime);
+  EXPECT_EQ(on.system.total_requests, off.system.total_requests);
+  // Hardening engaged nothing.
+  EXPECT_EQ(on.resilience.node_faults, 0u);
+  EXPECT_EQ(on.resilience.predictor_faults, 0u);
+  EXPECT_EQ(on.resilience.scores_sanitized, 0u);
+  EXPECT_EQ(on.resilience.breaker_trips, 0u);
+  EXPECT_EQ(on.mea.action_faults, 0u);
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+TEST(Resilience, BreakerTripsSitsOutAndHalfOpensBackToHealthy) {
+  // Scripted: the flaky predictor emits NaN for its first 2 scored calls,
+  // then behaves. trip_failures=2, open_rounds=3:
+  //   rounds 1-2  faulty -> breaker opens (trip #1)
+  //   rounds 3-5  sits out (no scored calls)
+  //   round  6    half-open probe -> healthy -> breaker closes
+  //   round  7+   scored normally
+  const double interval = 60.0;
+  runtime::FleetConfig cfg;
+  cfg.mea.evaluation_interval = interval;
+  cfg.mea.warning_threshold = 0.72;
+  cfg.resilience.breaker_trip_failures = 2;
+  cfg.resilience.breaker_open_rounds = 3;
+
+  auto scripted = std::make_shared<ScriptedPredictor>(
+      std::numeric_limits<double>::quiet_NaN(), 0.0, 2);
+  runtime::FleetController fleet(runtime::make_scp_fleet(sim_config(), 2),
+                                 cfg);
+  fleet.add_symptom_predictor(scripted);
+  fleet.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+
+  auto run_rounds = [&](std::size_t rounds) {
+    fleet.run_until(fleet.telemetry().rounds * interval + rounds * interval);
+  };
+
+  run_rounds(2);
+  EXPECT_EQ(scripted->calls(), 2u);
+  EXPECT_TRUE(fleet.predictor_tripped(0));
+  EXPECT_FALSE(fleet.predictor_tripped(1)) << "healthy predictor unaffected";
+  EXPECT_EQ(fleet.telemetry().resilience.breaker_trips, 1u);
+
+  run_rounds(3);  // cooldown: the tripped predictor is not scored at all
+  EXPECT_EQ(scripted->calls(), 2u);
+  EXPECT_TRUE(fleet.predictor_tripped(0));
+  EXPECT_EQ(fleet.telemetry().resilience.breakers_open, 1u);
+
+  run_rounds(1);  // half-open probe; the predictor is healthy again
+  EXPECT_EQ(scripted->calls(), 3u);
+  EXPECT_FALSE(fleet.predictor_tripped(0));
+
+  run_rounds(2);  // closed: scored every round again
+  EXPECT_EQ(scripted->calls(), 5u);
+  EXPECT_EQ(fleet.telemetry().resilience.breaker_trips, 1u);
+  EXPECT_EQ(fleet.telemetry().resilience.breakers_open, 0u);
+}
+
+TEST(Resilience, FailedProbeReopensTheBreaker) {
+  const double interval = 60.0;
+  runtime::FleetConfig cfg;
+  cfg.mea.evaluation_interval = interval;
+  cfg.resilience.breaker_trip_failures = 1;
+  cfg.resilience.breaker_open_rounds = 2;
+
+  // Faulty for its first 2 scored calls: call 1 trips it, the probe
+  // (call 2) fails and re-opens it, the next probe (call 3) heals it.
+  auto scripted = std::make_shared<ScriptedPredictor>(
+      std::numeric_limits<double>::quiet_NaN(), 0.0, 2);
+  runtime::FleetController fleet(runtime::make_scp_fleet(sim_config(), 1),
+                                 cfg);
+  fleet.add_symptom_predictor(scripted);
+
+  auto run_rounds = [&](std::size_t rounds) {
+    fleet.run_until(fleet.telemetry().rounds * interval + rounds * interval);
+  };
+
+  run_rounds(1);  // trip #1
+  EXPECT_TRUE(fleet.predictor_tripped(0));
+  run_rounds(2);  // sit out
+  EXPECT_EQ(scripted->calls(), 1u);
+  run_rounds(1);  // probe fails -> re-open (trip #2)
+  EXPECT_EQ(scripted->calls(), 2u);
+  EXPECT_TRUE(fleet.predictor_tripped(0));
+  EXPECT_EQ(fleet.telemetry().resilience.breaker_trips, 2u);
+  run_rounds(2);  // sit out again
+  EXPECT_EQ(scripted->calls(), 2u);
+  run_rounds(1);  // probe succeeds -> closed
+  EXPECT_EQ(scripted->calls(), 3u);
+  EXPECT_FALSE(fleet.predictor_tripped(0));
+}
+
+// --- action retry / backoff -------------------------------------------------
+
+TEST(Resilience, ActionRetriesFollowTheBoundedSchedule) {
+  runtime::ScpManagedSystem system{sim_config()};
+  system.step_to(600.0);
+
+  core::MeaConfig cfg;
+  cfg.action_cooldown = 0.0;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_initial = 100.0;
+  cfg.retry.backoff_max = 400.0;
+
+  // Fails twice, then succeeds: one execution, two retries, no abandon.
+  auto flaky = std::make_unique<FlakyAction>(2);
+  auto* flaky_ptr = flaky.get();
+  core::ActEngine engine;
+  engine.add_action(std::move(flaky));
+  core::MeaStats stats;
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_EQ(flaky_ptr->attempts(), 3u);
+  EXPECT_EQ(flaky_ptr->successes(), 1u);
+  EXPECT_EQ(stats.action_faults, 2u);
+  EXPECT_EQ(stats.action_retries, 2u);
+  EXPECT_EQ(stats.actions_abandoned, 0u);
+  EXPECT_EQ(stats.actions_by_kind[static_cast<std::size_t>(
+                act::ActionKind::kPreparedRepair)],
+            1u);
+  // Success leaves no backoff behind.
+  EXPECT_LT(engine.backoff_until(act::ActionKind::kPreparedRepair), 0.0);
+}
+
+TEST(Resilience, AbandonedActionsBackOffExponentially) {
+  runtime::ScpManagedSystem system{sim_config()};
+  system.step_to(600.0);
+
+  core::MeaConfig cfg;
+  cfg.action_cooldown = 0.0;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.backoff_initial = 100.0;
+  cfg.retry.backoff_max = 400.0;
+
+  auto always_failing = std::make_unique<FlakyAction>(1000000);
+  auto* action = always_failing.get();
+  core::ActEngine engine;
+  engine.add_action(std::move(always_failing));
+  core::MeaStats stats;
+
+  // Abandon #1 at t=600: schedule 100 * 2^0.
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_EQ(action->attempts(), 2u);
+  EXPECT_EQ(stats.actions_abandoned, 1u);
+  EXPECT_DOUBLE_EQ(engine.backoff_until(act::ActionKind::kPreparedRepair),
+                   700.0);
+
+  // Still backed off: no further attempts.
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_EQ(action->attempts(), 2u);
+
+  // Abandon #2 at t=800: schedule doubles to 200.
+  system.step_to(800.0);
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_EQ(action->attempts(), 4u);
+  EXPECT_DOUBLE_EQ(engine.backoff_until(act::ActionKind::kPreparedRepair),
+                   1000.0);
+
+  // Abandon #3 at t=1000: 400. Abandon #4 at t=1500: capped at 400.
+  system.step_to(1000.0);
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_DOUBLE_EQ(engine.backoff_until(act::ActionKind::kPreparedRepair),
+                   1400.0);
+  system.step_to(1500.0);
+  engine.act(system, 0.9, cfg, stats);
+  EXPECT_DOUBLE_EQ(engine.backoff_until(act::ActionKind::kPreparedRepair),
+                   1900.0);
+  EXPECT_EQ(stats.actions_abandoned, 4u);
+  EXPECT_EQ(stats.action_retries, 4u);
+  EXPECT_EQ(stats.action_faults, 8u);
+}
+
+TEST(Resilience, RetryPolicyCanRethrow) {
+  runtime::ScpManagedSystem system{sim_config()};
+  system.step_to(600.0);
+  core::MeaConfig cfg;
+  cfg.retry.rethrow = true;
+  core::ActEngine engine;
+  engine.add_action(std::make_unique<FlakyAction>(10));
+  core::MeaStats stats;
+  EXPECT_THROW(engine.act(system, 0.9, cfg, stats), std::runtime_error);
+}
+
+// --- NaN / inf sanitization -------------------------------------------------
+
+TEST(Resilience, EvaluateNowExcludesNonFiniteScores) {
+  runtime::ScpManagedSystem system{sim_config()};
+  core::MeaConfig cfg;
+  cfg.warning_threshold = 0.72;
+  core::MeaController mea(system, cfg);
+  mea.add_symptom_predictor(std::make_shared<ScriptedPredictor>(
+      std::numeric_limits<double>::quiet_NaN(), 0.0, 1000000));
+  mea.add_symptom_predictor(std::make_shared<ScriptedPredictor>(
+      std::numeric_limits<double>::infinity(), 0.0, 1000000));
+  mea.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+
+  system.step_to(1800.0);
+  std::size_t sanitized = 0;
+  const double combined = mea.evaluate_now(&sanitized);
+  EXPECT_TRUE(std::isfinite(combined));
+  EXPECT_EQ(sanitized, 2u) << "one NaN + one inf excluded";
+  EXPECT_LT(combined, 1.01) << "+inf must not leak into the reduce";
+}
+
+TEST(Resilience, InfScoresDoNotForceFleetWarnings) {
+  // An always-inf predictor would warn on every round if +inf survived
+  // the reduce; sanitized, it contributes nothing (and eventually trips).
+  runtime::FleetConfig cfg;
+  cfg.mea.warning_threshold = 0.72;
+  runtime::FleetController fleet(runtime::make_scp_fleet(sim_config(), 2),
+                                 cfg);
+  fleet.add_symptom_predictor(std::make_shared<ScriptedPredictor>(
+      std::numeric_limits<double>::infinity(), 0.0, 1000000));
+  fleet.run_until(3600.0);
+
+  const auto t = fleet.telemetry();
+  EXPECT_EQ(t.warnings_raised, 0u);
+  EXPECT_GT(t.resilience.scores_sanitized, 0u);
+  EXPECT_GE(t.resilience.breaker_trips, 1u)
+      << "a predictor that is always non-finite must trip its breaker";
+}
+
+}  // namespace
+}  // namespace pfm

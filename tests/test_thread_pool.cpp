@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -52,6 +53,53 @@ TEST(ThreadPool, PropagatesTheFirstException) {
   std::atomic<int> count{0};
   pool.parallel_for(32, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, CapturesEveryFailurePerTask) {
+  // The captured variant maps each exception back to the index that threw
+  // it, and the remaining indices all still run — the property the fleet
+  // loop needs to quarantine exactly the failing nodes.
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 64;
+    std::vector<std::atomic<int>> hits(n);
+    std::vector<std::exception_ptr> errors;
+    pool.parallel_for_captured(
+        n,
+        [&](std::size_t i) {
+          ++hits[i];
+          if (i % 7 == 3) {
+            throw std::runtime_error("task " + std::to_string(i));
+          }
+        },
+        errors);
+    ASSERT_EQ(errors.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+      if (i % 7 == 3) {
+        ASSERT_TRUE(errors[i]) << "index " << i;
+        try {
+          std::rethrow_exception(errors[i]);
+        } catch (const std::runtime_error& e) {
+          EXPECT_EQ(std::string(e.what()), "task " + std::to_string(i));
+        }
+      } else {
+        EXPECT_FALSE(errors[i]) << "index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, CapturedBufferResetsBetweenBatches) {
+  ThreadPool pool(2);
+  std::vector<std::exception_ptr> errors;
+  pool.parallel_for_captured(
+      4, [](std::size_t) { throw std::runtime_error("boom"); }, errors);
+  for (const auto& e : errors) EXPECT_TRUE(e);
+  pool.parallel_for_captured(4, [](std::size_t) {}, errors);
+  for (const auto& e : errors) EXPECT_FALSE(e);
+  pool.parallel_for_captured(0, [](std::size_t) {}, errors);
+  EXPECT_TRUE(errors.empty());
 }
 
 TEST(ThreadPool, HandlesEmptyAndSingleBatches) {
