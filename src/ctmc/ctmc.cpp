@@ -27,7 +27,13 @@ Ctmc::Ctmc(num::Matrix generator, std::vector<std::string> state_names)
   }
   if (names_.empty()) {
     names_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) names_.push_back("S" + std::to_string(i));
+    // Built with += rather than operator+(const char*, string&&), which
+    // trips GCC 12's -Wrestrict false positive (PR 105651) under -O2.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string label("S");
+      label += std::to_string(i);
+      names_.push_back(std::move(label));
+    }
   } else if (names_.size() != n) {
     throw std::invalid_argument("Ctmc: state name count mismatch");
   }

@@ -1,9 +1,29 @@
 #include "numerics/rng.hpp"
 
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+// glibc's lgamma stores the sign of the result in the process-global
+// `signgam` (a POSIX requirement), so every call is a write to shared
+// state — a genuine data race once fleet nodes sample in parallel.
+// libstdc++'s poisson_distribution calls lgamma both when the parameter
+// block is built and inside the rejection loop for mean >= 12, which is
+// exactly the path Rng::poisson exercises.  Nothing in this codebase
+// reads signgam, so interpose the C symbol with the reentrant lgamma_r:
+// identical return values (same algorithm, same rounding), the sign
+// lands in a stack local, and the global write disappears.  The strong
+// definition in the executable wins over libm's at link time.
+extern "C" double lgamma(double x) noexcept {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
 namespace pfm::num {
+
+std::int64_t Rng::poisson(double mean) {
+  return std::poisson_distribution<std::int64_t>(mean)(gen_);
+}
 
 std::size_t Rng::categorical(std::span<const double> weights) {
   if (weights.empty()) throw std::invalid_argument("categorical: empty");

@@ -51,9 +51,11 @@ class Rng {
   }
 
   /// Poisson draw with the given mean.
-  std::int64_t poisson(double mean) {
-    return std::poisson_distribution<std::int64_t>(mean)(gen_);
-  }
+  ///
+  /// Deliberately out-of-line: the definition lives in the translation
+  /// unit that interposes a reentrant lgamma, so every binary drawing
+  /// Poisson variates links the race-free version (see rng.cpp).
+  std::int64_t poisson(double mean);
 
   /// Bernoulli draw.
   bool bernoulli(double p) {

@@ -98,7 +98,8 @@ void Hsmm::train(const std::vector<HsmmSequence>& sequences) {
       }
     }
   }
-  const double mean_gap = gap_count > 0 ? gap_sum / gap_count : 60.0;
+  const double mean_gap =
+      gap_count > 0 ? gap_sum / static_cast<double>(gap_count) : 60.0;
   gap_rate_.assign(ns, 0.0);
   for (std::size_t i = 0; i < ns; ++i) {
     gap_rate_[i] = 1.0 / (mean_gap * rng.uniform(0.4, 2.5));

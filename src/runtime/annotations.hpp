@@ -1,0 +1,102 @@
+#pragma once
+
+// Clang thread-safety capability annotations, behind PFM_ macros so the
+// code stays a no-op under GCC (and any compiler without the attribute).
+// src/ builds with -Wthread-safety -Werror=thread-safety under Clang
+// (see src/CMakeLists.txt), so an access to annotated shared state
+// without its capability is a build break, not a review comment.
+//
+// Two capability shapes are used in runtime/:
+//
+//   Mutex / MutexLock  — a real lock. libstdc++'s std::mutex carries no
+//       capability attributes, so the analysis cannot see through it;
+//       Mutex is the annotated wrapper and MutexLock the annotated RAII
+//       scope (condition-variable-compatible via native()).
+//
+//   ThreadRole / RoleGuard — a phantom capability naming a *thread
+//       role* rather than a lock. The FleetController's quarantine,
+//       breaker and telemetry accumulators are mutated only by the
+//       controller thread between parallel sections; there is no mutex
+//       to annotate, but the ownership rule is still machine-checkable:
+//       state marked PFM_GUARDED_BY(role) is only touchable from scopes
+//       that hold a RoleGuard, and worker-side lambdas (which must stay
+//       on disjoint per-node slots) do not — so a future edit that
+//       reaches from a worker into controller state fails the Clang
+//       build. Acquiring a role costs nothing at runtime; the value is
+//       purely in the analysis.
+//
+// The macro set mirrors the Clang documentation's canonical names with
+// a PFM_ prefix; see DESIGN.md "Correctness tooling" for the map of
+// what is guarded by what.
+
+#if defined(__clang__)
+#define PFM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PFM_THREAD_ANNOTATION(x)
+#endif
+
+#define PFM_CAPABILITY(x) PFM_THREAD_ANNOTATION(capability(x))
+#define PFM_SCOPED_CAPABILITY PFM_THREAD_ANNOTATION(scoped_lockable)
+#define PFM_GUARDED_BY(x) PFM_THREAD_ANNOTATION(guarded_by(x))
+#define PFM_PT_GUARDED_BY(x) PFM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PFM_REQUIRES(...) \
+  PFM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PFM_ACQUIRE(...) \
+  PFM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PFM_RELEASE(...) \
+  PFM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PFM_EXCLUDES(...) PFM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PFM_NO_THREAD_SAFETY_ANALYSIS \
+  PFM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#include <condition_variable>
+#include <mutex>
+
+namespace pfm::runtime {
+
+/// Annotated std::mutex wrapper (see file comment).
+class PFM_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() PFM_ACQUIRE() { mu_.lock(); }
+  void unlock() PFM_RELEASE() { mu_.unlock(); }
+  /// The raw mutex, for std::condition_variable interop only.
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scope holding a Mutex for its lifetime. wait() parks on a
+/// condition variable; per the standard CV contract the lock is
+/// reacquired before wait() returns, so the capability is held whenever
+/// user code runs — which is exactly what the analysis assumes.
+class PFM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PFM_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() PFM_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Phantom capability naming a thread role (see file comment).
+class PFM_CAPABILITY("role") ThreadRole {};
+
+/// Zero-cost RAII assertion that the current scope plays `role`.
+class PFM_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(const ThreadRole& role) PFM_ACQUIRE(role) {
+    (void)role;
+  }
+  ~RoleGuard() PFM_RELEASE() {}
+
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+};
+
+}  // namespace pfm::runtime

@@ -24,8 +24,8 @@ FleetController::FleetController(
       config_(std::move(config)),
       engines_(nodes_.size()),
       stats_(nodes_.size()),
-      node_state_(nodes_.size()),
-      pool_(config_.num_threads) {
+      pool_(config_.num_threads),
+      node_state_(nodes_.size()) {
   if (nodes_.empty()) {
     throw std::invalid_argument("FleetController: empty fleet");
   }
@@ -71,7 +71,8 @@ std::string FleetController::describe(const std::exception_ptr& error) {
     std::rethrow_exception(error);
   } catch (const std::exception& e) {
     return e.what();
-  } catch (...) {
+  } catch (...) {  // pfm-lint: allow(concurrency) — describing an already
+                   // captured exception_ptr; nothing is swallowed here
     return "unknown error";
   }
 }
@@ -86,6 +87,10 @@ void FleetController::quarantine(std::size_t node_index,
 }
 
 void FleetController::run_until(double t) {
+  // This thread is the controller for the whole run: quarantine, breaker
+  // and telemetry state below is only ever touched between the parallel
+  // sections (never from the worker lambdas handed to pool_).
+  RoleGuard controller_guard(controller_);
   const double interval = config_.mea.evaluation_interval;
   const double threshold = config_.mea.warning_threshold;
   const ResilienceConfig& res = config_.resilience;
@@ -147,10 +152,13 @@ void FleetController::run_until(double t) {
           node_state_[i].stall_streak = 0;
         }
       }
-      // Nodes quarantined this round drop out of Evaluate/Act.
+      // Nodes quarantined this round drop out of Evaluate/Act. (The
+      // local alias keeps the lambda — analyzed as its own function —
+      // off the role-guarded member; it runs inline on this thread.)
+      const auto& node_state = node_state_;
       active.erase(std::remove_if(active.begin(), active.end(),
                                   [&](std::size_t i) {
-                                    return node_state_[i].quarantined;
+                                    return node_state[i].quarantined;
                                   }),
                    active.end());
     } else {
@@ -285,6 +293,7 @@ void FleetController::run_until(double t) {
 }
 
 FleetTelemetry FleetController::telemetry() const {
+  RoleGuard guard(controller_);
   FleetTelemetry out;
   out.nodes = nodes_.size();
   out.rounds = rounds_;

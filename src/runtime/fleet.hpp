@@ -9,6 +9,7 @@
 #include "core/managed_system.hpp"
 #include "core/mea.hpp"
 #include "prediction/predictor.hpp"
+#include "runtime/annotations.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pfm::runtime {
@@ -135,16 +136,19 @@ class FleetController {
   }
 
   bool node_quarantined(std::size_t i) const {
+    RoleGuard guard(controller_);
     return node_state_.at(i).quarantined;
   }
   /// Human-readable cause ("" while not quarantined).
   const std::string& node_quarantine_reason(std::size_t i) const {
+    RoleGuard guard(controller_);
     return node_state_.at(i).reason;
   }
 
   /// True when predictor `p`'s breaker is currently open (predictors are
   /// numbered symptom first, then event, in registration order).
   bool predictor_tripped(std::size_t p) const {
+    RoleGuard guard(controller_);
     return p < breakers_.size() && breakers_[p].open;
   }
 
@@ -167,7 +171,8 @@ class FleetController {
     std::size_t open_rounds_left = 0; ///< rounds until the half-open probe
   };
 
-  void quarantine(std::size_t node_index, const std::string& reason);
+  void quarantine(std::size_t node_index, const std::string& reason)
+      PFM_REQUIRES(controller_);
   static std::string describe(const std::exception_ptr& error);
 
   std::vector<std::unique_ptr<core::ManagedSystem>> nodes_;
@@ -176,15 +181,22 @@ class FleetController {
   std::vector<std::shared_ptr<const pred::EventPredictor>> event_;
   std::vector<core::ActEngine> engines_;  // one per node
   std::vector<core::MeaStats> stats_;     // one per node
-  std::vector<NodeState> node_state_;     // one per node
-  std::vector<Breaker> breakers_;         // one per predictor, sized lazily
   ThreadPool pool_;
 
-  std::size_t rounds_ = 0;
-  std::size_t scores_computed_ = 0;
-  std::size_t warnings_raised_ = 0;
-  StageLatency latency_;
-  ResilienceStats resilience_;
+  // Controller-thread-only state. Worker lambdas operate on disjoint
+  // per-node/per-predictor slots of the vectors above; everything below
+  // is read and mutated exclusively between parallel sections, which
+  // the `controller_` role capability makes machine-checkable under
+  // Clang (-Wthread-safety): touching it from a worker lambda — which
+  // never holds a RoleGuard — breaks the build.
+  ThreadRole controller_;
+  std::vector<NodeState> node_state_ PFM_GUARDED_BY(controller_);
+  std::vector<Breaker> breakers_ PFM_GUARDED_BY(controller_);
+  std::size_t rounds_ PFM_GUARDED_BY(controller_) = 0;
+  std::size_t scores_computed_ PFM_GUARDED_BY(controller_) = 0;
+  std::size_t warnings_raised_ PFM_GUARDED_BY(controller_) = 0;
+  StageLatency latency_ PFM_GUARDED_BY(controller_);
+  ResilienceStats resilience_ PFM_GUARDED_BY(controller_);
 };
 
 }  // namespace pfm::runtime

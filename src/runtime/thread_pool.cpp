@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -35,16 +35,14 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) lock.wait(work_cv_);
       if (stop_) return;
       seen_generation = generation_;
     }
     run_indices();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --workers_pending_;
       if (workers_pending_ == 0) done_cv_.notify_all();
     }
@@ -67,7 +65,7 @@ void ThreadPool::parallel_for_captured(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     n_ = n;
     next_.store(0, std::memory_order_relaxed);
@@ -77,8 +75,8 @@ void ThreadPool::parallel_for_captured(
   }
   work_cv_.notify_all();
   run_indices();  // the caller is a pool thread too
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
+  MutexLock lock(mu_);
+  while (workers_pending_ != 0) lock.wait(done_cv_);
   fn_ = nullptr;
   errors_ = nullptr;
 }

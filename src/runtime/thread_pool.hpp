@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/annotations.hpp"
 
 namespace pfm::runtime {
 
@@ -51,23 +52,30 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_indices();
+  // Drains indices of the current batch. Reads the batch descriptor
+  // (fn_/n_/errors_) without holding mu_: the descriptor is published
+  // under mu_ before generation_ is bumped, workers observe the bump
+  // under mu_ before calling this, and the caller only resets the
+  // descriptor after workers_pending_ drained back to zero under mu_ —
+  // the classic monitor handshake the analysis cannot see through.
+  void run_indices() PFM_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_cv_;  // signals workers: new batch / stop
   std::condition_variable done_cv_;  // signals caller: workers drained
-  std::uint64_t generation_ = 0;     // batch counter, guarded by mu_
-  std::size_t workers_pending_ = 0;  // workers still in the current batch
-  bool stop_ = false;
+  std::uint64_t generation_ PFM_GUARDED_BY(mu_) = 0;  // batch counter
+  std::size_t workers_pending_ PFM_GUARDED_BY(mu_) = 0;
+  bool stop_ PFM_GUARDED_BY(mu_) = false;
 
   // Current batch, written by parallel_for_captured before workers are
   // woken. Exceptions land in (*errors_)[i] — disjoint slots, no lock.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t n_ = 0;
+  // Guarded by mu_ for every access except run_indices (see above).
+  const std::function<void(std::size_t)>* fn_ PFM_GUARDED_BY(mu_) = nullptr;
+  std::size_t n_ PFM_GUARDED_BY(mu_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::vector<std::exception_ptr>* errors_ = nullptr;
+  std::vector<std::exception_ptr>* errors_ PFM_GUARDED_BY(mu_) = nullptr;
   std::vector<std::exception_ptr> scratch_errors_;  // parallel_for's buffer
 };
 

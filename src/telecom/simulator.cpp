@@ -329,7 +329,8 @@ void ScpSimulator::sample_symptoms(double t) {
 
   mon::SymptomSample s;
   s.time = t;
-  s.values = {arrival,   util_mean, util_max, mem_min,  mem_sum / n,
+  s.values = {arrival,   util_mean, util_max, mem_min,
+              mem_sum / static_cast<double>(n),
               pressure_max, resp_p95, err_rate, sem_ops, cpu_user,
               net_tx,    disk_io_,  paging,   temp,     threads};
   trace_.add_sample(std::move(s));

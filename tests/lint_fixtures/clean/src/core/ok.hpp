@@ -1,0 +1,13 @@
+#pragma once
+
+#include "monitoring/types.hpp"
+#include "numerics/leaf.hpp"
+
+// Fixture: core binding only its allowed dependencies; the string below
+// must not trip the determinism rule (literals are stripped).
+namespace fixture {
+struct Ok {
+  double value = 0.0;
+  const char* note = "calling rand() in a string literal is fine";
+};
+}  // namespace fixture

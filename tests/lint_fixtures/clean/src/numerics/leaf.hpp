@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: a numerics leaf with no project includes — passes every rule.
+namespace fixture {
+inline double half(double x) { return 0.5 * x; }
+}  // namespace fixture

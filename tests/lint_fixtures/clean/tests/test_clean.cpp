@@ -1,0 +1,8 @@
+#include <map>
+
+// Fixture: ordered containers and value keys are always fine.
+int main() {
+  std::map<int, int> m;
+  m[1] = 2;
+  return static_cast<int>(m.size()) - 1;
+}

@@ -1,0 +1,19 @@
+#include <cstddef>
+
+// Fixture: a mutable function-local static shared by every thread
+// (line 7), a catch-all outside the ThreadPool capture sites (line 14),
+// and volatile pressed into service as a sync primitive (line 19).
+std::size_t next_id() {
+  static std::size_t counter = 0;
+  return ++counter;
+}
+
+int swallow() {
+  try {
+    return next_id() > 0 ? 1 : 0;
+  } catch (...) {
+    return -1;
+  }
+}
+
+volatile int g_flag = 0;

@@ -1,0 +1,27 @@
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Obs {};
+
+// Fixture: every banned entropy source, one per line (11-14).
+double bad_entropy() {
+  std::srand(42);
+  double x = static_cast<double>(std::rand());
+  std::random_device rd;
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+  return x + static_cast<double>(rd());
+}
+
+// Fixture: an address-keyed map (line 22) and iteration over an
+// unordered container in a reduce (declared line 23, iterated line 25).
+double bad_reduce() {
+  std::map<const Obs*, double> weights;
+  std::unordered_map<int, double> scores;
+  double sum = 0.0;
+  for (const auto& entry : scores) sum += entry.second;
+  return sum + static_cast<double>(weights.size());
+}

@@ -1,0 +1,7 @@
+#include "telecom/node.hpp"
+#include "runtime/fleet.hpp"
+#include "monitoring/types.hpp"
+
+// Fixture: core reaching into telecom/ (line 1) and runtime/ (line 2) —
+// both forbidden; monitoring (line 3) is allowed.
+int core_bad_include() { return 0; }

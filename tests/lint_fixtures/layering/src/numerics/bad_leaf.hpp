@@ -1,0 +1,6 @@
+#pragma once
+
+#include "monitoring/types.hpp"
+
+// Fixture: numerics must be a leaf — the include on line 3 is forbidden.
+inline int numerics_bad_leaf() { return 1; }

@@ -1,0 +1,5 @@
+#pragma once
+
+// Fixture: a module that is not in the dependency policy — flagged at
+// line 1 until allowed_deps() is extended deliberately.
+inline int widgets_unregistered() { return 2; }

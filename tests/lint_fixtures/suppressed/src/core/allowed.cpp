@@ -1,0 +1,11 @@
+#include "telecom/node.hpp"  // pfm-lint: allow(layering) fixture: inline suppression
+
+#include <cstdlib>
+
+// pfm-lint: allow(concurrency)
+volatile int suppressed_flag = 0;
+
+// pfm-lint: allow-file(determinism)
+int suppressed_entropy() {
+  return std::rand();
+}

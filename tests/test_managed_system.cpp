@@ -5,12 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 
 #include "core/mea.hpp"
+#include "lint.hpp"
 #include "runtime/scp_system.hpp"
 
 namespace pfm {
@@ -86,24 +85,20 @@ TEST(ManagedSystem, MeaThroughAdapterMatchesGoldenTrajectory) {
 }
 
 // The point of the seam: nothing under src/core may include a telecom
-// header. (Scanned from the sources so the check cannot rot.)
-TEST(ManagedSystem, CoreHeadersAreTelecomFree) {
-  namespace fs = std::filesystem;
-  const fs::path core_dir = fs::path(PFM_SOURCE_DIR) / "src" / "core";
-  ASSERT_TRUE(fs::is_directory(core_dir));
-  std::size_t scanned = 0;
-  for (const auto& entry : fs::directory_iterator(core_dir)) {
-    const auto ext = entry.path().extension().string();
-    if (ext != ".hpp" && ext != ".cpp") continue;
-    std::ifstream in(entry.path());
-    ASSERT_TRUE(in.good()) << entry.path();
-    std::stringstream ss;
-    ss << in.rdbuf();
-    EXPECT_EQ(ss.str().find("#include \"telecom/"), std::string::npos)
-        << entry.path() << " includes a telecom header";
-    ++scanned;
+// (or runtime, or injection) header. Asserted through pfm-lint's
+// layering rule, so the dependency policy in tools/pfm_lint/lint.cpp is
+// the single source of truth — this test only pins that the rule still
+// runs over a tree that actually contains src/core.
+TEST(ManagedSystem, CoreStaysTelecomFreeViaLintLayeringRule) {
+  pfm::lint::Options options;
+  options.root = std::filesystem::path(PFM_SOURCE_DIR);
+  options.rules = {"layering"};
+  ASSERT_TRUE(std::filesystem::is_directory(options.root / "src" / "core"));
+  const auto findings = pfm::lint::run(options);
+  for (const auto& finding : findings) {
+    ADD_FAILURE() << pfm::lint::format(finding);
   }
-  EXPECT_GE(scanned, 6u);  // mea/diagnosis/architecture + managed_system
+  EXPECT_TRUE(findings.empty());
 }
 
 TEST(ManagedSystem, AdapterDelegatesStateAndActions) {

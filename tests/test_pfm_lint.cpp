@@ -1,0 +1,145 @@
+// pfm-lint's own contract: a clean tree passes, each rule catches its
+// seeded fixture violation at the exact file:line, suppression comments
+// are honored, and — the actual gate — the repository's real src/ and
+// tests/ trees are finding-free. The CLI's exit-code protocol (0 clean,
+// 1 findings, 2 usage error) is pinned through the installed binary.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using pfm::lint::Finding;
+using pfm::lint::Options;
+
+std::filesystem::path repo_root() {
+  return std::filesystem::path(PFM_SOURCE_DIR);
+}
+
+std::filesystem::path fixture(const std::string& name) {
+  return repo_root() / "tests" / "lint_fixtures" / name;
+}
+
+std::vector<Finding> run_on(const std::filesystem::path& root,
+                            std::vector<std::string> rules = {}) {
+  Options options;
+  options.root = root;
+  options.rules = std::move(rules);
+  return pfm::lint::run(options);
+}
+
+// "file:line check" triples, compact to assert against.
+std::vector<std::string> keys(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) {
+    out.push_back(f.file + ":" + std::to_string(f.line) + " " + f.check);
+  }
+  return out;
+}
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(PFM_LINT_BINARY) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(PfmLint, KnownRulesAreTheThreeInvariantFamilies) {
+  const auto& rules = pfm::lint::known_rules();
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0], "layering");
+  EXPECT_EQ(rules[1], "determinism");
+  EXPECT_EQ(rules[2], "concurrency");
+}
+
+TEST(PfmLint, CleanFixtureTreeHasNoFindings) {
+  EXPECT_TRUE(run_on(fixture("clean")).empty());
+}
+
+TEST(PfmLint, LayeringRuleFlagsForbiddenIncludesWithFileAndLine) {
+  const auto findings = run_on(fixture("layering"), {"layering"});
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/core/bad_include.cpp:1 forbidden-include",
+                "src/core/bad_include.cpp:2 forbidden-include",
+                "src/numerics/bad_leaf.hpp:3 forbidden-include",
+                "src/widgets/unregistered.hpp:1 unknown-module",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "layering");
+}
+
+TEST(PfmLint, DeterminismRuleFlagsEntropyAddressKeysAndUnorderedIteration) {
+  const auto findings = run_on(fixture("determinism"), {"determinism"});
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/prediction/bad_rng.cpp:11 banned-token",
+                "src/prediction/bad_rng.cpp:12 banned-token",
+                "src/prediction/bad_rng.cpp:13 banned-token",
+                "src/prediction/bad_rng.cpp:14 banned-token",
+                "src/prediction/bad_rng.cpp:22 address-keyed",
+                "src/prediction/bad_rng.cpp:25 unordered-iteration",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "determinism");
+}
+
+TEST(PfmLint, ConcurrencyRuleFlagsMutableStaticCatchAllAndVolatile) {
+  const auto findings = run_on(fixture("concurrency"), {"concurrency"});
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/runtime/bad_shared.cpp:7 mutable-static",
+                "src/runtime/bad_shared.cpp:14 catch-all",
+                "src/runtime/bad_shared.cpp:19 volatile",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "concurrency");
+}
+
+TEST(PfmLint, SuppressionCommentsAreHonored) {
+  // Same violation shapes as the bad fixtures — inline allow, allow on
+  // the preceding line, and allow-file — all silenced.
+  EXPECT_TRUE(run_on(fixture("suppressed")).empty());
+}
+
+TEST(PfmLint, RulesCanBeRunSelectively) {
+  // The determinism fixture is clean under the other two rules.
+  EXPECT_TRUE(run_on(fixture("determinism"), {"layering"}).empty());
+  EXPECT_TRUE(run_on(fixture("determinism"), {"concurrency"}).empty());
+}
+
+TEST(PfmLint, UnknownRuleAndBadRootThrow) {
+  EXPECT_THROW(run_on(repo_root(), {"nonsense"}), std::runtime_error);
+  EXPECT_THROW(run_on(repo_root() / "does-not-exist"), std::runtime_error);
+}
+
+TEST(PfmLint, FormatIsFileLineRuleCheckMessage) {
+  const Finding f{"determinism", "banned-token", "src/a/b.cpp", 7, "no"};
+  EXPECT_EQ(pfm::lint::format(f),
+            "src/a/b.cpp:7: [determinism/banned-token] no");
+}
+
+// The gate itself: the real tree must be finding-free under every rule.
+// (The fixtures above are excluded by Options::exclude_dirs.)
+TEST(PfmLint, RepositoryTreeIsCleanUnderAllRules) {
+  const auto findings = run_on(repo_root());
+  for (const auto& f : findings) ADD_FAILURE() << pfm::lint::format(f);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(PfmLint, CliExitCodesDistinguishCleanFindingsAndUsage) {
+  EXPECT_EQ(run_cli("--root " + repo_root().string()), 0);
+  EXPECT_EQ(run_cli("--root " + fixture("layering").string()), 1);
+  EXPECT_EQ(run_cli("--root " + fixture("layering").string() +
+                    " --rule concurrency"),
+            0);
+  EXPECT_EQ(run_cli("--list-rules"), 0);
+  EXPECT_EQ(run_cli("--rule nonsense --root " + repo_root().string()), 2);
+  EXPECT_EQ(run_cli("--bogus-flag"), 2);
+}
+
+}  // namespace

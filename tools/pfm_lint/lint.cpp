@@ -1,0 +1,622 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace pfm::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source model: one file, split into lines, with comments and string
+// literals blanked out (replaced by spaces so columns survive) and the
+// pfm-lint suppression directives extracted from the comment text.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel_path;                     // "src/core/mea.cpp"
+  std::vector<std::string> code;            // stripped, index 0 == line 1
+  std::vector<std::string> raw;             // verbatim lines (for includes,
+                                            // whose targets are string
+                                            // literals and thus blanked in
+                                            // the code view)
+  std::vector<std::set<std::string>> allow; // per-line suppressed rules
+  std::set<std::string> allow_file;         // file-wide suppressed rules
+
+  bool in_src() const { return rel_path.rfind("src/", 0) == 0; }
+
+  bool suppressed(std::size_t line, const std::string& rule) const {
+    if (allow_file.count(rule) || allow_file.count("*")) return true;
+    if (line == 0 || line > allow.size()) return false;
+    const auto& set = allow[line - 1];
+    return set.count(rule) != 0 || set.count("*") != 0;
+  }
+};
+
+// Parses "pfm-lint: allow(rule, rule)" / "pfm-lint: allow-file(rule)"
+// out of one comment's text. Returns true when a directive was found.
+bool parse_directive(const std::string& comment, std::set<std::string>* line_rules,
+                     std::set<std::string>* file_rules) {
+  static const std::regex kDirective(
+      R"(pfm-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kDirective);
+  bool found = false;
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    found = true;
+    std::set<std::string>* target =
+        (*it)[1].str() == "allow" ? line_rules : file_rules;
+    std::stringstream names((*it)[2].str());
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      const auto first = name.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const auto last = name.find_last_not_of(" \t");
+      target->insert(name.substr(first, last - first + 1));
+    }
+  }
+  return found;
+}
+
+// Lexes the raw text: comments and string/char literals become spaces in
+// the code view; comment text is scanned for suppression directives.
+// Handles //, /* */, "...", '...', and R"delim(...)delim". A directive on
+// a line whose code view is blank also covers the following line.
+SourceFile load_source(const std::filesystem::path& path,
+                       std::string rel_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pfm-lint: cannot read " + rel_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  SourceFile out;
+  out.rel_path = std::move(rel_path);
+
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::string code_line;
+  std::string comment_line;  // comment text seen on the current line
+  std::string raw_delim;     // for R"delim( ... )delim"
+
+  std::string raw_line;
+  auto flush_line = [&] {
+    std::set<std::string> line_rules;
+    parse_directive(comment_line, &line_rules, &out.allow_file);
+    out.code.push_back(code_line);
+    out.raw.push_back(raw_line);
+    out.allow.push_back(std::move(line_rules));
+    code_line.clear();
+    raw_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Code;
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(code_line.back())) &&
+                     code_line.back() != '_'))) {
+          // Raw string literal: find the delimiter up to the '('.
+          const std::size_t paren = text.find('(', i + 2);
+          const std::size_t newline = text.find('\n', i);
+          if (paren == std::string::npos || newline < paren) {
+            code_line += c;  // malformed; treat as plain code
+          } else {
+            raw_delim = ")" + text.substr(i + 2, paren - (i + 2)) + "\"";
+            state = State::RawString;
+            code_line += std::string(paren - i + 1, ' ');
+            i = paren;  // consumed through '('
+          }
+        } else if (c == '"') {
+          state = State::String;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::Char;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::LineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::BlockComment:
+        comment_line += c;
+        code_line += ' ';
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          code_line += ' ';
+          comment_line.pop_back();
+          ++i;
+        }
+        break;
+      case State::String:
+        code_line += ' ';
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code_line += ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        }
+        break;
+      case State::Char:
+        code_line += ' ';
+        if (c == '\\' && next != '\0') {
+          code_line += ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+      case State::RawString:
+        code_line += ' ';
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          code_line += std::string(raw_delim.size() - 1, ' ');
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  flush_line();  // last line (also handles files without trailing \n)
+
+  // A directive on an otherwise-blank line covers the next line too.
+  for (std::size_t l = 0; l + 1 < out.allow.size(); ++l) {
+    const bool blank = out.code[l].find_first_not_of(" \t\r") ==
+                       std::string::npos;
+    if (blank && !out.allow[l].empty()) {
+      out.allow[l + 1].insert(out.allow[l].begin(), out.allow[l].end());
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared lexical helpers
+// ---------------------------------------------------------------------------
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when code[pos..pos+token) is `token` with identifier boundaries.
+bool token_at(const std::string& code, std::size_t pos,
+              const std::string& token) {
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(code[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  return end >= code.size() || !is_ident(code[end]);
+}
+
+// Finds the first template argument of the angle list opening at
+// code[open] == '<'. Returns the trimmed argument text, or "" when the
+// list does not close on this line (multi-line declarations are out of
+// lexical reach — documented limitation).
+std::string first_template_arg(const std::string& code, std::size_t open) {
+  int depth = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '<') {
+      ++depth;
+    } else if (c == '>') {
+      --depth;
+      if (depth == 0) {
+        std::string arg = code.substr(start, i - start);
+        const auto first = arg.find_first_not_of(" \t");
+        if (first == std::string::npos) return "";
+        const auto last = arg.find_last_not_of(" \t");
+        return arg.substr(first, last - first + 1);
+      }
+    } else if (c == ',' && depth == 1) {
+      std::string arg = code.substr(start, i - start);
+      const auto first = arg.find_first_not_of(" \t");
+      if (first == std::string::npos) return "";
+      const auto last = arg.find_last_not_of(" \t");
+      return arg.substr(first, last - first + 1);
+    }
+  }
+  return "";
+}
+
+// Position just past the matching '>' of the list at code[open] == '<',
+// or npos when it does not close on this line.
+std::size_t past_angle_list(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+void emit(std::vector<Finding>* findings, const SourceFile& file,
+          std::size_t line, const std::string& rule, const std::string& check,
+          std::string message) {
+  if (file.suppressed(line, rule)) return;
+  findings->push_back({rule, check, file.rel_path, line, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering
+// ---------------------------------------------------------------------------
+
+// The module dependency policy — THE single source of truth (tests and
+// the telecom-free-core guarantee assert through it). A module may
+// always include itself. Key absences are the point:
+//   core      never sees telecom/, runtime/ or injection/ (MEA stays
+//             simulator-free; PR 1's seam);
+//   numerics  is a leaf;
+//   injection wraps the public contracts (core/prediction/actions) only,
+//             so fault decorators can never reach around the interfaces;
+//   runtime   may bind everything except injection (fault plans stay a
+//             caller concern, never a runtime dependency).
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> kPolicy = {
+      {"numerics", {}},
+      {"ctmc", {"numerics"}},
+      {"monitoring", {"numerics"}},
+      {"eval", {"monitoring", "numerics"}},
+      {"telecom", {"monitoring", "numerics"}},
+      {"prediction", {"eval", "monitoring", "numerics"}},
+      {"actions", {"core", "numerics"}},
+      {"core", {"actions", "monitoring", "numerics", "prediction"}},
+      {"injection", {"actions", "core", "prediction"}},
+      {"runtime",
+       {"actions", "core", "eval", "monitoring", "numerics", "prediction",
+        "telecom"}},
+  };
+  return kPolicy;
+}
+
+void rule_layering(const SourceFile& file, std::vector<Finding>* findings) {
+  if (!file.in_src()) return;  // tests/bench may bind any module
+
+  // "src/<module>/..." — files directly under src/ have no module.
+  const std::string path_tail = file.rel_path.substr(4);
+  const auto slash = path_tail.find('/');
+  if (slash == std::string::npos) return;
+  const std::string module = path_tail.substr(0, slash);
+
+  const auto& policy = allowed_deps();
+  const auto entry = policy.find(module);
+  if (entry == policy.end()) {
+    emit(findings, file, 1, "layering", "unknown-module",
+         "module 'src/" + module +
+             "/' is not in the dependency policy; extend allowed_deps() in "
+             "tools/pfm_lint/lint.cpp deliberately");
+    return;
+  }
+
+  // The directive must survive in the code view (i.e. not be commented
+  // out), but the target itself is a string literal and only exists in
+  // the raw view.
+  static const std::regex kDirectivePrefix(R"(^\s*#\s*include\s)");
+  static const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    if (!std::regex_search(file.code[l], kDirectivePrefix)) continue;
+    std::smatch m;
+    if (!std::regex_search(file.raw[l], m, kInclude)) continue;
+    const std::string target = m[1].str();
+    const auto target_slash = target.find('/');
+    if (target_slash == std::string::npos) continue;  // local header
+    const std::string target_module = target.substr(0, target_slash);
+    if (target_module == module) continue;
+    if (!policy.count(target_module)) continue;  // not a project module
+    if (!entry->second.count(target_module)) {
+      emit(findings, file, l + 1, "layering", "forbidden-include",
+           "src/" + module + "/ must not include \"" + target +
+               "\" (allowed: self" +
+               [&] {
+                 std::string list;
+                 for (const auto& dep : entry->second) list += ", " + dep;
+                 return list;
+               }() +
+               ")");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------------
+
+void rule_determinism(const SourceFile& file, std::vector<Finding>* findings) {
+  struct Banned {
+    const char* token;
+    bool needs_call;  // must be followed by '(' — bare words are fine
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      {"rand", true, "libc rand() is process-global and unseeded per node"},
+      {"srand", true, "libc srand() mutates process-global state"},
+      {"random_device", false,
+       "std::random_device is platform entropy, never reproducible"},
+      {"system_clock", false,
+       "wall-clock time leaks host state into results; pass sim time "
+       "explicitly (steady_clock is fine for latency telemetry)"},
+  };
+
+  // Names declared in this file as unordered containers, for the
+  // iteration check (lexical, file-local — good enough for a codebase
+  // that keeps declarations near their loops).
+  std::set<std::string> unordered_names;
+
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    const std::string& code = file.code[l];
+
+    for (const auto& ban : kBanned) {
+      for (std::size_t pos = code.find(ban.token); pos != std::string::npos;
+           pos = code.find(ban.token, pos + 1)) {
+        if (!token_at(code, pos, ban.token)) continue;
+        if (ban.needs_call) {
+          std::size_t after = pos + std::strlen(ban.token);
+          while (after < code.size() && code[after] == ' ') ++after;
+          if (after >= code.size() || code[after] != '(') continue;
+        }
+        emit(findings, file, l + 1, "determinism", "banned-token",
+             std::string(ban.token) + " is banned: " + ban.why +
+                 "; use a seeded numerics::SplitMix64 stream");
+      }
+    }
+
+    // Address-keyed containers: map/set (ordered or not) whose first
+    // template argument is a pointer type. Iteration order — and for
+    // unordered containers even bucket layout — then depends on
+    // allocation addresses.
+    static const char* kContainers[] = {"unordered_map", "unordered_set",
+                                        "unordered_multimap",
+                                        "unordered_multiset", "map", "set",
+                                        "multimap", "multiset"};
+    for (const char* name : kContainers) {
+      for (std::size_t pos = code.find(name); pos != std::string::npos;
+           pos = code.find(name, pos + 1)) {
+        if (!token_at(code, pos, name)) continue;
+        std::size_t open = pos + std::strlen(name);
+        while (open < code.size() && code[open] == ' ') ++open;
+        if (open >= code.size() || code[open] != '<') continue;
+        const std::string key = first_template_arg(code, open);
+        if (!key.empty() && key.back() == '*') {
+          emit(findings, file, l + 1, "determinism", "address-keyed",
+               std::string(name) + "<" + key +
+                   ", ...> is keyed by object addresses; key by a stable id "
+                   "instead");
+        }
+      }
+    }
+
+    // Collect unordered-container variable names: `unordered_map<...> x`
+    // (declaration), for the iteration check below.
+    if (file.in_src()) {
+      for (const char* name : {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"}) {
+        for (std::size_t pos = code.find(name); pos != std::string::npos;
+             pos = code.find(name, pos + 1)) {
+          if (!token_at(code, pos, name)) continue;
+          std::size_t open = pos + std::strlen(name);
+          while (open < code.size() && code[open] == ' ') ++open;
+          if (open >= code.size() || code[open] != '<') continue;
+          std::size_t after = past_angle_list(code, open);
+          if (after == std::string::npos) continue;
+          while (after < code.size() &&
+                 (code[after] == ' ' || code[after] == '&')) {
+            ++after;
+          }
+          std::size_t end = after;
+          while (end < code.size() && is_ident(code[end])) ++end;
+          if (end > after) {
+            unordered_names.insert(code.substr(after, end - after));
+          }
+        }
+      }
+    }
+  }
+
+  // Iteration over unordered containers inside src/: a range-for whose
+  // range expression names a container declared unordered in this file.
+  // Reduce paths must visit elements in a stable order; iterate a sorted
+  // key list or switch to an ordered/indexed container.
+  if (file.in_src() && !unordered_names.empty()) {
+    static const std::regex kRangeFor(R"(\bfor\s*\(([^;)]*):([^;]*)\))");
+    for (std::size_t l = 0; l < file.code.size(); ++l) {
+      std::smatch m;
+      const std::string& code = file.code[l];
+      if (!std::regex_search(code, m, kRangeFor)) continue;
+      const std::string range = m[2].str();
+      for (const auto& name : unordered_names) {
+        std::size_t pos = range.find(name);
+        while (pos != std::string::npos && !token_at(range, pos, name)) {
+          pos = range.find(name, pos + 1);
+        }
+        if (pos != std::string::npos) {
+          emit(findings, file, l + 1, "determinism", "unordered-iteration",
+               "iterating unordered container '" + name +
+                   "' — order is implementation-defined and would leak into "
+                   "any reduce; iterate sorted keys instead");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: concurrency
+// ---------------------------------------------------------------------------
+
+void rule_concurrency(const SourceFile& file, std::vector<Finding>* findings) {
+  // The pool's per-task capture sites are the one place catch (...) is
+  // the design (exceptions become exception_ptr slots, every index still
+  // runs). Everywhere else it needs an explicit allow.
+  const bool capture_site = file.rel_path == "src/runtime/thread_pool.cpp";
+
+  static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex kStaticDecl(R"(^\s*(inline\s+)?static\s+\w)");
+
+  for (std::size_t l = 0; l < file.code.size(); ++l) {
+    const std::string& code = file.code[l];
+
+    if (!capture_site && std::regex_search(code, kCatchAll)) {
+      emit(findings, file, l + 1, "concurrency", "catch-all",
+           "catch (...) swallows every failure mode; outside the "
+           "ThreadPool capture sites, catch concrete exception types (or "
+           "pfm-lint: allow(concurrency) with a reason)");
+    }
+
+    if (!file.in_src()) continue;  // the checks below are src/-only
+
+    for (std::size_t pos = code.find("volatile"); pos != std::string::npos;
+         pos = code.find("volatile", pos + 1)) {
+      if (!token_at(code, pos, "volatile")) continue;
+      emit(findings, file, l + 1, "concurrency", "volatile",
+           "volatile is not a synchronization primitive; use std::atomic "
+           "or a mutex");
+    }
+
+    // Mutable static-duration state: `static T x...` that is not const,
+    // constexpr, thread_local or atomic, and is a variable (no parameter
+    // list before the declarator ends → not a function/method
+    // declaration). Shared counters belong in per-task slots, atomics,
+    // or behind a PFM_GUARDED_BY-annotated lock.
+    if (std::regex_search(code, kStaticDecl)) {
+      const bool immutable =
+          code.find("const") != std::string::npos ||       // const/constexpr/
+          code.find("constinit") != std::string::npos;     //   constexpr'd init
+      const bool thread_local_var =
+          code.find("thread_local") != std::string::npos;
+      const bool atomic = code.find("atomic") != std::string::npos;
+      const std::size_t stop = code.find_first_of(";={");
+      const std::size_t paren = code.find('(');
+      // No terminator on this line → the declaration continues; a purely
+      // lexical pass cannot judge it, so stay quiet (src/ keeps static
+      // declarators on one line).
+      const bool undecidable = stop == std::string::npos;
+      const bool function_decl = paren != std::string::npos && paren < stop;
+      if (!immutable && !thread_local_var && !atomic && !undecidable &&
+          !function_decl) {
+        emit(findings, file, l + 1, "concurrency", "mutable-static",
+             "mutable static state is shared across every thread and "
+             "fleet node; use per-task slots, std::atomic, or a "
+             "PFM_GUARDED_BY-annotated lock");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(const SourceFile&, std::vector<Finding>*);
+
+const std::vector<std::pair<std::string, RuleFn>>& rule_table() {
+  static const std::vector<std::pair<std::string, RuleFn>> kRules = {
+      {"layering", &rule_layering},
+      {"determinism", &rule_determinism},
+      {"concurrency", &rule_concurrency},
+  };
+  return kRules;
+}
+
+bool has_source_extension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& [name, fn] : rule_table()) names.push_back(name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::vector<Finding> run(const Options& options) {
+  namespace fs = std::filesystem;
+
+  std::vector<RuleFn> selected;
+  const auto& table = rule_table();
+  if (options.rules.empty()) {
+    for (const auto& [name, fn] : table) selected.push_back(fn);
+  } else {
+    for (const auto& wanted : options.rules) {
+      const auto it =
+          std::find_if(table.begin(), table.end(),
+                       [&](const auto& entry) { return entry.first == wanted; });
+      if (it == table.end()) {
+        throw std::runtime_error("pfm-lint: unknown rule '" + wanted + "'");
+      }
+      selected.push_back(it->second);
+    }
+  }
+
+  if (!fs::is_directory(options.root)) {
+    throw std::runtime_error("pfm-lint: root is not a directory: " +
+                             options.root.string());
+  }
+
+  std::vector<Finding> findings;
+  for (const char* subtree : {"src", "tests"}) {
+    const fs::path base = options.root / subtree;
+    if (!fs::is_directory(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& path = it->path();
+      if (it->is_directory()) {
+        const std::string name = path.filename().string();
+        if (std::find(options.exclude_dirs.begin(), options.exclude_dirs.end(),
+                      name) != options.exclude_dirs.end()) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (!it->is_regular_file() || !has_source_extension(path)) continue;
+      const std::string rel =
+          fs::relative(path, options.root).generic_string();
+      const SourceFile source = load_source(path, rel);
+      for (RuleFn rule : selected) rule(source, &findings);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.check, a.message) <
+                     std::tie(b.file, b.line, b.check, b.message);
+            });
+  return findings;
+}
+
+std::string format(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "/" + finding.check + "] " + finding.message;
+}
+
+}  // namespace pfm::lint

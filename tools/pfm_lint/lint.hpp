@@ -1,0 +1,75 @@
+#pragma once
+
+// pfm-lint: the project's own static-analysis pass. It walks src/ and
+// tests/, strips comments and string literals, and enforces the three
+// invariant families the runtime's guarantees rest on:
+//
+//   layering     — the module dependency policy (core is telecom- and
+//                  runtime-free, numerics is a leaf, injection only wraps
+//                  public contracts). The allowed-dependency matrix below
+//                  is the single source of truth; tests assert against it.
+//   determinism  — no wall-clock or platform randomness in results:
+//                  rand()/srand(), std::random_device and
+//                  std::chrono::system_clock are banned, containers must
+//                  not be keyed by object addresses, and unordered
+//                  containers must not be iterated in src/ (iteration
+//                  order would leak into reduces). Seeded splitmix64
+//                  streams (numerics/rng.hpp) are the only RNG.
+//   concurrency  — no mutable static state, no `volatile` as a
+//                  synchronization primitive, and no `catch (...)`
+//                  outside the ThreadPool's per-task capture sites.
+//
+// Diagnostics are per-line and suppressible in place:
+//
+//   do_risky_thing();  // pfm-lint: allow(concurrency)
+//
+// A directive on a line of its own applies to the next line; an
+// `allow-file(<rule>)` directive anywhere in a file disables the rule
+// for the whole file. Every suppression is grep-able, so exceptions to
+// the invariants stay visible in review.
+//
+// The pass is deliberately lexical (no LLVM dependency): it trades
+// soundness-in-the-limit for a zero-cost gate every PR runs under.
+// clang-tidy and -Wthread-safety cover the semantic end of the spectrum
+// (see DESIGN.md "Correctness tooling").
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace pfm::lint {
+
+/// One diagnostic. `check` refines `rule` (e.g. rule "determinism",
+/// check "banned-token"); suppression matches on the rule name.
+struct Finding {
+  std::string rule;
+  std::string check;
+  std::string file;  ///< path relative to Options::root, '/'-separated
+  std::size_t line = 0;  ///< 1-based
+  std::string message;
+};
+
+struct Options {
+  /// Repository root: the directory containing src/ (and optionally
+  /// tests/). Both subtrees are scanned when present.
+  std::filesystem::path root;
+  /// Rule names to run; empty means all of known_rules().
+  std::vector<std::string> rules;
+  /// Directory names skipped during the walk. Defaults to the lint's
+  /// own test fixtures, which contain violations on purpose.
+  std::vector<std::string> exclude_dirs = {"lint_fixtures"};
+};
+
+/// The rule names `Options::rules` accepts, in diagnostic order.
+const std::vector<std::string>& known_rules();
+
+/// Runs the selected rules over the tree. Findings are sorted by file,
+/// then line, then check. Throws std::runtime_error on an unknown rule
+/// name or an unreadable root.
+std::vector<Finding> run(const Options& options);
+
+/// "src/core/mea.cpp:12: [determinism/banned-token] message" — the
+/// format both the CLI and test failure output use.
+std::string format(const Finding& finding);
+
+}  // namespace pfm::lint

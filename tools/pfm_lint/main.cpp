@@ -1,0 +1,88 @@
+// pfm-lint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error — so
+// CI and the pre-merge gate can distinguish "violations" from "broken
+// invocation".
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: pfm-lint [--root DIR] [--rule NAME]... [--list-rules]\n"
+      "\n"
+      "Walks DIR/src and DIR/tests (default DIR: .) and enforces the\n"
+      "project invariants as suppressible diagnostics:\n"
+      "\n"
+      "  layering      module dependency policy (core is telecom- and\n"
+      "                runtime-free, numerics is a leaf, injection wraps\n"
+      "                public contracts only)\n"
+      "  determinism   no rand()/random_device/system_clock, no\n"
+      "                address-keyed containers, no unordered iteration\n"
+      "                in src/\n"
+      "  concurrency   no mutable statics, no volatile-as-sync, no\n"
+      "                catch (...) outside ThreadPool capture sites\n"
+      "\n"
+      "Suppress a finding in place with `// pfm-lint: allow(<rule>)` on\n"
+      "(or immediately above) the offending line; `allow-file(<rule>)`\n"
+      "disables a rule for a whole file. See DESIGN.md, \"Correctness\n"
+      "tooling\".\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pfm::lint::Options options;
+  options.root = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& name : pfm::lint::known_rules()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--root" || arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pfm-lint: %s needs a value\n\n", arg.c_str());
+        usage(stderr);
+        return 2;
+      }
+      if (arg == "--root") {
+        options.root = argv[++i];
+      } else {
+        options.rules.emplace_back(argv[++i]);
+      }
+      continue;
+    }
+    std::fprintf(stderr, "pfm-lint: unknown argument '%s'\n\n", arg.c_str());
+    usage(stderr);
+    return 2;
+  }
+
+  try {
+    const auto findings = pfm::lint::run(options);
+    for (const auto& finding : findings) {
+      std::printf("%s\n", pfm::lint::format(finding).c_str());
+    }
+    if (!findings.empty()) {
+      std::printf("pfm-lint: %zu finding%s\n", findings.size(),
+                  findings.size() == 1 ? "" : "s");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
