@@ -7,11 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 
 #include "bench_common.hpp"
+#include "obs/observability.hpp"
 #include "prediction/baselines.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/scp_system.hpp"
@@ -61,12 +64,14 @@ TrainedBaselines train_baselines() {
 
 runtime::FleetTelemetry run_fleet(const TrainedBaselines& preds,
                                   std::size_t num_threads,
-                                  double* wall_seconds) {
+                                  double* wall_seconds,
+                                  obs::Observability* hub = nullptr) {
   runtime::FleetConfig cfg;
   cfg.mea.windows = bench::case_study_windows();
   cfg.mea.evaluation_interval = 60.0;
   cfg.mea.warning_threshold = 0.6;
   cfg.num_threads = num_threads;
+  cfg.obs = hub;
 
   runtime::FleetController fleet(
       runtime::make_scp_fleet(fleet_base_config(), kFleetNodes), cfg);
@@ -128,6 +133,57 @@ void print_experiment() {
               "of each round, and it parallelizes across nodes)\n\n");
 }
 
+/// Observability overhead arm: the same fleet run with the default
+/// private metrics-only hub (the deployed baseline) vs an external hub
+/// with tracing live. Best-of-N wall times keep scheduler noise out of
+/// the ratio; the acceptance budget is < 5% overhead.
+void print_obs_overhead() {
+  std::printf("== obs overhead: full hub (metrics + tracing) vs default ==\n");
+  const auto preds = train_baselines();
+  constexpr std::size_t kThreads = 4;
+  constexpr int kReps = 3;
+
+  double baseline = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double wall = 0.0;
+    run_fleet(preds, kThreads, &wall);
+    baseline = rep == 0 ? wall : std::min(baseline, wall);
+  }
+
+  double observed = 0.0;
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::ObservabilityConfig ocfg;
+    ocfg.shards = kThreads;
+    ocfg.trace_capacity = 1 << 16;
+    obs::Observability hub(ocfg);
+    double wall = 0.0;
+    run_fleet(preds, kThreads, &wall, &hub);
+    observed = rep == 0 ? wall : std::min(observed, wall);
+    spans_recorded = hub.trace().recorded();
+    spans_dropped = hub.trace().dropped();
+  }
+
+  const double overhead_pct =
+      baseline > 0.0 ? (observed / baseline - 1.0) * 100.0 : 0.0;
+  std::printf("  baseline %.3f s, observed %.3f s -> overhead %+.2f%% "
+              "(%llu spans, %llu dropped)\n\n",
+              baseline, observed, overhead_pct,
+              static_cast<unsigned long long>(spans_recorded),
+              static_cast<unsigned long long>(spans_dropped));
+  bench::JsonLine()
+      .field("bench", "fleet_obs_overhead")
+      .field("nodes", kFleetNodes)
+      .field("threads", kThreads)
+      .field("baseline_seconds", baseline)
+      .field("observed_seconds", observed)
+      .field("overhead_pct", overhead_pct)
+      .field("spans_recorded", spans_recorded)
+      .field("spans_dropped", spans_dropped)
+      .emit();
+}
+
 void BM_FleetRoundSingleThread(benchmark::State& state) {
   // Cost of one lockstep MEA round (Monitor+Evaluate+Act) at 1 thread.
   const auto preds = train_baselines();
@@ -154,6 +210,7 @@ BENCHMARK(BM_FleetRoundSingleThread)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_experiment();
+  print_obs_overhead();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -11,26 +11,58 @@ void ActEngine::add_action(std::unique_ptr<act::Action> action) {
   actions_.push_back(std::move(action));
 }
 
+void ActEngine::set_observability(obs::Observability* hub,
+                                  std::uint32_t track) {
+  track_ = track;
+  if (hub == nullptr) {
+    tracer_ = nullptr;
+    executed_total_ = nullptr;
+    faults_total_ = nullptr;
+    retries_total_ = nullptr;
+    abandoned_total_ = nullptr;
+    return;
+  }
+  tracer_ = hub->tracer();
+  auto& metrics = hub->metrics();
+  executed_total_ = &metrics.counter("pfm_actions_executed_total");
+  faults_total_ = &metrics.counter("pfm_action_faults_total");
+  retries_total_ = &metrics.counter("pfm_action_retries_total");
+  abandoned_total_ = &metrics.counter("pfm_actions_abandoned_total");
+}
+
 bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
                             double score, const MeaConfig& config,
                             MeaStats& stats) {
   const std::size_t k = static_cast<std::size_t>(action.kind());
   const std::size_t attempts = std::max<std::size_t>(1, config.retry.max_attempts);
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) ++stats.action_retries;
+    if (attempt > 0) {
+      ++stats.action_retries;
+      if (retries_total_ != nullptr) retries_total_->inc();
+      obs::record_instant(tracer_, obs::SpanKind::kActionRetry, track_,
+                          system.now(), static_cast<std::uint32_t>(attempt),
+                          static_cast<std::int64_t>(k));
+    }
     try {
+      obs::ScopedSpan span(tracer_, obs::SpanKind::kActionExecute, track_,
+                           system.now(), static_cast<std::uint32_t>(attempt),
+                           static_cast<std::int64_t>(k));
       action.execute(system, score);
+      span.set_sim_end(system.now());
       abandoned_streak_[k] = 0;
       backoff_until_[k] = -1e18;
+      if (executed_total_ != nullptr) executed_total_->inc();
       return true;
     } catch (const std::exception&) {
       ++stats.action_faults;
+      if (faults_total_ != nullptr) faults_total_->inc();
       if (config.retry.rethrow) throw;
     }
   }
   // All attempts failed: back the kind off exponentially in simulated
   // time, doubling per consecutive abandoned execution.
   ++stats.actions_abandoned;
+  if (abandoned_total_ != nullptr) abandoned_total_->inc();
   const double backoff =
       std::min(config.retry.backoff_initial *
                    std::exp2(static_cast<double>(abandoned_streak_[k])),
@@ -112,6 +144,18 @@ void MeaController::add_action(std::unique_ptr<act::Action> action) {
   engine_.add_action(std::move(action));
 }
 
+void MeaController::set_observability(obs::Observability* hub) {
+  obs_ = hub;
+  engine_.set_observability(hub, obs::kFleetTrack);
+  if (hub == nullptr) {
+    evaluations_total_ = nullptr;
+    warnings_total_ = nullptr;
+    return;
+  }
+  evaluations_total_ = &hub->metrics().counter("pfm_evaluations_total");
+  warnings_total_ = &hub->metrics().counter("pfm_warnings_total");
+}
+
 double MeaController::evaluate_now(std::size_t* sanitized) const {
   double combined = 0.0;
   // A predictor may misbehave and emit NaN/inf (e.g. a numerically
@@ -138,13 +182,26 @@ double MeaController::evaluate_now(std::size_t* sanitized) const {
 }
 
 void MeaController::run_until(double t) {
+  obs::TraceRecorder* tracer = obs_ != nullptr ? obs_->tracer() : nullptr;
   while (!system_->finished() && system_->now() < t) {
     system_->step_to(
         std::min(system_->now() + config_.evaluation_interval, t));
     ++stats_.evaluations;
-    const double score = evaluate_now(&stats_.scores_sanitized);
+    if (evaluations_total_ != nullptr) evaluations_total_->inc();
+    double score = 0.0;
+    {
+      obs::ScopedSpan span(tracer, obs::SpanKind::kEvaluation,
+                           obs::kFleetTrack, system_->now());
+      score = evaluate_now(&stats_.scores_sanitized);
+      // Scores live in [0,1]; micro-units keep the span payload integral.
+      span.set_arg(static_cast<std::int64_t>(score * 1e6));
+    }
     if (score >= config_.warning_threshold) {
       ++stats_.warnings;
+      if (warnings_total_ != nullptr) warnings_total_->inc();
+      obs::record_instant(tracer, obs::SpanKind::kWarning, obs::kFleetTrack,
+                          system_->now(), 0,
+                          static_cast<std::int64_t>(score * 1e6));
       engine_.act(*system_, score, config_, stats_);
     }
   }

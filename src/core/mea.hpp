@@ -6,6 +6,7 @@
 
 #include "actions/selection.hpp"
 #include "core/managed_system.hpp"
+#include "obs/observability.hpp"
 #include "prediction/predictor.hpp"
 
 namespace pfm::core {
@@ -114,10 +115,24 @@ class ActEngine {
     return backoff_until_[static_cast<std::size_t>(kind)];
   }
 
+  /// Attaches the engine to an observability hub: executions, retries
+  /// and abandonments are counted fleet-wide, and Act spans are recorded
+  /// on `track` (the owning node's trace lane). Must be called before
+  /// the engine runs on a pool worker — counter registration is not a
+  /// hot-path operation. Null detaches.
+  void set_observability(obs::Observability* hub, std::uint32_t track);
+
  private:
   /// Runs one action under the retry policy; true on success.
   bool try_execute(act::Action& action, ManagedSystem& system, double score,
                    const MeaConfig& config, MeaStats& stats);
+
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* executed_total_ = nullptr;
+  obs::Counter* faults_total_ = nullptr;
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* abandoned_total_ = nullptr;
 
   std::vector<std::unique_ptr<act::Action>> actions_;
   act::ActionSelector selector_;
@@ -163,7 +178,15 @@ class MeaController {
   /// score.
   double evaluate_now(std::size_t* sanitized = nullptr) const;
 
+  /// Attaches the loop (and its Act engine) to an observability hub:
+  /// evaluations and warnings become counters, each evaluation records a
+  /// kEvaluation span and each warning a kWarning span on track 0.
+  void set_observability(obs::Observability* hub);
+
  private:
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* evaluations_total_ = nullptr;
+  obs::Counter* warnings_total_ = nullptr;
   ManagedSystem* system_;
   MeaConfig config_;
   std::vector<std::shared_ptr<const pred::SymptomPredictor>> symptom_;

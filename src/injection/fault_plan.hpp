@@ -137,6 +137,20 @@ class DecisionStream {
   std::uint64_t counter_ = 0;
 };
 
+/// Cause-side fault kinds, carried in the `arg` payload of kInjectedFault
+/// trace spans and as the {kind="..."} label of the
+/// pfm_injected_faults_total metrics family.
+enum class FaultCode : int {
+  kNodeCrash = 0,
+  kNodeHang = 1,
+  kSampleDrop = 2,
+  kSampleCorrupt = 3,
+  kPredictorThrow = 4,
+  kPredictorNan = 5,
+  kActionFail = 6,
+  kActionPartial = 7,
+};
+
 /// Injection-side counters: how many faults each wrapper family actually
 /// injected. The runtime's FleetTelemetry reports the *observed* side
 /// (quarantines, trips, retries); these report the *cause* side.

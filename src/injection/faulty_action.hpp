@@ -4,6 +4,7 @@
 
 #include "actions/action.hpp"
 #include "injection/fault_plan.hpp"
+#include "obs/observability.hpp"
 
 namespace pfm::inj {
 
@@ -20,8 +21,13 @@ namespace pfm::inj {
 /// copy of an action fails independently but deterministically.
 class FaultyAction final : public act::Action {
  public:
+  /// `hub`, when given, counts injected failures and records
+  /// kInjectedFault spans. `instance` doubles as the trace lane: the
+  /// fleet controller creates one instance per node in node order, so
+  /// instance i maps to node_track(i).
   FaultyAction(std::unique_ptr<act::Action> inner, std::size_t action_id,
-               std::size_t instance, const FaultPlan& plan);
+               std::size_t instance, const FaultPlan& plan,
+               obs::Observability* hub = nullptr);
 
   std::string name() const override { return inner_->name() + "+faults"; }
   act::ActionKind kind() const override { return inner_->kind(); }
@@ -40,6 +46,9 @@ class FaultyAction final : public act::Action {
   ActionFaultSpec spec_;
   DecisionStream stream_;
   InjectionStats stats_;
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* failure_counter_ = nullptr;
 };
 
 }  // namespace pfm::inj

@@ -14,9 +14,18 @@ constexpr std::uint64_t kPredictorStream = 2;
 }  // namespace
 
 PredictorFaultState::PredictorFaultState(const FaultPlan& plan,
-                                         std::size_t id)
+                                         std::size_t id,
+                                         obs::Observability* hub)
     : spec_(plan.predictor_spec(id)),
-      stream_(plan.seed, kPredictorStream, id) {}
+      stream_(plan.seed, kPredictorStream, id) {
+  if (hub != nullptr) {
+    auto& metrics = hub->metrics();
+    throw_counter_ = &metrics.counter(
+        "pfm_injected_faults_total{kind=\"predictor_throw\"}");
+    nan_counter_ =
+        &metrics.counter("pfm_injected_faults_total{kind=\"predictor_nan\"}");
+  }
+}
 
 void PredictorFaultState::corrupt(std::span<double> out) const {
   if (spec_.added_latency > 0.0) {
@@ -26,13 +35,16 @@ void PredictorFaultState::corrupt(std::span<double> out) const {
   for (auto& value : out) {
     if (stream_.fire(spec_.throw_p)) {
       ++stats_.predictor_throws;
+      if (throw_counter_ != nullptr) throw_counter_->inc();
       throw PredictorFaultError("injected predictor fault");
     }
     if (stream_.fire(spec_.nan_p)) {
       ++stats_.predictor_nans;
+      if (nan_counter_ != nullptr) nan_counter_->inc();
       value = std::numeric_limits<double>::quiet_NaN();
     } else if (stream_.fire(spec_.inf_p)) {
       ++stats_.predictor_nans;
+      if (nan_counter_ != nullptr) nan_counter_->inc();
       value = std::numeric_limits<double>::infinity();
     }
   }
@@ -42,8 +54,8 @@ void PredictorFaultState::corrupt(std::span<double> out) const {
 
 FaultySymptomPredictor::FaultySymptomPredictor(
     std::shared_ptr<const pred::SymptomPredictor> inner, std::size_t id,
-    const FaultPlan& plan)
-    : inner_(std::move(inner)), state_(plan, id) {
+    const FaultPlan& plan, obs::Observability* hub)
+    : inner_(std::move(inner)), state_(plan, id, hub) {
   if (!inner_) {
     throw std::invalid_argument("FaultySymptomPredictor: null inner");
   }
@@ -71,8 +83,8 @@ void FaultySymptomPredictor::score_batch(
 
 FaultyEventPredictor::FaultyEventPredictor(
     std::shared_ptr<const pred::EventPredictor> inner, std::size_t id,
-    const FaultPlan& plan)
-    : inner_(std::move(inner)), state_(plan, id) {
+    const FaultPlan& plan, obs::Observability* hub)
+    : inner_(std::move(inner)), state_(plan, id, hub) {
   if (!inner_) {
     throw std::invalid_argument("FaultyEventPredictor: null inner");
   }

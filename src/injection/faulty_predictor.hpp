@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "injection/fault_plan.hpp"
+#include "obs/observability.hpp"
 #include "prediction/predictor.hpp"
 
 namespace pfm::inj {
@@ -17,7 +18,11 @@ namespace detail {
 /// score_batch per predictor per round, which satisfies this).
 class PredictorFaultState {
  public:
-  PredictorFaultState(const FaultPlan& plan, std::size_t id);
+  /// `hub`, when given, counts injected predictor faults (throws, NaN
+  /// and inf scores) into the registry. Predictor faults carry no sim
+  /// timestamp, so they are counter-only — no spans.
+  PredictorFaultState(const FaultPlan& plan, std::size_t id,
+                      obs::Observability* hub = nullptr);
 
   /// Applies the per-item rolls to `out` (already filled by the inner
   /// predictor) and sleeps the injected latency. Throws
@@ -30,6 +35,8 @@ class PredictorFaultState {
   PredictorFaultSpec spec_;
   mutable DecisionStream stream_;
   mutable InjectionStats stats_;
+  obs::Counter* throw_counter_ = nullptr;  // sharded: safe from workers
+  obs::Counter* nan_counter_ = nullptr;
 };
 
 }  // namespace detail
@@ -39,7 +46,8 @@ class PredictorFaultState {
 class FaultySymptomPredictor final : public pred::SymptomPredictor {
  public:
   FaultySymptomPredictor(std::shared_ptr<const pred::SymptomPredictor> inner,
-                         std::size_t id, const FaultPlan& plan);
+                         std::size_t id, const FaultPlan& plan,
+                         obs::Observability* hub = nullptr);
 
   std::string name() const override { return inner_->name() + "+faults"; }
   void train(const mon::MonitoringDataset& data) override;
@@ -60,7 +68,8 @@ class FaultySymptomPredictor final : public pred::SymptomPredictor {
 class FaultyEventPredictor final : public pred::EventPredictor {
  public:
   FaultyEventPredictor(std::shared_ptr<const pred::EventPredictor> inner,
-                       std::size_t id, const FaultPlan& plan);
+                       std::size_t id, const FaultPlan& plan,
+                       obs::Observability* hub = nullptr);
 
   std::string name() const override { return inner_->name() + "+faults"; }
   void train(

@@ -12,12 +12,25 @@ constexpr std::uint64_t kNodeStream = 1;
 
 FaultyManagedSystem::FaultyManagedSystem(
     std::unique_ptr<core::ManagedSystem> inner, std::size_t node_index,
-    const FaultPlan& plan)
+    const FaultPlan& plan, obs::Observability* hub)
     : inner_(std::move(inner)),
       spec_(plan.node_spec(node_index)),
       stream_(plan.seed, kNodeStream, node_index) {
   if (!inner_) {
     throw std::invalid_argument("FaultyManagedSystem: null inner system");
+  }
+  if (hub != nullptr) {
+    tracer_ = hub->tracer();
+    track_ = obs::node_track(node_index);
+    auto& metrics = hub->metrics();
+    crash_counter_ =
+        &metrics.counter("pfm_injected_faults_total{kind=\"node_crash\"}");
+    hang_counter_ =
+        &metrics.counter("pfm_injected_faults_total{kind=\"node_hang\"}");
+    drop_counter_ =
+        &metrics.counter("pfm_injected_faults_total{kind=\"sample_drop\"}");
+    corrupt_counter_ =
+        &metrics.counter("pfm_injected_faults_total{kind=\"sample_corrupt\"}");
   }
   filtering_ = spec_.drop_sample_p > 0.0 || spec_.corrupt_sample_p > 0.0;
   if (filtering_) {
@@ -38,12 +51,20 @@ void FaultyManagedSystem::step_to(double t) {
   if (spec_.crash_at >= 0.0 && inner_->now() >= spec_.crash_at) {
     crashed_ = true;
     ++stats_.node_crashes;
+    if (crash_counter_ != nullptr) crash_counter_->inc();
+    obs::record_instant(tracer_, obs::SpanKind::kInjectedFault, track_,
+                        inner_->now(), 0,
+                        static_cast<std::int64_t>(FaultCode::kNodeCrash));
     throw_if_crashed();
   }
   if (spec_.hang_at >= 0.0 && inner_->now() >= spec_.hang_at &&
       hang_steps_served_ < spec_.hang_steps) {
     ++hang_steps_served_;
     ++stats_.node_hangs;
+    if (hang_counter_ != nullptr) hang_counter_->inc();
+    obs::record_instant(tracer_, obs::SpanKind::kInjectedFault, track_,
+                        inner_->now(), 0,
+                        static_cast<std::int64_t>(FaultCode::kNodeHang));
     return;  // liveness fault: the call returns but time stands still
   }
   inner_->step_to(t);
@@ -56,11 +77,15 @@ void FaultyManagedSystem::sync_shadow() {
   for (; samples_seen_ < samples.size(); ++samples_seen_) {
     if (stream_.fire(spec_.drop_sample_p)) {
       ++stats_.samples_dropped;
+      // High-frequency sample faults stay counter-only — a lossy sensor
+      // would flood the span rings.
+      if (drop_counter_ != nullptr) drop_counter_->inc();
       continue;
     }
     mon::SymptomSample s = samples[samples_seen_];
     if (stream_.fire(spec_.corrupt_sample_p)) {
       ++stats_.samples_corrupted;
+      if (corrupt_counter_ != nullptr) corrupt_counter_->inc();
       for (auto& v : s.values) {
         v = std::numeric_limits<double>::quiet_NaN();
       }

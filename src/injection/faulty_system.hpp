@@ -4,6 +4,7 @@
 
 #include "core/managed_system.hpp"
 #include "injection/fault_plan.hpp"
+#include "obs/observability.hpp"
 
 namespace pfm::inj {
 
@@ -27,8 +28,12 @@ namespace pfm::inj {
 /// which pool thread steps the node.
 class FaultyManagedSystem final : public core::ManagedSystem {
  public:
+  /// `hub`, when given, receives cause-side fault counters and — for the
+  /// sim-timed crash/hang faults — kInjectedFault spans on the node's
+  /// trace lane.
   FaultyManagedSystem(std::unique_ptr<core::ManagedSystem> inner,
-                      std::size_t node_index, const FaultPlan& plan);
+                      std::size_t node_index, const FaultPlan& plan,
+                      obs::Observability* hub = nullptr);
 
   std::string name() const override { return inner_->name(); }
 
@@ -69,6 +74,13 @@ class FaultyManagedSystem final : public core::ManagedSystem {
   NodeFaultSpec spec_;
   DecisionStream stream_;
   InjectionStats stats_;
+
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* crash_counter_ = nullptr;
+  obs::Counter* hang_counter_ = nullptr;
+  obs::Counter* drop_counter_ = nullptr;
+  obs::Counter* corrupt_counter_ = nullptr;
 
   bool crashed_ = false;
   std::size_t hang_steps_served_ = 0;

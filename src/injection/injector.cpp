@@ -7,8 +7,8 @@ namespace pfm::inj {
 
 std::unique_ptr<core::ManagedSystem> FaultInjector::wrap_node(
     std::size_t index, std::unique_ptr<core::ManagedSystem> inner) {
-  auto wrapped =
-      std::make_unique<FaultyManagedSystem>(std::move(inner), index, plan_);
+  auto wrapped = std::make_unique<FaultyManagedSystem>(std::move(inner),
+                                                       index, plan_, obs_);
   systems_.push_back(wrapped.get());
   return wrapped;
 }
@@ -24,8 +24,8 @@ std::vector<std::unique_ptr<core::ManagedSystem>> FaultInjector::wrap_fleet(
 std::shared_ptr<const pred::SymptomPredictor>
 FaultInjector::wrap_symptom_predictor(
     std::size_t id, std::shared_ptr<const pred::SymptomPredictor> inner) {
-  auto wrapped =
-      std::make_shared<FaultySymptomPredictor>(std::move(inner), id, plan_);
+  auto wrapped = std::make_shared<FaultySymptomPredictor>(std::move(inner),
+                                                          id, plan_, obs_);
   symptom_.push_back(wrapped.get());
   return wrapped;
 }
@@ -33,8 +33,8 @@ FaultInjector::wrap_symptom_predictor(
 std::shared_ptr<const pred::EventPredictor>
 FaultInjector::wrap_event_predictor(
     std::size_t id, std::shared_ptr<const pred::EventPredictor> inner) {
-  auto wrapped =
-      std::make_shared<FaultyEventPredictor>(std::move(inner), id, plan_);
+  auto wrapped = std::make_shared<FaultyEventPredictor>(std::move(inner), id,
+                                                        plan_, obs_);
   event_.push_back(wrapped.get());
   return wrapped;
 }
@@ -48,8 +48,8 @@ FaultInjector::wrap_action_factory(
   // Instances are numbered in creation order — FleetController invokes
   // the factory once per node, in node order, on the caller thread.
   return [this, id, factory = std::move(factory)]() {
-    auto wrapped = std::make_unique<FaultyAction>(factory(), id,
-                                                  action_instances_++, plan_);
+    auto wrapped = std::make_unique<FaultyAction>(
+        factory(), id, action_instances_++, plan_, obs_);
     actions_.push_back(wrapped.get());
     return std::unique_ptr<act::Action>(std::move(wrapped));
   };

@@ -8,6 +8,7 @@
 #include "injection/faulty_action.hpp"
 #include "injection/faulty_predictor.hpp"
 #include "injection/faulty_system.hpp"
+#include "obs/observability.hpp"
 
 namespace pfm::inj {
 
@@ -31,6 +32,14 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Attaches an observability hub: wrappers created *after* this call
+  /// count every injected fault into pfm_injected_faults_total{kind=...}
+  /// and record kInjectedFault spans for the sim-timed families (node
+  /// crashes/hangs, action failures). Call before wrapping; the cause
+  /// side of a fault scenario then lands in the same registry as the
+  /// runtime's effect-side counters. Null detaches.
+  void set_observability(obs::Observability* hub) noexcept { obs_ = hub; }
 
   /// Wraps node `index` of the fleet.
   std::unique_ptr<core::ManagedSystem> wrap_node(
@@ -61,6 +70,7 @@ class FaultInjector {
 
  private:
   FaultPlan plan_;
+  obs::Observability* obs_ = nullptr;
   // Non-owning observation points for stats(); the wrapped components
   // (and, for factories, the injector itself) must stay alive while the
   // returned wrappers are in use.

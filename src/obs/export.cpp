@@ -1,0 +1,248 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace pfm::obs {
+
+namespace {
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+/// Splits `pfm_x_total{kind="crash"}` into base name and label body
+/// (without braces); labels empty when the name carries none.
+void split_labels(const std::string& name, std::string& base,
+                  std::string& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  // name.back() is '}' by convention; tolerate a missing one.
+  const std::size_t end = name.back() == '}' ? name.size() - 1 : name.size();
+  labels = name.substr(brace + 1, end - brace - 1);
+}
+
+std::string series(const std::string& base, const std::string& suffix,
+                   const std::string& labels, const std::string& extra_label) {
+  std::string out = base + suffix;
+  if (labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra_label.empty()) out += ',';
+  out += extra_label;
+  out += '}';
+  return out;
+}
+
+void append_type_line(std::string& out, std::string& last_base,
+                      const std::string& base, const char* type) {
+  if (base == last_base) return;  // labeled variants share one TYPE line
+  last_base = base;
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    return v != v ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+  }
+  // Integers up to 2^53 print exactly without a decimal point.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  return buf;
+}
+
+std::string prometheus_text(const MetricsRegistry& registry,
+                            bool include_wall) {
+  std::string out;
+  std::string base;
+  std::string labels;
+  std::string last_base;
+
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!include_wall && counter->clock() == Clock::kWall) continue;
+    split_labels(name, base, labels);
+    append_type_line(out, last_base, base, "counter");
+    out += series(base, "", labels, "");
+    out += ' ';
+    out += format_u64(counter->value());
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!include_wall && gauge->clock() == Clock::kWall) continue;
+    split_labels(name, base, labels);
+    append_type_line(out, last_base, base, "gauge");
+    out += series(base, "", labels, "");
+    out += ' ';
+    out += format_double(gauge->value());
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!include_wall && hist->clock() == Clock::kWall) continue;
+    split_labels(name, base, labels);
+    append_type_line(out, last_base, base, "histogram");
+    std::uint64_t cumulative = 0;
+    const auto& bounds = hist->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += hist->bucket_count(i);
+      out += series(base, "_bucket", labels,
+                    "le=\"" + format_double(bounds[i]) + "\"");
+      out += ' ';
+      out += format_u64(cumulative);
+      out += '\n';
+    }
+    out += series(base, "_bucket", labels, "le=\"+Inf\"");
+    out += ' ';
+    out += format_u64(hist->count());
+    out += '\n';
+    out += series(base, "_sum", labels, "");
+    out += ' ';
+    out += format_double(hist->sum());
+    out += '\n';
+    out += series(base, "_count", labels, "");
+    out += ' ';
+    out += format_u64(hist->count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              bool include_wall) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  // Name the lanes so Perfetto shows "fleet", "node 3", "predictor 0"
+  // instead of raw tid numbers. Emit one metadata event per track seen.
+  std::vector<std::uint32_t> tracks;
+  for (const Span& s : spans) {
+    bool seen = false;
+    for (const std::uint32_t t : tracks) {
+      if (t == s.track) { seen = true; break; }
+    }
+    if (!seen) tracks.push_back(s.track);
+  }
+  for (const std::uint32_t t : tracks) {
+    std::string label;
+    if (t == kFleetTrack) {
+      label = "fleet";
+    } else if (t >= 1000000) {
+      label = "predictor " + format_u64(t - 1000000);
+    } else {
+      label = "node " + format_u64(t - 1);
+    }
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += format_u64(t);
+    out += ",\"args\":{\"name\":\"";
+    append_json_escaped(out, label);
+    out += "\"}}";
+  }
+
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    // 1 sim second = 1e6 trace µs; durations clamp at 0 for instants.
+    const double ts_us = s.sim_begin * 1e6;
+    const double dur_us =
+        s.sim_end > s.sim_begin ? (s.sim_end - s.sim_begin) * 1e6 : 0.0;
+    out += "{\"name\":\"";
+    out += to_string(s.kind);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += format_double(ts_us);
+    out += ",\"dur\":";
+    out += format_double(dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += format_u64(s.track);
+    out += ",\"args\":{\"sub\":";
+    out += format_u64(s.sub);
+    out += ",\"arg\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, s.arg);
+    out += buf;
+    if (include_wall && s.wall_seconds > 0.0) {
+      out += ",\"wall_us\":";
+      out += format_double(s.wall_seconds * 1e6);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string chrome_trace_json(const TraceRecorder& trace, bool include_wall) {
+  return chrome_trace_json(trace.sorted_spans(), include_wall);
+}
+
+std::string metrics_json_line(const MetricsRegistry& registry,
+                              bool include_wall) {
+  std::string out = "{";
+  bool first = true;
+  const auto append_key = [&](const std::string& key) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":";
+  };
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!include_wall && counter->clock() == Clock::kWall) continue;
+    append_key(name);
+    out += format_u64(counter->value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!include_wall && gauge->clock() == Clock::kWall) continue;
+    append_key(name);
+    out += format_double(gauge->value());
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!include_wall && hist->clock() == Clock::kWall) continue;
+    append_key(name + "_count");
+    out += format_u64(hist->count());
+    append_key(name + "_sum");
+    out += format_double(hist->sum());
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace pfm::obs

@@ -1,0 +1,48 @@
+#pragma once
+
+// Exporters for the observability subsystem (DESIGN.md §8):
+//
+//  - prometheus_text(): Prometheus text-exposition format, the scrape
+//    surface. Instrument names may embed a label suffix
+//    (`pfm_x_total{kind="crash"}`); histograms expand into the
+//    conventional _bucket/_sum/_count series.
+//  - chrome_trace_json(): Chrome trace-event JSON loadable in Perfetto
+//    (ui.perfetto.dev → "Open trace file"). Sim time maps to the trace
+//    clock (1 sim second = 1s of trace time); tracks become named
+//    threads, so every node and predictor gets its own lane.
+//  - metrics_json_line(): one flat JSON object per scrape, compatible
+//    with the `{"bench":...}` JSON-line scraping used by tools/.
+//
+// Every exporter takes include_wall: with include_wall = false, wall-
+// clock instruments (Clock::kWall) and span wall durations are omitted
+// and the output is a pure function of (seed, plan) — this is the form
+// the bit-identity tests compare across thread counts.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfm::obs {
+
+/// Shortest round-trippable decimal for v (integers print bare). Shared
+/// by the exporters so goldens do not depend on iostream locale state.
+std::string format_double(double v);
+
+std::string prometheus_text(const MetricsRegistry& registry,
+                            bool include_wall = true);
+
+std::string chrome_trace_json(const std::vector<Span>& spans,
+                              bool include_wall = true);
+
+/// Convenience: sorted_spans() of `trace`, exported.
+std::string chrome_trace_json(const TraceRecorder& trace,
+                              bool include_wall = true);
+
+/// Single-line `{"name":value,...}` dump; histograms contribute
+/// `<name>_count` and `<name>_sum` entries.
+std::string metrics_json_line(const MetricsRegistry& registry,
+                              bool include_wall = true);
+
+}  // namespace pfm::obs

@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pfm::obs {
+
+namespace {
+// One shard id per thread. Shard 0 is the controller; ThreadPool workers
+// claim 1..k at spawn. Thread-local by design: the whole point of the
+// sharded storage is that no two threads ever write the same slot.
+thread_local std::size_t t_shard = 0;
+}  // namespace
+
+std::size_t thread_shard() noexcept { return t_shard; }
+void set_thread_shard(std::size_t shard) noexcept { t_shard = shard; }
+
+void HistogramSpec::validate() const {
+  if (!(first_bound > 0.0)) {
+    throw std::invalid_argument("HistogramSpec: first_bound > 0");
+  }
+  if (!(factor > 1.0)) {
+    throw std::invalid_argument("HistogramSpec: factor > 1");
+  }
+  if (num_buckets == 0 || num_buckets > 64) {
+    throw std::invalid_argument("HistogramSpec: 1 <= num_buckets <= 64");
+  }
+  if (!(resolution > 0.0)) {
+    throw std::invalid_argument("HistogramSpec: resolution > 0");
+  }
+}
+
+Histogram::Histogram(std::string name, const HistogramSpec& spec,
+                     std::size_t shards, Clock clock)
+    : name_(std::move(name)), spec_(spec), clock_(clock), shards_(shards) {
+  spec_.validate();
+  bounds_.reserve(spec_.num_buckets);
+  double bound = spec_.first_bound;
+  for (std::size_t i = 0; i < spec_.num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= spec_.factor;
+  }
+  for (auto& shard : shards_) {
+    shard.buckets.assign(spec_.num_buckets + 1, 0);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  Shard& shard = shards_[shard_index()];
+  // Non-finite observations land in the overflow bucket and contribute
+  // no ticks — they must never poison the exact integer sum.
+  std::size_t bucket = spec_.num_buckets;
+  if (std::isfinite(v)) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    bucket = static_cast<std::size_t>(it - bounds_.begin());
+    const double ticks = v > 0.0 ? v / spec_.resolution : 0.0;
+    constexpr double kMaxTicks = 9.0e18;  // < 2^63, exactly representable
+    shard.sum_ticks +=
+        static_cast<std::uint64_t>(std::llround(std::min(ticks, kMaxTicks)));
+  }
+  ++shard.buckets[bucket];
+  ++shard.count;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (i < shard.buckets.size()) total += shard.buckets[i];
+  }
+  return total;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.count;
+  return total;
+}
+
+std::uint64_t Histogram::sum_ticks() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.sum_ticks;
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(shards > 0 ? shards : 1) {}
+
+void MetricsRegistry::check_unique(const std::string& name,
+                                   const char* family) const {
+  const bool taken =
+      (family[0] != 'c' && counters_.count(name) != 0) ||
+      (family[0] != 'g' && gauges_.count(name) != 0) ||
+      (family[0] != 'h' && histograms_.count(name) != 0);
+  if (taken) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another "
+                                "instrument family");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Clock clock) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  check_unique(name, "counter");
+  auto& slot = counters_[name];
+  slot.reset(new Counter(name, shards_, clock));
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Clock clock) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  check_unique(name, "gauge");
+  auto& slot = gauges_[name];
+  slot.reset(new Gauge(name, clock));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const HistogramSpec& spec, Clock clock) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  check_unique(name, "histogram");
+  auto& slot = histograms_[name];
+  slot.reset(new Histogram(name, spec, shards_, clock));
+  return *slot;
+}
+
+}  // namespace pfm::obs

@@ -1,0 +1,218 @@
+#pragma once
+
+// Deterministic metrics registry for the PFM runtime (DESIGN.md §8).
+//
+// The Fig. 11 blueprint calls for *adaptive monitoring*: the MEA loop
+// itself must be observable. This registry provides the three instrument
+// families every monitoring pipeline needs — counters, gauges and
+// fixed-bucket log-scale histograms — without ever putting a lock or an
+// atomic on the hot MEA path:
+//
+//  - storage is *sharded per thread*: every instrument owns one padded
+//    slot (or bucket array) per shard, a thread writes only its own
+//    shard (shard 0 is the controller, shard k is pool worker k), and
+//    readers merge the shards on scrape. The ThreadPool handshake that
+//    ends every parallel section provides the happens-before edge a
+//    scrape needs, so the scheme is TSan-clean with zero hot-path
+//    synchronization;
+//  - every value that can feed a result is *integral*: counters are
+//    u64, histogram bucket counts are u64, and the histogram running
+//    sum is kept in integer ticks of a per-histogram resolution —
+//    integer addition commutes exactly, so merged values are
+//    bit-identical no matter how observations were distributed over
+//    shards (a double sum would pick up shard-order rounding);
+//  - instruments carry a Clock tag: kSim values are pure functions of
+//    (seed, plan) and take part in the bit-identity guarantee; kWall
+//    values (latency telemetry) are honest about being wall time and
+//    can be excluded from deterministic exports.
+//
+// Registration (counter()/gauge()/histogram()) is a controller-thread
+// operation done before parallel sections run; the returned handles are
+// stable for the registry's lifetime and are the only thing the hot
+// path touches.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pfm::obs {
+
+/// Shard index of the calling thread: 0 for the controller (and any
+/// thread that never set one), k for pool worker k. Thread-local, set
+/// once at worker spawn — never written on a hot path.
+std::size_t thread_shard() noexcept;
+void set_thread_shard(std::size_t shard) noexcept;
+
+/// Determinism tag: is the instrument's value a pure function of
+/// (seed, plan) — and therefore part of the bit-identity contract — or
+/// wall-clock telemetry that varies run to run?
+enum class Clock : std::uint8_t { kSim = 0, kWall = 1 };
+
+namespace detail {
+/// One per-shard accumulator, padded to its own cache line so two
+/// threads bumping adjacent shards never false-share.
+struct alignas(64) ShardSlot {
+  std::uint64_t value = 0;
+};
+}  // namespace detail
+
+/// Monotonic event counter. inc() writes the calling thread's shard;
+/// value() merges. Handles are created by MetricsRegistry only.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    slots_[shard_index()].value += n;
+  }
+
+  /// Merged total. Call only while no parallel section is in flight.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.value;
+    return total;
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  Clock clock() const noexcept { return clock_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::size_t shards, Clock clock)
+      : name_(std::move(name)), clock_(clock), slots_(shards) {}
+
+  std::size_t shard_index() const noexcept {
+    const std::size_t s = thread_shard();
+    return s < slots_.size() ? s : 0;
+  }
+
+  std::string name_;
+  Clock clock_;
+  std::vector<detail::ShardSlot> slots_;
+};
+
+/// Point-in-time value. Gauges are controller-state (fleet size, open
+/// breakers, quarantined nodes): set() and value() are controller-thread
+/// operations, so a single unsharded slot suffices.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+  const std::string& name() const noexcept { return name_; }
+  Clock clock() const noexcept { return clock_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, Clock clock) : name_(std::move(name)), clock_(clock) {}
+
+  std::string name_;
+  Clock clock_;
+  double value_ = 0.0;
+};
+
+/// Geometry of a fixed-bucket log-scale histogram: finite bucket i
+/// covers values <= first_bound * factor^i, plus an implicit +Inf
+/// bucket. `resolution` is the tick size of the exact integer running
+/// sum (1 ns for wall latencies, 1 µs for sim-time durations/scores).
+struct HistogramSpec {
+  double first_bound = 1e-6;
+  double factor = 4.0;
+  std::size_t num_buckets = 12;
+  double resolution = 1e-9;
+
+  void validate() const;
+};
+
+/// Fixed-bucket log-scale histogram, sharded like Counter. observe()
+/// touches only the calling thread's shard; readers merge.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  /// Merged count of finite bucket i (i == num_buckets is +Inf).
+  std::uint64_t bucket_count(std::size_t i) const noexcept;
+  std::uint64_t count() const noexcept;
+  /// Exact merged sum in integer ticks of spec().resolution.
+  std::uint64_t sum_ticks() const noexcept;
+  /// sum_ticks() scaled back to the observed unit.
+  double sum() const noexcept {
+    return static_cast<double>(sum_ticks()) * spec_.resolution;
+  }
+
+  /// Upper bounds of the finite buckets, ascending.
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  const HistogramSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return name_; }
+  Clock clock() const noexcept { return clock_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, const HistogramSpec& spec, std::size_t shards,
+            Clock clock);
+
+  /// Per-shard state: one count per bucket (finite + overflow), the
+  /// tick sum and the observation count, padded against false sharing.
+  struct alignas(64) Shard {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum_ticks = 0;
+    std::uint64_t count = 0;
+  };
+
+  std::size_t shard_index() const noexcept {
+    const std::size_t s = thread_shard();
+    return s < shards_.size() ? s : 0;
+  }
+
+  std::string name_;
+  HistogramSpec spec_;
+  Clock clock_;
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Owns every instrument of one observability domain. Lookup is
+/// find-or-create by name; re-requesting a name returns the same handle
+/// and a name registered under a different instrument family throws.
+/// Names follow Prometheus conventions and may carry a label suffix
+/// (`pfm_injected_faults_total{kind="sample_drop"}`); iteration is in
+/// name order (std::map), so exports are deterministic by construction.
+class MetricsRegistry {
+ public:
+  /// `shards` must cover every thread that will touch a handle: the
+  /// controller plus all pool workers (FleetController validates this
+  /// against its pool).
+  explicit MetricsRegistry(std::size_t shards = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  std::size_t shards() const noexcept { return shards_; }
+
+  Counter& counter(const std::string& name, Clock clock = Clock::kSim);
+  Gauge& gauge(const std::string& name, Clock clock = Clock::kSim);
+  Histogram& histogram(const std::string& name, const HistogramSpec& spec,
+                       Clock clock = Clock::kWall);
+
+  /// Name-ordered visitation for the exporters.
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  void check_unique(const std::string& name, const char* family) const;
+
+  std::size_t shards_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pfm::obs

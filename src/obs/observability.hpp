@@ -1,0 +1,52 @@
+#pragma once
+
+// The Observability hub: one MetricsRegistry plus one TraceRecorder,
+// sized together so every thread of a FleetController (controller +
+// pool workers) has its own shard in both. Components take a plain
+// `Observability*` — nullptr means "not observed" and every
+// instrumentation site degrades to a branch.
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pfm::obs {
+
+struct ObservabilityConfig {
+  /// Shards = 1 (controller) + max pool workers that will record.
+  std::size_t shards = 1;
+  /// Span ring capacity per shard; 0 disables tracing entirely (metrics
+  /// stay live).
+  std::size_t trace_capacity = 0;
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObservabilityConfig& config = {})
+      : metrics_(config.shards),
+        trace_(config.shards, config.trace_capacity) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  TraceRecorder& trace() noexcept { return trace_; }
+  const TraceRecorder& trace() const noexcept { return trace_; }
+
+  /// The recorder to hand to record helpers: null when tracing is off,
+  /// so ScopedSpan/record_instant short-circuit without touching it.
+  TraceRecorder* tracer() noexcept {
+    return trace_.enabled() ? &trace_ : nullptr;
+  }
+
+  std::size_t shards() const noexcept { return metrics_.shards(); }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace pfm::obs

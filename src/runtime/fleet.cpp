@@ -40,6 +40,53 @@ FleetController::FleetController(
       config_.mea.warning_threshold > 1.0) {
     throw std::invalid_argument("FleetController: threshold in [0,1]");
   }
+
+  // Observability: use the caller's hub when given (it must have a shard
+  // for every pool thread, or two workers would share a slot and race);
+  // otherwise keep a private metrics-only hub so telemetry() always has
+  // a registry behind it. Handle registration happens here, once, on the
+  // controller thread — the hot loop only bumps prebuilt handles.
+  if (config_.obs != nullptr) {
+    if (config_.obs->shards() < pool_.num_threads()) {
+      throw std::invalid_argument(
+          "FleetController: observability hub has fewer shards than the "
+          "pool has threads");
+    }
+    obs_ = config_.obs;
+  } else {
+    obs::ObservabilityConfig fallback;
+    fallback.shards = pool_.num_threads();
+    fallback.trace_capacity = 0;
+    owned_obs_ = std::make_unique<obs::Observability>(fallback);
+    obs_ = owned_obs_.get();
+  }
+  auto& metrics = obs_->metrics();
+  rounds_total_ = &metrics.counter("pfm_fleet_rounds_total");
+  scores_total_ = &metrics.counter("pfm_fleet_scores_total");
+  warnings_total_ = &metrics.counter("pfm_fleet_warnings_total");
+  node_faults_total_ = &metrics.counter("pfm_fleet_node_faults_total");
+  stall_detections_total_ =
+      &metrics.counter("pfm_fleet_stall_detections_total");
+  quarantines_total_ = &metrics.counter("pfm_fleet_quarantines_total");
+  predictor_faults_total_ =
+      &metrics.counter("pfm_fleet_predictor_faults_total");
+  breaker_trips_total_ = &metrics.counter("pfm_fleet_breaker_trips_total");
+  scores_sanitized_total_ =
+      &metrics.counter("pfm_fleet_scores_sanitized_total");
+  const obs::HistogramSpec latency_spec;  // 1µs..~17s log-scale, 1ns ticks
+  monitor_latency_ = &metrics.histogram(
+      "pfm_stage_latency_seconds{stage=\"monitor\"}", latency_spec);
+  evaluate_latency_ = &metrics.histogram(
+      "pfm_stage_latency_seconds{stage=\"evaluate\"}", latency_spec);
+  act_latency_ = &metrics.histogram(
+      "pfm_stage_latency_seconds{stage=\"act\"}", latency_spec);
+  nodes_gauge_ = &metrics.gauge("pfm_fleet_nodes");
+  nodes_gauge_->set(static_cast<double>(nodes_.size()));
+  quarantined_gauge_ = &metrics.gauge("pfm_fleet_quarantined_nodes");
+  breakers_open_gauge_ = &metrics.gauge("pfm_fleet_open_breakers");
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    engines_[i].set_observability(obs_, obs::node_track(i));
+  }
 }
 
 void FleetController::add_symptom_predictor(
@@ -84,6 +131,9 @@ void FleetController::quarantine(std::size_t node_index,
   state.quarantined = true;
   state.reason = reason;
   state.quarantine_time = nodes_[node_index]->now();
+  quarantines_total_->inc();
+  obs::record_instant(obs_->tracer(), obs::SpanKind::kQuarantine,
+                      obs::node_track(node_index), state.quarantine_time);
 }
 
 void FleetController::run_until(double t) {
@@ -111,6 +161,8 @@ void FleetController::run_until(double t) {
   std::vector<std::vector<double>> columns(num_predictors);
   std::vector<std::size_t> live;                // predictors scored this round
 
+  obs::TraceRecorder* tracer = obs_->tracer();
+
   for (;;) {
     active.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -118,57 +170,87 @@ void FleetController::run_until(double t) {
       if (!nodes_[i]->finished() && nodes_[i]->now() < t) active.push_back(i);
     }
     if (active.empty()) break;
-    ++rounds_;
+    rounds_total_->inc();
+    // Stage spans of one round share the round ordinal as their `sub`,
+    // keeping them unique (and grouped) in the deterministic sort.
+    const auto round = static_cast<std::uint32_t>(rounds_total_->value());
 
     // --- Monitor: advance every live node one evaluation interval. ----------
     const auto monitor_start = Clock::now();
     pre_step_time.resize(active.size());
+    double round_begin = nodes_[active[0]]->now();
     for (std::size_t a = 0; a < active.size(); ++a) {
       pre_step_time[a] = nodes_[active[a]]->now();
+      round_begin = std::min(round_begin, pre_step_time[a]);
     }
-    auto step_node = [&](std::size_t a) {
-      auto& node = *nodes_[active[a]];
-      node.step_to(std::min(node.now() + interval, t));
-    };
-    if (hardened) {
-      pool_.parallel_for_captured(active.size(), step_node, errors);
-      for (std::size_t a = 0; a < active.size(); ++a) {
+    {
+      obs::ScopedSpan monitor_span(tracer, obs::SpanKind::kMonitorStage,
+                                   obs::kFleetTrack, round_begin, round,
+                                   static_cast<std::int64_t>(active.size()));
+      auto step_node = [&](std::size_t a) {
         const std::size_t i = active[a];
-        if (errors[a]) {
-          ++resilience_.node_faults;
-          quarantine(i, describe(errors[a]));
-        } else if (!nodes_[i]->finished() &&
-                   nodes_[i]->now() <= pre_step_time[a]) {
-          // The node returned but made no time progress: a hang, not a
-          // crash. Quarantine only after a persistent streak so a
-          // transient stall can recover.
-          ++resilience_.stall_detections;
-          if (++node_state_[i].stall_streak >= res.max_stall_rounds) {
-            quarantine(i, "stalled: no monitor progress for " +
-                              std::to_string(node_state_[i].stall_streak) +
-                              " rounds");
+        auto& node = *nodes_[i];
+        obs::ScopedSpan span(tracer, obs::SpanKind::kNodeStep,
+                             obs::node_track(i), pre_step_time[a]);
+        node.step_to(std::min(node.now() + interval, t));
+        span.set_sim_end(node.now());
+      };
+      if (hardened) {
+        pool_.parallel_for_captured(active.size(), step_node, errors);
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          const std::size_t i = active[a];
+          if (errors[a]) {
+            node_faults_total_->inc();
+            quarantine(i, describe(errors[a]));
+          } else if (!nodes_[i]->finished() &&
+                     nodes_[i]->now() <= pre_step_time[a]) {
+            // The node returned but made no time progress: a hang, not a
+            // crash. Quarantine only after a persistent streak so a
+            // transient stall can recover.
+            stall_detections_total_->inc();
+            if (++node_state_[i].stall_streak >= res.max_stall_rounds) {
+              quarantine(i, "stalled: no monitor progress for " +
+                                std::to_string(node_state_[i].stall_streak) +
+                                " rounds");
+            }
+          } else {
+            node_state_[i].stall_streak = 0;
           }
-        } else {
-          node_state_[i].stall_streak = 0;
         }
+        // Nodes quarantined this round drop out of Evaluate/Act. (The
+        // local alias keeps the lambda — analyzed as its own function —
+        // off the role-guarded member; it runs inline on this thread.)
+        const auto& node_state = node_state_;
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](std::size_t i) {
+                                      return node_state[i].quarantined;
+                                    }),
+                     active.end());
+      } else {
+        pool_.parallel_for(active.size(), step_node);
       }
-      // Nodes quarantined this round drop out of Evaluate/Act. (The
-      // local alias keeps the lambda — analyzed as its own function —
-      // off the role-guarded member; it runs inline on this thread.)
-      const auto& node_state = node_state_;
-      active.erase(std::remove_if(active.begin(), active.end(),
-                                  [&](std::size_t i) {
-                                    return node_state[i].quarantined;
-                                  }),
-                   active.end());
-    } else {
-      pool_.parallel_for(active.size(), step_node);
+      double round_end = round_begin;
+      for (const std::size_t i : active) {
+        round_end = std::max(round_end, nodes_[i]->now());
+      }
+      monitor_span.set_sim_end(round_end);
     }
-    latency_.monitor_seconds += seconds_since(monitor_start);
+    monitor_latency_->observe(seconds_since(monitor_start));
     if (active.empty()) continue;
 
     // --- Evaluate: one score_batch call per predictor over the fleet. -------
     const auto evaluate_start = Clock::now();
+    // Scoring and acting happen "at" the round's post-Monitor instant; a
+    // deterministic reduction over node clocks, so span timestamps stay
+    // thread-count invariant.
+    double eval_time = nodes_[active[0]]->now();
+    for (const std::size_t i : active) {
+      eval_time = std::max(eval_time, nodes_[i]->now());
+    }
+    {
+    obs::ScopedSpan evaluate_span(tracer, obs::SpanKind::kEvaluateStage,
+                                  obs::kFleetTrack, eval_time, round,
+                                  static_cast<std::int64_t>(active.size()));
     contexts.clear();
     context_owner.clear();
     sequences.clear();
@@ -199,6 +281,8 @@ void FleetController::run_until(double t) {
     auto score_live = [&](std::size_t lp) {
       const std::size_t p = live[lp];
       auto& column = columns[p];
+      obs::ScopedSpan span(tracer, obs::SpanKind::kScoreBatch,
+                           obs::predictor_track(p), eval_time);
       if (p < symptom_.size()) {
         column.resize(contexts.size());
         symptom_[p]->score_batch(contexts, column);
@@ -206,6 +290,7 @@ void FleetController::run_until(double t) {
         column.resize(sequences.size());
         event_[p - symptom_.size()]->score_batch(sequences, column);
       }
+      span.set_arg(static_cast<std::int64_t>(column.size()));
     };
     if (hardened) {
       pool_.parallel_for_captured(live.size(), score_live, errors);
@@ -223,12 +308,12 @@ void FleetController::run_until(double t) {
       if (!threw) {
         const auto& column = columns[p];
         const std::size_t n = column.size();
-        scores_computed_ += n;
+        scores_total_->inc(n);
         if (p < symptom_.size()) {
           for (std::size_t c = 0; c < n; ++c) {
             const double v = column[c];
             if (hardened && !std::isfinite(v)) {
-              ++resilience_.scores_sanitized;
+              scores_sanitized_total_->inc();
               faulty = true;
               continue;
             }
@@ -239,7 +324,7 @@ void FleetController::run_until(double t) {
           for (std::size_t a = 0; a < n; ++a) {
             const double v = column[a];
             if (hardened && !std::isfinite(v)) {
-              ++resilience_.scores_sanitized;
+              scores_sanitized_total_->inc();
               faulty = true;
               continue;
             }
@@ -250,57 +335,100 @@ void FleetController::run_until(double t) {
       if (!hardened) continue;
       auto& breaker = breakers_[p];
       if (faulty) {
-        ++resilience_.predictor_faults;
+        predictor_faults_total_->inc();
         if (breaker.open) {
           // Half-open probe failed: back to a full cooldown.
           breaker.open_rounds_left = res.breaker_open_rounds;
-          ++resilience_.breaker_trips;
+          breaker_trips_total_->inc();
+          obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
+                              obs::predictor_track(p), eval_time, round);
         } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
           breaker.open = true;
           breaker.open_rounds_left = res.breaker_open_rounds;
-          ++resilience_.breaker_trips;
+          breaker_trips_total_->inc();
+          obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
+                              obs::predictor_track(p), eval_time, round);
         }
       } else {
-        breaker.open = false;  // closes after a successful probe
+        if (breaker.open) {
+          // A successful half-open probe closes the breaker.
+          obs::record_instant(tracer, obs::SpanKind::kBreakerClose,
+                              obs::predictor_track(p), eval_time, round);
+        }
+        breaker.open = false;
         breaker.failure_streak = 0;
       }
     }
-    latency_.evaluate_seconds += seconds_since(evaluate_start);
+    }  // evaluate_span
+    evaluate_latency_->observe(seconds_since(evaluate_start));
 
     // --- Act: warned nodes run their own countermeasure engines. ------------
     const auto act_start = Clock::now();
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (combined[a] >= threshold) ++warnings_raised_;
-    }
-    auto act_node = [&](std::size_t a) {
-      if (combined[a] < threshold) return;
-      const std::size_t i = active[a];
-      ++stats_[i].warnings;
-      engines_[i].act(*nodes_[i], combined[a], config_.mea, stats_[i]);
-    };
-    if (hardened) {
-      pool_.parallel_for_captured(active.size(), act_node, errors);
+    {
+      obs::ScopedSpan act_span(tracer, obs::SpanKind::kActStage,
+                               obs::kFleetTrack, eval_time, round);
+      std::int64_t warned = 0;
       for (std::size_t a = 0; a < active.size(); ++a) {
-        if (!errors[a]) continue;
-        ++resilience_.node_faults;
-        quarantine(active[a], describe(errors[a]));
+        if (combined[a] < threshold) continue;
+        ++warned;
+        warnings_total_->inc();
+        obs::record_instant(tracer, obs::SpanKind::kWarning,
+                            obs::node_track(active[a]),
+                            nodes_[active[a]]->now(), 0,
+                            static_cast<std::int64_t>(combined[a] * 1e6));
       }
-    } else {
-      pool_.parallel_for(active.size(), act_node);
+      act_span.set_arg(warned);
+      auto act_node = [&](std::size_t a) {
+        if (combined[a] < threshold) return;
+        const std::size_t i = active[a];
+        ++stats_[i].warnings;
+        engines_[i].act(*nodes_[i], combined[a], config_.mea, stats_[i]);
+      };
+      if (hardened) {
+        pool_.parallel_for_captured(active.size(), act_node, errors);
+        for (std::size_t a = 0; a < active.size(); ++a) {
+          if (!errors[a]) continue;
+          node_faults_total_->inc();
+          quarantine(active[a], describe(errors[a]));
+        }
+      } else {
+        pool_.parallel_for(active.size(), act_node);
+      }
     }
-    latency_.act_seconds += seconds_since(act_start);
+    act_latency_->observe(seconds_since(act_start));
   }
+
+  // Scrape-facing level gauges, refreshed when the loop settles (gauges
+  // are controller-thread instruments).
+  std::size_t quarantined = 0;
+  for (const auto& state : node_state_) {
+    if (state.quarantined) ++quarantined;
+  }
+  quarantined_gauge_->set(static_cast<double>(quarantined));
+  std::size_t open = 0;
+  for (const auto& breaker : breakers_) {
+    if (breaker.open) ++open;
+  }
+  breakers_open_gauge_->set(static_cast<double>(open));
 }
 
 FleetTelemetry FleetController::telemetry() const {
   RoleGuard guard(controller_);
   FleetTelemetry out;
   out.nodes = nodes_.size();
-  out.rounds = rounds_;
-  out.scores_computed = scores_computed_;
-  out.warnings_raised = warnings_raised_;
-  out.latency = latency_;
-  out.resilience = resilience_;
+  // Counter-valued fields are views over the metrics registry — the same
+  // numbers a Prometheus scrape of the hub reports.
+  out.rounds = rounds_total_->value();
+  out.scores_computed = scores_total_->value();
+  out.warnings_raised = warnings_total_->value();
+  out.latency.monitor_seconds = monitor_latency_->sum();
+  out.latency.evaluate_seconds = evaluate_latency_->sum();
+  out.latency.act_seconds = act_latency_->sum();
+  out.resilience.node_faults = node_faults_total_->value();
+  out.resilience.stall_detections = stall_detections_total_->value();
+  out.resilience.predictor_faults = predictor_faults_total_->value();
+  out.resilience.breaker_trips = breaker_trips_total_->value();
+  out.resilience.scores_sanitized = scores_sanitized_total_->value();
   for (const auto& state : node_state_) {
     if (state.quarantined) ++out.resilience.nodes_quarantined;
   }

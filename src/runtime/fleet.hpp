@@ -8,6 +8,7 @@
 
 #include "core/managed_system.hpp"
 #include "core/mea.hpp"
+#include "obs/observability.hpp"
 #include "prediction/predictor.hpp"
 #include "runtime/annotations.hpp"
 #include "runtime/thread_pool.hpp"
@@ -39,6 +40,13 @@ struct FleetConfig {
   /// count never affects results — only wall time.
   std::size_t num_threads = 1;
   ResilienceConfig resilience;
+  /// External observability hub (metrics + tracing + exporters). Must be
+  /// sized with shards >= num_threads and not shared between concurrently
+  /// running controllers. nullptr = the controller keeps a private
+  /// metrics-only hub, so telemetry() always has a registry to read —
+  /// the loop's bookkeeping cost is the same either way, and tracing
+  /// stays completely off.
+  obs::Observability* obs = nullptr;
 };
 
 /// Wall time spent in each MEA stage, summed over rounds (seconds).
@@ -62,7 +70,10 @@ struct ResilienceStats {
 };
 
 /// Fleet-level telemetry snapshot: aggregated MEA and downtime statistics
-/// plus per-stage latency and fault counters.
+/// plus per-stage latency and fault counters. Since the observability
+/// rework this is a *view over the metrics registry* — every counter
+/// below is read back from the controller's obs hub, so a Prometheus
+/// scrape and a telemetry() call can never disagree.
 struct FleetTelemetry {
   std::size_t nodes = 0;
   std::size_t rounds = 0;           ///< lockstep evaluation rounds run
@@ -153,7 +164,13 @@ class FleetController {
   }
 
   /// Aggregates the current per-node statistics and latency counters.
+  /// Counter-valued fields are read back from the metrics registry.
   FleetTelemetry telemetry() const;
+
+  /// The hub the controller records into: the external one from
+  /// FleetConfig::obs, else the private metrics-only fallback.
+  const obs::Observability& observability() const noexcept { return *obs_; }
+  obs::Observability& observability() noexcept { return *obs_; }
 
  private:
   /// Per-node loop state beyond the MEA counters.
@@ -183,6 +200,27 @@ class FleetController {
   std::vector<core::MeaStats> stats_;     // one per node
   ThreadPool pool_;
 
+  // Observability. The handles below are sharded instruments — safe to
+  // bump from worker lambdas by construction (each thread owns its
+  // shard), so unlike the role-guarded state they need no capability.
+  std::unique_ptr<obs::Observability> owned_obs_;  // fallback when none given
+  obs::Observability* obs_ = nullptr;              // never null after ctor
+  obs::Counter* rounds_total_ = nullptr;
+  obs::Counter* scores_total_ = nullptr;
+  obs::Counter* warnings_total_ = nullptr;
+  obs::Counter* node_faults_total_ = nullptr;
+  obs::Counter* stall_detections_total_ = nullptr;
+  obs::Counter* quarantines_total_ = nullptr;
+  obs::Counter* predictor_faults_total_ = nullptr;
+  obs::Counter* breaker_trips_total_ = nullptr;
+  obs::Counter* scores_sanitized_total_ = nullptr;
+  obs::Histogram* monitor_latency_ = nullptr;
+  obs::Histogram* evaluate_latency_ = nullptr;
+  obs::Histogram* act_latency_ = nullptr;
+  obs::Gauge* nodes_gauge_ = nullptr;
+  obs::Gauge* quarantined_gauge_ = nullptr;
+  obs::Gauge* breakers_open_gauge_ = nullptr;
+
   // Controller-thread-only state. Worker lambdas operate on disjoint
   // per-node/per-predictor slots of the vectors above; everything below
   // is read and mutated exclusively between parallel sections, which
@@ -192,11 +230,6 @@ class FleetController {
   ThreadRole controller_;
   std::vector<NodeState> node_state_ PFM_GUARDED_BY(controller_);
   std::vector<Breaker> breakers_ PFM_GUARDED_BY(controller_);
-  std::size_t rounds_ PFM_GUARDED_BY(controller_) = 0;
-  std::size_t scores_computed_ PFM_GUARDED_BY(controller_) = 0;
-  std::size_t warnings_raised_ PFM_GUARDED_BY(controller_) = 0;
-  StageLatency latency_ PFM_GUARDED_BY(controller_);
-  ResilienceStats resilience_ PFM_GUARDED_BY(controller_);
 };
 
 }  // namespace pfm::runtime

@@ -1,12 +1,20 @@
 #include "runtime/thread_pool.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace pfm::runtime {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t extra = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(extra);
   for (std::size_t i = 0; i < extra; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Worker i claims obs shard i+1 for its whole lifetime (the caller
+    // keeps shard 0), so sharded instruments are written contention-free
+    // by construction.
+    workers_.emplace_back([this, i] {
+      obs::set_thread_shard(i + 1);
+      worker_loop();
+    });
   }
 }
 

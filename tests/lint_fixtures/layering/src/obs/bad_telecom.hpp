@@ -1,0 +1,7 @@
+#pragma once
+#include "telecom/node.hpp"
+#include "numerics/stats.hpp"
+
+// Fixture: the observer reaching back into an observed layer — the
+// obs -> telecom include on line 2 is forbidden; numerics (line 3) is
+// the one dependency obs is allowed.

@@ -1,0 +1,322 @@
+// Observability core: sharded counters/gauges/histograms must merge
+// exactly, histogram buckets must follow le-semantics at the bounds, and
+// the trace recorder's sorted span sequence must be independent of which
+// shard a span landed in.
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pfm {
+namespace {
+
+/// Restores the calling thread's shard id on scope exit, so a test can
+/// impersonate pool workers without leaking the shard into later tests.
+class ShardGuard {
+ public:
+  ShardGuard() : saved_(obs::thread_shard()) {}
+  ~ShardGuard() { obs::set_thread_shard(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(ObsMetrics, CounterMergesAcrossShards) {
+  ShardGuard guard;
+  obs::MetricsRegistry registry(3);
+  auto& counter = registry.counter("pfm_test_total");
+
+  obs::set_thread_shard(0);
+  counter.inc();
+  obs::set_thread_shard(1);
+  counter.inc(10);
+  obs::set_thread_shard(2);
+  counter.inc(100);
+  EXPECT_EQ(counter.value(), 111u);
+
+  // A thread that never claimed a shard (or claimed one beyond the
+  // registry's sizing) falls back to shard 0 instead of writing out of
+  // bounds.
+  obs::set_thread_shard(7);
+  counter.inc(1000);
+  EXPECT_EQ(counter.value(), 1111u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  obs::MetricsRegistry registry(1);
+  auto& gauge = registry.gauge("pfm_nodes");
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.set(8.0);
+  gauge.add(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+}
+
+TEST(ObsMetrics, RegistryFindsOrCreatesAndRejectsCrossFamilyNames) {
+  obs::MetricsRegistry registry(2);
+  auto& a = registry.counter("pfm_x_total");
+  auto& b = registry.counter("pfm_x_total");
+  EXPECT_EQ(&a, &b) << "same name must return the same handle";
+
+  EXPECT_THROW(registry.gauge("pfm_x_total"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("pfm_x_total", obs::HistogramSpec{}),
+               std::invalid_argument);
+
+  auto& g = registry.gauge("pfm_y");
+  EXPECT_EQ(&g, &registry.gauge("pfm_y"));
+  EXPECT_THROW(registry.counter("pfm_y"), std::invalid_argument);
+
+  // Clock tags ride along with the instrument.
+  auto& wall = registry.counter("pfm_wall_total", obs::Clock::kWall);
+  EXPECT_EQ(wall.clock(), obs::Clock::kWall);
+  EXPECT_EQ(a.clock(), obs::Clock::kSim);
+}
+
+TEST(ObsMetrics, HistogramSpecIsValidated) {
+  obs::MetricsRegistry registry(1);
+  obs::HistogramSpec bad;
+  bad.factor = 1.0;
+  EXPECT_THROW(registry.histogram("pfm_h1", bad), std::invalid_argument);
+  bad = obs::HistogramSpec{};
+  bad.first_bound = 0.0;
+  EXPECT_THROW(registry.histogram("pfm_h2", bad), std::invalid_argument);
+  bad = obs::HistogramSpec{};
+  bad.num_buckets = 0;
+  EXPECT_THROW(registry.histogram("pfm_h3", bad), std::invalid_argument);
+  bad = obs::HistogramSpec{};
+  bad.resolution = -1.0;
+  EXPECT_THROW(registry.histogram("pfm_h4", bad), std::invalid_argument);
+}
+
+/// Exact power-of-two geometry so the bound comparisons below are free
+/// of floating-point slack: bounds 1, 2, 4, 8.
+obs::HistogramSpec pow2_spec() {
+  obs::HistogramSpec spec;
+  spec.first_bound = 1.0;
+  spec.factor = 2.0;
+  spec.num_buckets = 4;
+  spec.resolution = 0.5;
+  return spec;
+}
+
+TEST(ObsMetrics, HistogramBucketsUseLeSemanticsAtExactBounds) {
+  obs::MetricsRegistry registry(1);
+  auto& hist = registry.histogram("pfm_dur", pow2_spec(), obs::Clock::kSim);
+  ASSERT_EQ(hist.bounds().size(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(hist.bounds()[3], 8.0);
+
+  hist.observe(1.0);  // exactly at bound 0: le => bucket 0
+  hist.observe(2.0);  // exactly at bound 1: le => bucket 1
+  hist.observe(2.5);  // between 2 and 4    => bucket 2
+  hist.observe(8.0);  // at the last bound  => bucket 3
+  hist.observe(9.0);  // past every bound   => overflow
+  hist.observe(0.0);  // below the first    => bucket 0
+
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 1u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+  EXPECT_EQ(hist.bucket_count(4), 1u);  // +Inf bucket
+  EXPECT_EQ(hist.count(), 6u);
+
+  // Tick sum: (1 + 2 + 2.5 + 8 + 9 + 0) / 0.5 = 45 ticks.
+  EXPECT_EQ(hist.sum_ticks(), 45u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 22.5);
+}
+
+TEST(ObsMetrics, HistogramNonFiniteAndNegativeObservations) {
+  obs::MetricsRegistry registry(1);
+  auto& hist = registry.histogram("pfm_dur", pow2_spec(), obs::Clock::kSim);
+
+  hist.observe(std::numeric_limits<double>::quiet_NaN());
+  hist.observe(std::numeric_limits<double>::infinity());
+  hist.observe(-std::numeric_limits<double>::infinity());
+  hist.observe(-3.0);
+
+  // Non-finite values land in the overflow bucket and contribute no
+  // ticks; negative values count in bucket 0 but never shrink the sum.
+  EXPECT_EQ(hist.bucket_count(4), 3u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.sum_ticks(), 0u);
+}
+
+TEST(ObsMetrics, HistogramMergeIsExactAcrossShards) {
+  ShardGuard guard;
+  obs::MetricsRegistry sharded(4);
+  obs::MetricsRegistry flat(1);
+  auto& h_sharded =
+      sharded.histogram("pfm_dur", pow2_spec(), obs::Clock::kSim);
+  auto& h_flat = flat.histogram("pfm_dur", pow2_spec(), obs::Clock::kSim);
+
+  const double values[] = {0.25, 1.0, 1.75, 3.5, 6.0, 8.0, 123.0};
+  std::size_t shard = 0;
+  for (const double v : values) {
+    obs::set_thread_shard(shard);
+    shard = (shard + 1) % 4;
+    h_sharded.observe(v);
+    obs::set_thread_shard(0);
+    h_flat.observe(v);
+  }
+
+  // Integer ticks and integer bucket counts: the merge is exact no
+  // matter how observations were spread over shards.
+  EXPECT_EQ(h_sharded.count(), h_flat.count());
+  EXPECT_EQ(h_sharded.sum_ticks(), h_flat.sum_ticks());
+  for (std::size_t i = 0; i <= 4; ++i) {
+    EXPECT_EQ(h_sharded.bucket_count(i), h_flat.bucket_count(i)) << i;
+  }
+}
+
+obs::Span make_span(double begin, double end, std::uint32_t track,
+                    obs::SpanKind kind, std::uint32_t sub = 0,
+                    std::int64_t arg = 0) {
+  obs::Span s;
+  s.sim_begin = begin;
+  s.sim_end = end;
+  s.track = track;
+  s.kind = kind;
+  s.sub = sub;
+  s.arg = arg;
+  return s;
+}
+
+TEST(ObsTrace, DisabledRecorderIsANoOp) {
+  obs::TraceRecorder off(2, 0);
+  EXPECT_FALSE(off.enabled());
+  obs::record_instant(&off, obs::SpanKind::kWarning, 0, 1.0);
+  obs::record_instant(nullptr, obs::SpanKind::kWarning, 0, 1.0);
+  { obs::ScopedSpan span(nullptr, obs::SpanKind::kNodeStep, 1, 0.0); }
+  { obs::ScopedSpan span(&off, obs::SpanKind::kNodeStep, 1, 0.0); }
+  EXPECT_EQ(off.recorded(), 0u);
+  EXPECT_TRUE(off.sorted_spans().empty());
+}
+
+TEST(ObsTrace, SortedSpansFollowTheSimTimeKey) {
+  obs::TraceRecorder rec(1, 16);
+  ASSERT_TRUE(rec.enabled());
+  // Recorded deliberately out of order.
+  rec.record(make_span(2.0, 3.0, obs::kFleetTrack,
+                       obs::SpanKind::kEvaluateStage, 1));
+  rec.record(make_span(1.0, 2.0, obs::node_track(1),
+                       obs::SpanKind::kNodeStep));
+  rec.record(make_span(1.0, 2.0, obs::node_track(0),
+                       obs::SpanKind::kNodeStep));
+  rec.record(make_span(1.0, 2.0, obs::kFleetTrack,
+                       obs::SpanKind::kMonitorStage, 1));
+
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].kind, obs::SpanKind::kMonitorStage);
+  EXPECT_EQ(spans[1].track, obs::node_track(0));
+  EXPECT_EQ(spans[2].track, obs::node_track(1));
+  EXPECT_EQ(spans[3].kind, obs::SpanKind::kEvaluateStage);
+  EXPECT_EQ(rec.recorded(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(ObsTrace, SortedSpansAreIndependentOfShardPlacement) {
+  ShardGuard guard;
+  obs::TraceRecorder one_shard(1, 16);
+  obs::TraceRecorder spread(3, 16);
+
+  const obs::Span spans[] = {
+      make_span(0.0, 1.0, obs::kFleetTrack, obs::SpanKind::kMonitorStage, 1),
+      make_span(0.0, 0.5, obs::node_track(0), obs::SpanKind::kNodeStep),
+      make_span(0.0, 0.9, obs::node_track(1), obs::SpanKind::kNodeStep),
+      make_span(1.0, 1.0, obs::predictor_track(0),
+                obs::SpanKind::kScoreBatch, 0, 2),
+  };
+  std::size_t shard = 0;
+  for (const auto& s : spans) {
+    obs::set_thread_shard(0);
+    one_shard.record(s);
+    obs::set_thread_shard(shard);
+    shard = (shard + 1) % 3;
+    spread.record(s);
+  }
+  obs::set_thread_shard(0);
+
+  const auto a = one_shard.sorted_spans();
+  const auto b = spread.sorted_spans();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].sim_begin, b[i].sim_begin) << i;
+    EXPECT_DOUBLE_EQ(a[i].sim_end, b[i].sim_end) << i;
+    EXPECT_EQ(a[i].track, b[i].track) << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].sub, b[i].sub) << i;
+    EXPECT_EQ(a[i].arg, b[i].arg) << i;
+  }
+}
+
+TEST(ObsTrace, FullRingOverwritesOldestAndCountsDrops) {
+  obs::TraceRecorder rec(1, 2);
+  rec.record(make_span(1.0, 1.0, 0, obs::SpanKind::kWarning));
+  rec.record(make_span(2.0, 2.0, 0, obs::SpanKind::kWarning));
+  rec.record(make_span(3.0, 3.0, 0, obs::SpanKind::kWarning));
+
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // The oldest span (sim 1.0) was the one overwritten.
+  EXPECT_DOUBLE_EQ(spans[0].sim_begin, 2.0);
+  EXPECT_DOUBLE_EQ(spans[1].sim_begin, 3.0);
+
+  rec.clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.sorted_spans().empty());
+}
+
+TEST(ObsTrace, ScopedSpanRecordsSimIntervalAndWallDuration) {
+  obs::TraceRecorder rec(1, 4);
+  {
+    obs::ScopedSpan span(&rec, obs::SpanKind::kActionExecute,
+                         obs::node_track(2), 10.0, /*sub=*/1, /*arg=*/0);
+    span.set_sim_end(12.5);
+    span.set_arg(7);
+    EXPECT_GE(span.elapsed_wall(), 0.0);
+  }
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].sim_begin, 10.0);
+  EXPECT_DOUBLE_EQ(spans[0].sim_end, 12.5);
+  EXPECT_EQ(spans[0].track, obs::node_track(2));
+  EXPECT_EQ(spans[0].sub, 1u);
+  EXPECT_EQ(spans[0].arg, 7);
+  EXPECT_GE(spans[0].wall_seconds, 0.0);
+}
+
+TEST(ObsTrace, RecordInstantAndKindNames) {
+  obs::TraceRecorder rec(1, 4);
+  obs::record_instant(&rec, obs::SpanKind::kQuarantine, obs::node_track(3),
+                      42.0, 0, 5);
+  const auto spans = rec.sorted_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].sim_begin, 42.0);
+  EXPECT_DOUBLE_EQ(spans[0].sim_end, 42.0);
+  EXPECT_EQ(spans[0].arg, 5);
+
+  EXPECT_STREQ(obs::to_string(obs::SpanKind::kMonitorStage), "monitor_stage");
+  EXPECT_STREQ(obs::to_string(obs::SpanKind::kScoreBatch), "score_batch");
+  EXPECT_STREQ(obs::to_string(obs::SpanKind::kInjectedFault),
+               "injected_fault");
+}
+
+TEST(ObsTrace, TrackNumberingIsStable) {
+  EXPECT_EQ(obs::kFleetTrack, 0u);
+  EXPECT_EQ(obs::node_track(0), 1u);
+  EXPECT_EQ(obs::node_track(7), 8u);
+  EXPECT_EQ(obs::predictor_track(0), 1000000u);
+  EXPECT_EQ(obs::predictor_track(3), 1000003u);
+}
+
+}  // namespace
+}  // namespace pfm

@@ -1,0 +1,197 @@
+// Exporters: the Prometheus exposition, Chrome trace JSON and JSON-line
+// dumps are golden-tested byte for byte — they are scrape surfaces, so
+// their exact shape is the contract. include_wall = false must strip
+// every wall-clock quantity and leave a pure function of (seed, plan).
+
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pfm {
+namespace {
+
+/// A small registry exercising every exporter feature: plain and labeled
+/// counters, a wall-clock counter, gauges, and sim- and wall-clock
+/// histograms.
+class ObsExportTest : public ::testing::Test {
+ protected:
+  ObsExportTest() : registry_(1) {
+    registry_.counter("pfm_kind_total{kind=\"a\"}").inc(1);
+    registry_.counter("pfm_kind_total{kind=\"b\"}").inc(2);
+    registry_.counter("pfm_test_total").inc(3);
+    registry_.counter("pfm_wall_total", obs::Clock::kWall).inc(5);
+    registry_.gauge("pfm_nodes").set(8.0);
+
+    obs::HistogramSpec spec;
+    spec.first_bound = 1.0;
+    spec.factor = 2.0;
+    spec.num_buckets = 2;
+    spec.resolution = 0.5;
+    auto& sim_hist =
+        registry_.histogram("pfm_dur_seconds", spec, obs::Clock::kSim);
+    sim_hist.observe(0.5);
+    sim_hist.observe(1.5);
+    sim_hist.observe(3.0);
+    auto& wall_hist =
+        registry_.histogram("pfm_lat_seconds", spec, obs::Clock::kWall);
+    wall_hist.observe(0.25);
+  }
+
+  obs::MetricsRegistry registry_;
+};
+
+TEST_F(ObsExportTest, PrometheusTextGolden) {
+  const char* expected =
+      "# TYPE pfm_kind_total counter\n"
+      "pfm_kind_total{kind=\"a\"} 1\n"
+      "pfm_kind_total{kind=\"b\"} 2\n"
+      "# TYPE pfm_test_total counter\n"
+      "pfm_test_total 3\n"
+      "# TYPE pfm_wall_total counter\n"
+      "pfm_wall_total 5\n"
+      "# TYPE pfm_nodes gauge\n"
+      "pfm_nodes 8\n"
+      "# TYPE pfm_dur_seconds histogram\n"
+      "pfm_dur_seconds_bucket{le=\"1\"} 1\n"
+      "pfm_dur_seconds_bucket{le=\"2\"} 2\n"
+      "pfm_dur_seconds_bucket{le=\"+Inf\"} 3\n"
+      "pfm_dur_seconds_sum 5\n"
+      "pfm_dur_seconds_count 3\n"
+      "# TYPE pfm_lat_seconds histogram\n"
+      "pfm_lat_seconds_bucket{le=\"1\"} 1\n"
+      "pfm_lat_seconds_bucket{le=\"2\"} 1\n"
+      "pfm_lat_seconds_bucket{le=\"+Inf\"} 1\n"
+      // The exact integer sum quantizes 0.25 to one 0.5-resolution tick.
+      "pfm_lat_seconds_sum 0.5\n"
+      "pfm_lat_seconds_count 1\n";
+  EXPECT_EQ(obs::prometheus_text(registry_, /*include_wall=*/true), expected);
+}
+
+TEST_F(ObsExportTest, PrometheusTextWithoutWallDropsWallInstruments) {
+  const std::string text =
+      obs::prometheus_text(registry_, /*include_wall=*/false);
+  EXPECT_EQ(text.find("pfm_wall_total"), std::string::npos);
+  EXPECT_EQ(text.find("pfm_lat_seconds"), std::string::npos);
+  EXPECT_NE(text.find("pfm_test_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("pfm_dur_seconds_count 3\n"), std::string::npos);
+}
+
+TEST_F(ObsExportTest, MetricsJsonLineGolden) {
+  const char* expected =
+      "{\"pfm_kind_total{kind=\\\"a\\\"}\":1,"
+      "\"pfm_kind_total{kind=\\\"b\\\"}\":2,"
+      "\"pfm_test_total\":3,"
+      "\"pfm_nodes\":8,"
+      "\"pfm_dur_seconds_count\":3,"
+      "\"pfm_dur_seconds_sum\":5}";
+  EXPECT_EQ(obs::metrics_json_line(registry_, /*include_wall=*/false),
+            expected);
+
+  const std::string with_wall =
+      obs::metrics_json_line(registry_, /*include_wall=*/true);
+  EXPECT_NE(with_wall.find("\"pfm_wall_total\":5"), std::string::npos);
+  EXPECT_NE(with_wall.find("\"pfm_lat_seconds_sum\":0.5"),
+            std::string::npos);
+}
+
+std::vector<obs::Span> sample_spans() {
+  std::vector<obs::Span> spans;
+  obs::Span monitor;
+  monitor.sim_begin = 0.0;
+  monitor.sim_end = 1.5;
+  monitor.track = obs::kFleetTrack;
+  monitor.kind = obs::SpanKind::kMonitorStage;
+  monitor.sub = 1;
+  monitor.arg = 8;
+  monitor.wall_seconds = 0.25;
+  spans.push_back(monitor);
+
+  obs::Span quarantine;
+  quarantine.sim_begin = 2.0;
+  quarantine.sim_end = 2.0;
+  quarantine.track = obs::node_track(3);
+  quarantine.kind = obs::SpanKind::kQuarantine;
+  spans.push_back(quarantine);
+
+  obs::Span score;
+  score.sim_begin = 1.0;
+  score.sim_end = 1.25;
+  score.track = obs::predictor_track(0);
+  score.kind = obs::SpanKind::kScoreBatch;
+  score.arg = 8;
+  spans.push_back(score);
+  return spans;
+}
+
+TEST(ObsExportTrace, ChromeTraceJsonGolden) {
+  const char* expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"fleet\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":4,"
+      "\"args\":{\"name\":\"node 3\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1000000,"
+      "\"args\":{\"name\":\"predictor 0\"}},"
+      "{\"name\":\"monitor_stage\",\"ph\":\"X\",\"ts\":0,\"dur\":1500000,"
+      "\"pid\":1,\"tid\":0,\"args\":{\"sub\":1,\"arg\":8,"
+      "\"wall_us\":250000}},"
+      "{\"name\":\"quarantine\",\"ph\":\"X\",\"ts\":2000000,\"dur\":0,"
+      "\"pid\":1,\"tid\":4,\"args\":{\"sub\":0,\"arg\":0}},"
+      "{\"name\":\"score_batch\",\"ph\":\"X\",\"ts\":1000000,"
+      "\"dur\":250000,\"pid\":1,\"tid\":1000000,"
+      "\"args\":{\"sub\":0,\"arg\":8}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(obs::chrome_trace_json(sample_spans(), /*include_wall=*/true),
+            expected);
+}
+
+TEST(ObsExportTrace, ChromeTraceJsonWithoutWallIsDeterministicForm) {
+  const std::string text =
+      obs::chrome_trace_json(sample_spans(), /*include_wall=*/false);
+  EXPECT_EQ(text.find("wall_us"), std::string::npos);
+  // Everything else survives.
+  EXPECT_NE(text.find("\"name\":\"monitor_stage\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":1000000"), std::string::npos);
+}
+
+TEST(ObsExportTrace, RecorderOverloadExportsSortedSpans) {
+  obs::TraceRecorder rec(1, 8);
+  for (const auto& span : sample_spans()) rec.record(span);
+  const std::string text =
+      obs::chrome_trace_json(rec, /*include_wall=*/false);
+  // sorted_spans orders by sim_begin: monitor (0.0) before score (1.0)
+  // before quarantine (2.0).
+  const auto monitor = text.find("monitor_stage");
+  const auto score = text.find("score_batch");
+  const auto quarantine = text.find("\"name\":\"quarantine\"");
+  ASSERT_NE(monitor, std::string::npos);
+  ASSERT_NE(score, std::string::npos);
+  ASSERT_NE(quarantine, std::string::npos);
+  EXPECT_LT(monitor, score);
+  EXPECT_LT(score, quarantine);
+}
+
+TEST(ObsExportFormat, FormatDoubleRoundTrips) {
+  EXPECT_EQ(obs::format_double(0.0), "0");
+  EXPECT_EQ(obs::format_double(42.0), "42");
+  EXPECT_EQ(obs::format_double(-7.0), "-7");
+  EXPECT_EQ(obs::format_double(0.5), "0.5");
+  EXPECT_EQ(obs::format_double(0.25), "0.25");
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::quiet_NaN()),
+            "NaN");
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(obs::format_double(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+
+  // Shortest-representation outputs must parse back to the same bits.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1.6e-35}) {
+    const std::string s = obs::format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+}  // namespace
+}  // namespace pfm

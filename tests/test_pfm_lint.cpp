@@ -70,6 +70,7 @@ TEST(PfmLint, LayeringRuleFlagsForbiddenIncludesWithFileAndLine) {
                 "src/core/bad_include.cpp:1 forbidden-include",
                 "src/core/bad_include.cpp:2 forbidden-include",
                 "src/numerics/bad_leaf.hpp:3 forbidden-include",
+                "src/obs/bad_telecom.hpp:2 forbidden-include",
                 "src/widgets/unregistered.hpp:1 unknown-module",
             }));
   for (const auto& f : findings) EXPECT_EQ(f.rule, "layering");

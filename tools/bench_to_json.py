@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Run the fleet benches and collect their JSON-line output into files.
+
+The bench binaries print one ``{"bench": ...}`` object per configuration
+amid their human-readable tables. This script runs
+
+  - ``bench_fleet_throughput``  ->  BENCH_fleet.json
+  - ``bench_fault_injection``   ->  BENCH_injection.json
+
+scrapes those lines, and writes each file as a JSON array, so dashboards
+and regression checks can consume bench results without parsing tables.
+
+Usage:
+  tools/bench_to_json.py [--build-dir build] [--out-dir .]
+
+Exits non-zero when a bench fails, emits no JSON lines, or (for the
+observability overhead arm) reports an overhead above the 5% budget.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+BENCHES = {
+    "bench_fleet_throughput": "BENCH_fleet.json",
+    "bench_fault_injection": "BENCH_injection.json",
+}
+
+# Acceptance budget for the fleet_obs_overhead arm (fraction, not %).
+OBS_OVERHEAD_BUDGET = 0.05
+
+
+def scrape_json_lines(text: str) -> list:
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith('{"bench"'):
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            print(f"warning: unparsable bench line ({err}): {line}",
+                  file=sys.stderr)
+    return records
+
+
+def run_bench(binary: pathlib.Path) -> list:
+    # --benchmark_filter=NONE skips the microbenchmark section; the
+    # experiment tables (and their JSON lines) always run.
+    proc = subprocess.run(
+        [str(binary), "--benchmark_filter=NONE"],
+        capture_output=True,
+        text=True,
+    )
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"{binary.name} exited with {proc.returncode}")
+    return scrape_json_lines(proc.stdout)
+
+
+def check_obs_overhead(records: list) -> None:
+    for record in records:
+        if record.get("bench") != "fleet_obs_overhead":
+            continue
+        overhead = record.get("overhead_pct", 0.0) / 100.0
+        dropped = record.get("spans_dropped", 0)
+        print(f"obs overhead: {overhead * 100.0:+.2f}% "
+              f"({record.get('spans_recorded', 0)} spans, {dropped} dropped)")
+        if overhead > OBS_OVERHEAD_BUDGET:
+            raise SystemExit(
+                f"observability overhead {overhead * 100.0:.2f}% exceeds "
+                f"the {OBS_OVERHEAD_BUDGET * 100.0:.0f}% budget")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree containing bench/")
+    parser.add_argument("--out-dir", default=".",
+                        help="where the BENCH_*.json files go")
+    args = parser.parse_args()
+
+    bench_dir = pathlib.Path(args.build_dir) / "bench"
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name, out_name in BENCHES.items():
+        binary = bench_dir / name
+        if not binary.exists():
+            raise SystemExit(f"{binary} not found — build the '{name}' "
+                             "target first")
+        records = run_bench(binary)
+        if not records:
+            raise SystemExit(f"{name} produced no JSON lines")
+        if name == "bench_fleet_throughput":
+            check_obs_overhead(records)
+        out_path = out_dir / out_name
+        out_path.write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {out_path} ({len(records)} records)")
+
+
+if __name__ == "__main__":
+    main()

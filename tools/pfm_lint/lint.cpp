@@ -276,21 +276,26 @@ void emit(std::vector<Finding>* findings, const SourceFile& file,
 //   injection wraps the public contracts (core/prediction/actions) only,
 //             so fault decorators can never reach around the interfaces;
 //   runtime   may bind everything except injection (fault plans stay a
-//             caller concern, never a runtime dependency).
+//             caller concern, never a runtime dependency);
+//   obs       sits just above numerics: instrumented layers (core,
+//             injection, runtime) may include it, but it must never
+//             reach back into what it observes — an obs -> telecom (or
+//             obs -> core) include is a layering finding.
 const std::map<std::string, std::set<std::string>>& allowed_deps() {
   static const std::map<std::string, std::set<std::string>> kPolicy = {
       {"numerics", {}},
+      {"obs", {"numerics"}},
       {"ctmc", {"numerics"}},
       {"monitoring", {"numerics"}},
       {"eval", {"monitoring", "numerics"}},
       {"telecom", {"monitoring", "numerics"}},
       {"prediction", {"eval", "monitoring", "numerics"}},
       {"actions", {"core", "numerics"}},
-      {"core", {"actions", "monitoring", "numerics", "prediction"}},
-      {"injection", {"actions", "core", "prediction"}},
+      {"core", {"actions", "monitoring", "numerics", "obs", "prediction"}},
+      {"injection", {"actions", "core", "obs", "prediction"}},
       {"runtime",
-       {"actions", "core", "eval", "monitoring", "numerics", "prediction",
-        "telecom"}},
+       {"actions", "core", "eval", "monitoring", "numerics", "obs",
+        "prediction", "telecom"}},
   };
   return kPolicy;
 }
