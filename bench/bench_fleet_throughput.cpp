@@ -11,7 +11,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "obs/observability.hpp"
@@ -24,12 +27,18 @@ namespace {
 using namespace pfm;
 
 constexpr std::size_t kFleetNodes = 8;
-constexpr double kFleetDays = 1.0;
+
+// --quick trims the sweep for CI: shorter horizon, fewer repetitions,
+// 1/8-thread endpoints only, microbenchmarks skipped. The JSON rows the
+// regression gate consumes are emitted either way.
+bool g_quick = false;
+
+double fleet_days() { return g_quick ? 0.25 : 1.0; }
 
 telecom::SimConfig fleet_base_config() {
   telecom::SimConfig cfg;
   cfg.seed = 91;
-  cfg.duration = kFleetDays * 86400.0;
+  cfg.duration = fleet_days() * 86400.0;
   cfg.leak_mtbf = 43200.0;  // leak-heavy: plenty of warnings to act on
   return cfg;
 }
@@ -62,15 +71,16 @@ TrainedBaselines train_baselines() {
   return out;
 }
 
-runtime::FleetTelemetry run_fleet(const TrainedBaselines& preds,
-                                  std::size_t num_threads,
-                                  double* wall_seconds,
-                                  obs::Observability* hub = nullptr) {
+runtime::FleetTelemetry run_fleet(
+    const TrainedBaselines& preds, std::size_t num_threads,
+    double* wall_seconds, obs::Observability* hub = nullptr,
+    runtime::FleetPath path = runtime::FleetPath::kOptimized) {
   runtime::FleetConfig cfg;
   cfg.mea.windows = bench::case_study_windows();
   cfg.mea.evaluation_interval = 60.0;
   cfg.mea.warning_threshold = 0.6;
   cfg.num_threads = num_threads;
+  cfg.path = path;
   cfg.obs = hub;
 
   runtime::FleetController fleet(
@@ -89,18 +99,20 @@ runtime::FleetTelemetry run_fleet(const TrainedBaselines& preds,
   return fleet.telemetry();
 }
 
-void print_experiment() {
+void print_experiment(const TrainedBaselines& preds) {
   std::printf("== E14 (extension): fleet MEA throughput vs pool size ==\n");
-  std::printf("(%zu nodes x %.0f day(s); per-node results are identical "
+  std::printf("(%zu nodes x %.2f day(s); per-node results are identical "
               "across thread counts)\n\n",
-              kFleetNodes, kFleetDays);
-  const auto preds = train_baselines();
+              kFleetNodes, fleet_days());
 
   std::printf("  %-8s %-9s %-9s %-10s %-12s %-10s %-10s\n", "threads",
               "wall [s]", "speedup", "scores/s", "sim-s/s", "warnings",
               "actions");
   double wall_1 = 0.0;
-  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+  const std::vector<std::size_t> sweep =
+      g_quick ? std::vector<std::size_t>{1u, 8u}
+              : std::vector<std::size_t>{1u, 2u, 4u, 8u};
+  for (std::size_t threads : sweep) {
     double wall = 0.0;
     const auto t = run_fleet(preds, threads, &wall);
     if (threads == 1) wall_1 = wall;
@@ -137,11 +149,10 @@ void print_experiment() {
 /// private metrics-only hub (the deployed baseline) vs an external hub
 /// with tracing live. Best-of-N wall times keep scheduler noise out of
 /// the ratio; the acceptance budget is < 5% overhead.
-void print_obs_overhead() {
+void print_obs_overhead(const TrainedBaselines& preds) {
   std::printf("== obs overhead: full hub (metrics + tracing) vs default ==\n");
-  const auto preds = train_baselines();
   constexpr std::size_t kThreads = 4;
-  constexpr int kReps = 3;
+  const int kReps = g_quick ? 1 : 3;
 
   double baseline = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
@@ -184,6 +195,72 @@ void print_obs_overhead() {
       .emit();
 }
 
+/// Optimized-vs-reference arm: the same seeded fleet through both
+/// FleetPath settings at the widest pool. Emits one JSON row per path
+/// carrying the run fingerprint (rounds/warnings/actions/availability) —
+/// the regression gate in tools/bench_to_json.py checks the wall-time
+/// ratio, and this function itself aborts if the fingerprints diverge
+/// (paths must differ in wall time only).
+void print_path_comparison(const TrainedBaselines& preds) {
+  std::printf("== hot path: optimized vs reference (8 threads) ==\n");
+  constexpr std::size_t kThreads = 8;
+  // Best-of-N keeps scheduler noise out of the gated ratio; two reps
+  // even in quick mode — this arm feeds a CI regression gate.
+  const int reps = g_quick ? 2 : 3;
+
+  struct Arm {
+    runtime::FleetPath path;
+    const char* name;
+    double wall = 0.0;
+    runtime::FleetTelemetry telemetry;
+  };
+  Arm arms[] = {{runtime::FleetPath::kReference, "reference", 0.0, {}},
+                {runtime::FleetPath::kOptimized, "optimized", 0.0, {}}};
+  for (auto& arm : arms) {
+    for (int rep = 0; rep < reps; ++rep) {
+      double wall = 0.0;
+      arm.telemetry = run_fleet(preds, kThreads, &wall, nullptr, arm.path);
+      arm.wall = rep == 0 ? wall : std::min(arm.wall, wall);
+    }
+    const double steps_per_sec =
+        arm.wall > 0.0
+            ? static_cast<double>(arm.telemetry.rounds) / arm.wall
+            : 0.0;
+    std::printf("  %-10s wall %.3f s, %.0f steps/s, %zu warnings, "
+                "%zu actions, availability %.6f\n",
+                arm.name, arm.wall, steps_per_sec,
+                arm.telemetry.warnings_raised,
+                arm.telemetry.mea.total_actions(),
+                arm.telemetry.system.availability());
+    bench::JsonLine()
+        .field("bench", "fleet_path")
+        .field("path", arm.name)
+        .field("nodes", kFleetNodes)
+        .field("threads", kThreads)
+        .field("wall_seconds", arm.wall)
+        .field("steps_per_second", steps_per_sec)
+        .field("rounds", arm.telemetry.rounds)
+        .field("warnings", arm.telemetry.warnings_raised)
+        .field("actions", arm.telemetry.mea.total_actions())
+        .field("availability", arm.telemetry.system.availability())
+        .emit();
+  }
+  const Arm& ref = arms[0];
+  const Arm& opt = arms[1];
+  if (ref.telemetry.rounds != opt.telemetry.rounds ||
+      ref.telemetry.warnings_raised != opt.telemetry.warnings_raised ||
+      ref.telemetry.mea.total_actions() != opt.telemetry.mea.total_actions() ||
+      ref.telemetry.system.availability() !=
+          opt.telemetry.system.availability()) {
+    std::fprintf(stderr,
+                 "FATAL: optimized and reference paths diverged — the paths "
+                 "must differ in wall time only\n");
+    std::exit(1);
+  }
+  std::printf("  speedup (reference/optimized): %.2fx\n\n",
+              opt.wall > 0.0 ? ref.wall / opt.wall : 0.0);
+}
+
 void BM_FleetRoundSingleThread(benchmark::State& state) {
   // Cost of one lockstep MEA round (Monitor+Evaluate+Act) at 1 thread.
   const auto preds = train_baselines();
@@ -209,9 +286,24 @@ BENCHMARK(BM_FleetRoundSingleThread)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_experiment();
-  print_obs_overhead();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  // Strip --quick before google-benchmark sees the argv.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      g_quick = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  const auto preds = train_baselines();
+  print_experiment(preds);
+  print_obs_overhead(preds);
+  print_path_comparison(preds);
+  if (!g_quick) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

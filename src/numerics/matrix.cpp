@@ -165,6 +165,11 @@ double dot(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: length");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
 double norm2(std::span<const double> v) noexcept {
   double s = 0.0;
   for (double x : v) s += x * x;

@@ -93,6 +93,14 @@ class Matrix {
 /// Dot product; throws std::invalid_argument on length mismatch.
 double dot(std::span<const double> a, std::span<const double> b);
 
+/// y += alpha * x, elementwise; throws std::invalid_argument on length
+/// mismatch. Each element update is the scalar statement
+/// `y[i] += alpha * x[i]`, so a reduction assembled from per-row axpy
+/// calls reproduces the equivalent per-element scalar loop bit-for-bit —
+/// the batched scoring paths rely on that to stay conformant with the
+/// reference path.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
 /// Euclidean norm.
 double norm2(std::span<const double> v) noexcept;
 

@@ -1,5 +1,7 @@
 #include "numerics/rng.hpp"
 
+#include <array>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -22,7 +24,31 @@ extern "C" double lgamma(double x) noexcept {
 namespace pfm::num {
 
 std::int64_t Rng::poisson(double mean) {
-  return std::poisson_distribution<std::int64_t>(mean)(gen_);
+  using Dist = std::poisson_distribution<std::int64_t>;
+  // Building the parameter block is the expensive part of a fresh draw
+  // for large means (libstdc++ precomputes sqrt/log/lgamma constants), and
+  // simulation fleets ask for the same mean over and over (every healthy
+  // node sees the same offered load at a given tick). The block is a pure
+  // function of the mean, so a direct-mapped thread-local cache keyed on
+  // the mean's exact bit pattern hands back the identical block — and the
+  // draw itself still runs through a fresh distribution object, so the
+  // variate sequence is bit-for-bit what an uncached draw produces.
+  struct Entry {
+    double mean = -1.0;  // no valid mean is negative
+    Dist::param_type param{1.0};
+  };
+  // 512 slots so one evaluation interval's worth of distinct means (tick
+  // loop x request classes) survives long enough for sibling simulators
+  // replaying the same time range to hit.
+  thread_local std::array<Entry, 512> cache;
+  const auto bits = std::bit_cast<std::uint64_t>(mean);
+  Entry& e = cache[(bits * 0x9E3779B97F4A7C15ULL) >> 55];
+  if (e.mean != mean) {
+    e.param = Dist::param_type(mean);
+    e.mean = mean;
+  }
+  Dist dist;  // fresh per call: no internal state carries across draws
+  return dist(gen_, e.param);
 }
 
 std::size_t Rng::categorical(std::span<const double> weights) {

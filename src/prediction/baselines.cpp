@@ -176,6 +176,35 @@ void TrendPredictor::score_batch(std::span<const SymptomContext> contexts,
   }
 }
 
+void TrendPredictor::score_batch(std::span<const SymptomContext> contexts,
+                                 std::span<double> out,
+                                 BatchScratch& scratch) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("TrendPredictor: not trained");
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    const auto& ctx = contexts[i];
+    if (ctx.history.empty()) {
+      throw std::invalid_argument("TrendPredictor: empty context");
+    }
+    const double level = ctx.history.back().values.at(variable_);
+    const double z_level = direction_ * (level - mean_) / stddev_;
+    double z_slope = 0.0;
+    if (ctx.history.size() >= 2) {
+      scratch.t_buf.clear();
+      scratch.v_buf.clear();
+      for (const auto& s : ctx.history) {
+        scratch.t_buf.push_back(s.time);
+        scratch.v_buf.push_back(s.values.at(variable_));
+      }
+      const auto fit = num::fit_line(scratch.t_buf, scratch.v_buf);
+      z_slope = direction_ * fit.slope * slope_scale_;
+    }
+    out[i] = num::sigmoid(0.7 * z_level + 1.1 * z_slope);
+  }
+}
+
 // --- FailureTrackingPredictor --------------------------------------------------
 
 FailureTrackingPredictor::FailureTrackingPredictor(WindowGeometry windows)
@@ -453,6 +482,35 @@ void EventsetPredictor::score_batch(
       bool all = true;
       for (auto id : ms.ids) {
         if (!have.contains(id)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) best = std::max(best, ms.confidence);
+    }
+    out[i] = best;
+  }
+}
+
+void EventsetPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
+                                    std::span<double> out,
+                                    BatchScratch& scratch) const {
+  if (sequences.size() != out.size()) {
+    throw std::invalid_argument("score_batch: sequences/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("EventsetPredictor: not trained");
+  // Membership via a sorted scratch vector instead of a node-based
+  // std::set: same containment answers, zero allocations after warm-up.
+  std::vector<std::int32_t>& have = scratch.ids;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    have.clear();
+    for (const auto& e : sequences[i].events) have.push_back(e.event_id);
+    std::sort(have.begin(), have.end());
+    double best = base_rate_ * 0.5;
+    for (const auto& ms : sets_) {
+      bool all = true;
+      for (auto id : ms.ids) {
+        if (!std::binary_search(have.begin(), have.end(), id)) {
           all = false;
           break;
         }

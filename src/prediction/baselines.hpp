@@ -50,6 +50,11 @@ class TrendPredictor final : public SymptomPredictor {
   /// Vectorized: reuses the regression buffers across the batch.
   void score_batch(std::span<const SymptomContext> contexts,
                    std::span<double> out) const override;
+  /// Arena-backed: same results, regression buffers live in the caller's
+  /// scratch so repeated rounds allocate nothing.
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out,
+                   BatchScratch& scratch) const override;
 
   std::size_t variable() const noexcept { return variable_; }
 
@@ -133,6 +138,12 @@ class EventsetPredictor final : public EventPredictor {
   /// building a fresh std::set per sequence.
   void score_batch(std::span<const mon::ErrorSequence> sequences,
                    std::span<double> out) const override;
+  /// Arena-backed: the event-id membership structure becomes a sorted
+  /// vector in the caller's scratch (node-free, reused across rounds);
+  /// set-containment answers — and therefore scores — are identical.
+  void score_batch(std::span<const mon::ErrorSequence> sequences,
+                   std::span<double> out,
+                   BatchScratch& scratch) const override;
 
   std::size_t num_mined_sets() const noexcept { return sets_.size(); }
 

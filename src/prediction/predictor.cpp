@@ -14,6 +14,13 @@ void SymptomPredictor::score_batch(std::span<const SymptomContext> contexts,
   }
 }
 
+void SymptomPredictor::score_batch(std::span<const SymptomContext> contexts,
+                                   std::span<double> out,
+                                   BatchScratch& scratch) const {
+  (void)scratch;  // predictors with no per-call buffers need no arena
+  score_batch(contexts, out);
+}
+
 void EventPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
                                  std::span<double> out) const {
   if (sequences.size() != out.size()) {
@@ -22,6 +29,13 @@ void EventPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
   for (std::size_t i = 0; i < sequences.size(); ++i) {
     out[i] = score(sequences[i]);
   }
+}
+
+void EventPredictor::score_batch(std::span<const mon::ErrorSequence> sequences,
+                                 std::span<double> out,
+                                 BatchScratch& scratch) const {
+  (void)scratch;
+  score_batch(sequences, out);
 }
 
 void WindowGeometry::validate() const {

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "monitoring/dataset.hpp"
 #include "monitoring/types.hpp"
@@ -19,6 +21,40 @@ struct SymptomContext {
   std::span<const double> past_failures;
 
   double now() const { return history.empty() ? 0.0 : history.back().time; }
+};
+
+/// Caller-owned scratch arena for batched scoring. The fleet runtime keeps
+/// one per predictor and threads it through every round, so the hot path
+/// allocates nothing once the buffers reached steady-state size — the
+/// stress suite asserts capacity_bytes() stabilizes after warm-up.
+///
+/// `features` is used as a structure-of-arrays matrix (column f of a
+/// batch of size n occupies [f * n, (f + 1) * n)): gathering each feature
+/// contiguously across the batch lets a predictor sweep one kernel or one
+/// projection over all contexts with unit stride. The remaining buffers
+/// are generic per-context workspaces (regression inputs, activation
+/// rows, event-id sets).
+struct BatchScratch {
+  std::vector<double> features;     ///< SoA feature columns
+  std::vector<double> activations;  ///< one kernel/projection row
+  std::vector<double> t_buf;        ///< regression abscissae
+  std::vector<double> v_buf;        ///< regression ordinates
+  std::vector<std::int32_t> ids;    ///< event-id workspace
+
+  /// resize() that only ever grows capacity — the arena's footprint is
+  /// monotone, which makes "no reallocation after warm-up" observable.
+  template <typename T>
+  static void resize(std::vector<T>& buf, std::size_t n) {
+    if (n > buf.capacity()) buf.reserve(n);
+    buf.resize(n);
+  }
+
+  /// Total reserved footprint; stable after warm-up on the hot path.
+  std::size_t capacity_bytes() const noexcept {
+    return (features.capacity() + activations.capacity() +
+            t_buf.capacity() + v_buf.capacity()) * sizeof(double) +
+           ids.capacity() * sizeof(std::int32_t);
+  }
 };
 
 /// Online failure predictor over periodically monitored symptom variables
@@ -58,6 +94,14 @@ class SymptomPredictor {
   /// Throws std::invalid_argument when the span sizes differ.
   virtual void score_batch(std::span<const SymptomContext> contexts,
                            std::span<double> out) const;
+
+  /// Arena-backed batched scoring: identical results to the two-argument
+  /// overload (the conformance suite pins both to the same bits), but all
+  /// per-call buffers live in `scratch` and are reused across rounds. The
+  /// default discards the arena and forwards; SoA-aware predictors
+  /// override. Concurrent calls must use disjoint arenas.
+  virtual void score_batch(std::span<const SymptomContext> contexts,
+                           std::span<double> out, BatchScratch& scratch) const;
 };
 
 /// Online failure predictor over detected-error event sequences (the
@@ -81,6 +125,12 @@ class EventPredictor {
   /// SymptomPredictor::score_batch.
   virtual void score_batch(std::span<const mon::ErrorSequence> sequences,
                            std::span<double> out) const;
+
+  /// Arena-backed batched scoring; same contract as the SymptomPredictor
+  /// overload (bit-identical to the two-argument path, disjoint arenas
+  /// for concurrent calls). The default forwards.
+  virtual void score_batch(std::span<const mon::ErrorSequence> sequences,
+                           std::span<double> out, BatchScratch& scratch) const;
 };
 
 /// Shared window geometry (Fig. 6): data window Delta t_d, lead time

@@ -520,7 +520,24 @@ void UbfPredictor::train(const mon::MonitoringDataset& data) {
     apply_theta(result.x);
   }
   validation_auc_ = fit_weights_and_auc();
+  rebuild_score_cache();
   trained_ = true;
+}
+
+void UbfPredictor::rebuild_score_cache() {
+  kernel_w_.resize(kernels_.size());
+  kernel_two_w_sq_.resize(kernels_.size());
+  kernel_step_scale_.resize(kernels_.size());
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const double w = std::max(kernels_[i].width, 1e-6);
+    kernel_w_[i] = w;
+    kernel_two_w_sq_[i] = 2.0 * w * w;
+    kernel_step_scale_[i] = 0.3 * w;
+  }
+  feature_range_.resize(selected_.size());
+  for (std::size_t i = 0; i < selected_.size(); ++i) {
+    feature_range_[i] = feature_hi_[i] - feature_lo_[i];
+  }
 }
 
 std::vector<double> UbfPredictor::augmented_features(
@@ -607,6 +624,87 @@ void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
       x[i] = std::clamp(scaled, -0.5, 1.5);
     }
     out[c] = num::sigmoid(4.0 * (raw_score(x) - 0.5));
+  }
+}
+
+void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
+                               std::span<double> out,
+                               BatchScratch& scratch) const {
+  if (contexts.size() != out.size()) {
+    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+  }
+  if (!trained_) throw std::logic_error("UbfPredictor: not trained");
+  const std::size_t batch = contexts.size();
+  if (batch == 0) return;
+  const std::size_t dim = selected_.size();
+
+  // Gather phase: one contiguous column per selected feature. Feature i
+  // of context c lands at features[i * batch + c], so the kernel sweep
+  // below walks each column with unit stride across the whole batch.
+  BatchScratch::resize(scratch.features, dim * batch);
+  for (std::size_t c = 0; c < batch; ++c) {
+    const auto& ctx = contexts[c];
+    if (ctx.history.empty()) {
+      throw std::invalid_argument("UbfPredictor: empty context");
+    }
+    const auto& current = ctx.history.back();
+    const double t0 = current.time - config_.windows.data_window;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const std::size_t idx = selected_[i];
+      double v;
+      if (idx < num_raw_vars_) {
+        v = current.values[idx];
+      } else {
+        const std::size_t j = idx - num_raw_vars_;
+        scratch.t_buf.clear();
+        scratch.v_buf.clear();
+        for (const auto& s : ctx.history) {
+          if (s.time <= t0) continue;
+          scratch.t_buf.push_back(s.time);
+          scratch.v_buf.push_back(s.values[j]);
+        }
+        v = scratch.t_buf.size() >= 2
+                ? num::fit_line(scratch.t_buf, scratch.v_buf).slope
+                : 0.0;
+      }
+      const double range = feature_range_[i];
+      const double scaled = range > 0.0 ? (v - feature_lo_[i]) / range : 0.5;
+      scratch.features[i * batch + c] = std::clamp(scaled, -0.5, 1.5);
+    }
+  }
+
+  // Kernel sweep: evaluate each Eq. 1 kernel over every context, then
+  // fold its activation row into the accumulator with one axpy. Per
+  // context this performs bias-first, kernels-in-order accumulation with
+  // the same statement shapes as raw_score()/evaluate_kernel(), so the
+  // result is bit-identical to the reference path.
+  BatchScratch::resize(scratch.activations, batch);
+  for (std::size_t c = 0; c < batch; ++c) out[c] = weights_.back();
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const Kernel& kn = kernels_[i];
+    const double w = kernel_w_[i];
+    const double two_w_sq = kernel_two_w_sq_[i];
+    const double step_scale = kernel_step_scale_[i];
+    for (std::size_t c = 0; c < batch; ++c) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double d = scratch.features[j * batch + c] - kn.center[j];
+        s += d * d;
+      }
+      const double d = std::sqrt(s);
+      const double gaussian = std::exp(-d * d / two_w_sq);
+      if (!config_.mixture_kernels) {
+        scratch.activations[c] = gaussian;
+      } else {
+        const double step = 1.0 / (1.0 + std::exp((d - w) / step_scale));
+        scratch.activations[c] =
+            kn.mixture * gaussian + (1.0 - kn.mixture) * step;
+      }
+    }
+    num::axpy(weights_[i], scratch.activations, out);
+  }
+  for (std::size_t c = 0; c < batch; ++c) {
+    out[c] = num::sigmoid(4.0 * (out[c] - 0.5));
   }
 }
 

@@ -78,6 +78,16 @@ class UbfPredictor final : public SymptomPredictor {
   void score_batch(std::span<const SymptomContext> contexts,
                    std::span<double> out) const override;
 
+  /// Arena-backed SoA scoring: gathers the selected features of the whole
+  /// batch into contiguous per-feature columns inside `scratch`, then
+  /// sweeps each Eq. 1 kernel over all contexts at once using cached
+  /// width-derived constants. Every arithmetic step mirrors the reference
+  /// path expression-for-expression, so results are bit-identical to
+  /// score() / the two-argument overload — the conformance suite pins it.
+  void score_batch(std::span<const SymptomContext> contexts,
+                   std::span<double> out,
+                   BatchScratch& scratch) const override;
+
   /// Indices into the (possibly trend-augmented) feature space of the
   /// selected variables: index j < schema.size() is the level of variable
   /// j; index j >= schema.size() is the slope of variable
@@ -106,6 +116,12 @@ class UbfPredictor final : public SymptomPredictor {
   double raw_score(std::span<const double> selected_features) const;
   /// Builds the augmented (level + slope) feature vector from a context.
   std::vector<double> augmented_features(const SymptomContext& ctx) const;
+  /// Precomputes the width-derived kernel constants and the per-variable
+  /// projection ranges used by the SoA path. Each cached value is built
+  /// with the exact expression the reference path evaluates inline
+  /// (clamped width, 2.0*w*w, 0.3*w, hi-lo), so substituting the cache
+  /// cannot change a single bit.
+  void rebuild_score_cache();
 
   UbfConfig config_;
   std::size_t num_raw_vars_ = 0;
@@ -115,6 +131,12 @@ class UbfPredictor final : public SymptomPredictor {
   std::vector<double> weights_;  // one per kernel + bias
   double validation_auc_ = 0.0;
   bool trained_ = false;
+
+  // SoA scoring cache (see rebuild_score_cache()).
+  std::vector<double> kernel_w_;           // max(width, 1e-6)
+  std::vector<double> kernel_two_w_sq_;    // 2.0 * w * w (Gaussian scale)
+  std::vector<double> kernel_step_scale_;  // 0.3 * w (sigmoid scale)
+  std::vector<double> feature_range_;      // hi - lo per selected variable
 };
 
 }  // namespace pfm::pred

@@ -24,7 +24,9 @@ FleetController::FleetController(
       config_(std::move(config)),
       engines_(nodes_.size()),
       stats_(nodes_.size()),
-      pool_(config_.num_threads),
+      pool_(config_.num_threads,
+            ThreadPoolOptions{
+                .persistent = config_.path == FleetPath::kOptimized}),
       node_state_(nodes_.size()) {
   if (nodes_.empty()) {
     throw std::invalid_argument("FleetController: empty fleet");
@@ -84,6 +86,20 @@ FleetController::FleetController(
   nodes_gauge_->set(static_cast<double>(nodes_.size()));
   quarantined_gauge_ = &metrics.gauge("pfm_fleet_quarantined_nodes");
   breakers_open_gauge_ = &metrics.gauge("pfm_fleet_open_breakers");
+  // Evaluate batch sizes are pure functions of sim state (identical on
+  // both paths and at every thread count), so the histogram lives on the
+  // sim clock and participates in the deterministic exports.
+  obs::HistogramSpec batch_spec;
+  batch_spec.first_bound = 1.0;
+  batch_spec.factor = 2.0;
+  batch_spec.num_buckets = 12;
+  batch_spec.resolution = 1.0;
+  batch_size_hist_ = &metrics.histogram("pfm_fleet_batch_size", batch_spec,
+                                        obs::Clock::kSim);
+  // Arena footprint differs between paths by design — wall clock keeps
+  // it out of the include_wall=false exports the conformance suite pins.
+  scratch_bytes_gauge_ =
+      &metrics.gauge("pfm_fleet_scratch_bytes", obs::Clock::kWall);
   for (std::size_t i = 0; i < engines_.size(); ++i) {
     engines_[i].set_observability(obs_, obs::node_track(i));
   }
@@ -150,16 +166,21 @@ void FleetController::run_until(double t) {
   // registered since the last call.
   const std::size_t num_predictors = symptom_.size() + event_.size();
   breakers_.resize(num_predictors);
+  columns_.resize(num_predictors);
+  batch_scratch_.resize(num_predictors);
+  const bool optimized = config_.path == FleetPath::kOptimized;
 
-  std::vector<std::size_t> active;              // node index per stepped node
-  std::vector<double> pre_step_time;            // now() before Monitor, per active
-  std::vector<std::exception_ptr> errors;       // per-task capture buffer
-  std::vector<pred::SymptomContext> contexts;   // one per scoreable node
-  std::vector<std::size_t> context_owner;       // active-list position
-  std::vector<mon::ErrorSequence> sequences;    // one per active node
-  std::vector<double> combined;                 // max score per active node
-  std::vector<std::vector<double>> columns(num_predictors);
-  std::vector<std::size_t> live;                // predictors scored this round
+  // The round scratch lives in members (reused across rounds and calls);
+  // the aliases keep the loop body readable.
+  std::vector<std::size_t>& active = active_;
+  std::vector<double>& pre_step_time = pre_step_time_;
+  std::vector<std::exception_ptr>& errors = round_errors_;
+  std::vector<pred::SymptomContext>& contexts = contexts_;
+  std::vector<std::size_t>& context_owner = context_owner_;
+  std::vector<mon::ErrorSequence>& sequences = sequences_;
+  std::vector<double>& combined = combined_;
+  std::vector<std::vector<double>>& columns = columns_;
+  std::vector<std::size_t>& live = live_;
 
   obs::TraceRecorder* tracer = obs_->tracer();
 
@@ -266,6 +287,12 @@ void FleetController::run_until(double t) {
             node.error_sequence(config_.mea.windows.data_window));
       }
     }
+    if (!symptom_.empty()) {
+      batch_size_hist_->observe(static_cast<double>(contexts.size()));
+    }
+    if (!event_.empty()) {
+      batch_size_hist_->observe(static_cast<double>(sequences.size()));
+    }
 
     // Breaker scheduling: open breakers sit out their cooldown, then get
     // one half-open probe round; closed (and probing) predictors score.
@@ -285,10 +312,19 @@ void FleetController::run_until(double t) {
                            obs::predictor_track(p), eval_time);
       if (p < symptom_.size()) {
         column.resize(contexts.size());
-        symptom_[p]->score_batch(contexts, column);
+        if (optimized) {
+          symptom_[p]->score_batch(contexts, column, batch_scratch_[p]);
+        } else {
+          symptom_[p]->score_batch(contexts, column);
+        }
       } else {
         column.resize(sequences.size());
-        event_[p - symptom_.size()]->score_batch(sequences, column);
+        const auto& ep = *event_[p - symptom_.size()];
+        if (optimized) {
+          ep.score_batch(sequences, column, batch_scratch_[p]);
+        } else {
+          ep.score_batch(sequences, column);
+        }
       }
       span.set_arg(static_cast<std::int64_t>(column.size()));
     };
@@ -361,6 +397,16 @@ void FleetController::run_until(double t) {
     }
     }  // evaluate_span
     evaluate_latency_->observe(seconds_since(evaluate_start));
+    if (optimized) {
+      // Footprint accounting: after warm-up the arenas stop growing, so
+      // this settles to zero new events (the stress suite asserts it).
+      const std::size_t bytes = scratch_capacity_bytes();
+      if (bytes > scratch_bytes_seen_) {
+        ++scratch_grow_events_;
+        scratch_bytes_seen_ = bytes;
+        scratch_bytes_gauge_->set(static_cast<double>(bytes));
+      }
+    }
 
     // --- Act: warned nodes run their own countermeasure engines. ------------
     const auto act_start = Clock::now();
@@ -410,6 +456,12 @@ void FleetController::run_until(double t) {
     if (breaker.open) ++open;
   }
   breakers_open_gauge_->set(static_cast<double>(open));
+}
+
+std::size_t FleetController::scratch_capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : batch_scratch_) total += s.capacity_bytes();
+  return total;
 }
 
 FleetTelemetry FleetController::telemetry() const {

@@ -32,6 +32,20 @@ struct ResilienceConfig {
   std::size_t breaker_open_rounds = 8;
 };
 
+/// Execution path of the fleet loop's hot stages. Both paths compute the
+/// same function — the conformance suite pins scores, telemetry and every
+/// sim-time export byte-identical between them at several thread counts —
+/// so the toggle trades only wall time, never results.
+enum class FleetPath : std::uint8_t {
+  /// Original shape: fork/join pool handshake per parallel section,
+  /// per-call scoring buffers inside score_batch.
+  kReference = 0,
+  /// Hot-path shape: persistent pool workers (generation-counter barrier,
+  /// per-shard queues) and arena-backed SoA batched scoring that reuses
+  /// one scratch arena per predictor across rounds.
+  kOptimized = 1
+};
+
 /// FleetController configuration: the per-node MEA parameters plus the
 /// degree of parallelism.
 struct FleetConfig {
@@ -39,6 +53,8 @@ struct FleetConfig {
   /// Threads applied to the fleet loop (caller included). The thread
   /// count never affects results — only wall time.
   std::size_t num_threads = 1;
+  /// Hot-path selection (wall-time only; see FleetPath).
+  FleetPath path = FleetPath::kOptimized;
   ResilienceConfig resilience;
   /// External observability hub (metrics + tracing + exporters). Must be
   /// sized with shards >= num_threads and not shared between concurrently
@@ -167,6 +183,18 @@ class FleetController {
   /// Counter-valued fields are read back from the metrics registry.
   FleetTelemetry telemetry() const;
 
+  /// Total reserved bytes across the per-predictor scoring arenas (the
+  /// optimized path's reusable scratch; 0 on the reference path). Also
+  /// exported as the wall-clock gauge `pfm_fleet_scratch_bytes`.
+  std::size_t scratch_capacity_bytes() const noexcept;
+
+  /// Number of rounds that grew the arena footprint. Stabilizes after
+  /// warm-up — the stress suite asserts no growth once the fleet reached
+  /// steady state.
+  std::size_t scratch_grow_events() const noexcept {
+    return scratch_grow_events_;
+  }
+
   /// The hub the controller records into: the external one from
   /// FleetConfig::obs, else the private metrics-only fallback.
   const obs::Observability& observability() const noexcept { return *obs_; }
@@ -200,6 +228,25 @@ class FleetController {
   std::vector<core::MeaStats> stats_;     // one per node
   ThreadPool pool_;
 
+  // Round-scratch arena, reused across rounds (and run_until calls) so
+  // the hot loop stays allocation-free after warm-up — on both paths;
+  // only the batch_scratch_ arenas are optimized-path-specific. Worker
+  // lambdas touch disjoint slots only (like stats_/engines_ above), and
+  // sizes change exclusively between parallel sections, so none of this
+  // needs the controller capability.
+  std::vector<std::size_t> active_;           // node index per stepped node
+  std::vector<double> pre_step_time_;         // now() before Monitor
+  std::vector<std::exception_ptr> round_errors_;
+  std::vector<pred::SymptomContext> contexts_;
+  std::vector<std::size_t> context_owner_;    // active-list position
+  std::vector<mon::ErrorSequence> sequences_;
+  std::vector<double> combined_;              // max score per active node
+  std::vector<std::vector<double>> columns_;  // per-predictor score columns
+  std::vector<std::size_t> live_;             // predictors scored this round
+  std::vector<pred::BatchScratch> batch_scratch_;  // one arena per predictor
+  std::size_t scratch_grow_events_ = 0;
+  std::size_t scratch_bytes_seen_ = 0;
+
   // Observability. The handles below are sharded instruments — safe to
   // bump from worker lambdas by construction (each thread owns its
   // shard), so unlike the role-guarded state they need no capability.
@@ -220,6 +267,13 @@ class FleetController {
   obs::Gauge* nodes_gauge_ = nullptr;
   obs::Gauge* quarantined_gauge_ = nullptr;
   obs::Gauge* breakers_open_gauge_ = nullptr;
+  // Hot-path instruments. The batch-size histogram is sim-clock: batch
+  // sizes are pure functions of sim state and identical on both paths.
+  // The scratch gauge is wall-clock — footprint differs between paths by
+  // design, so it must stay out of the include_wall=false exports the
+  // conformance suite compares.
+  obs::Histogram* batch_size_hist_ = nullptr;
+  obs::Gauge* scratch_bytes_gauge_ = nullptr;
 
   // Controller-thread-only state. Worker lambdas operate on disjoint
   // per-node/per-predictor slots of the vectors above; everything below

@@ -1,7 +1,9 @@
 #include "telecom/simulator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace pfm::telecom {
@@ -89,7 +91,8 @@ void ScpSimulator::step_to(double t) {
 
 void ScpSimulator::tick(double t) {
   const double dt = config_.tick;
-  std::vector<mon::ErrorEvent> events;
+  std::vector<mon::ErrorEvent>& events = tick_events_;
+  events.clear();
 
   // Periodic checkpointing (classical, prediction-independent).
   if (t >= next_periodic_checkpoint_) {
@@ -106,7 +109,8 @@ void ScpSimulator::tick(double t) {
   for (auto a : arrivals) total_arrivals += a;
 
   // Traffic only reaches nodes while the service is up.
-  std::vector<std::size_t> alive;
+  std::vector<std::size_t>& alive = tick_alive_;
+  alive.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].available(t)) alive.push_back(i);
   }
@@ -129,6 +133,14 @@ void ScpSimulator::tick(double t) {
                     : workload_.mean_rate(t) /
                           static_cast<double>(alive.size());
 
+  // Healthy nodes share one modeled mean response per class (same offered
+  // load, degradation 1.0), so the pure violation_probability is memoized
+  // on the exact mean within the tick: an identical input reuses the
+  // identical result, anything else recomputes — bit-for-bit unchanged.
+  std::array<double, kNumRequestClasses> memo_mean;
+  std::array<double, kNumRequestClasses> memo_p{};
+  memo_mean.fill(std::numeric_limits<double>::quiet_NaN());
+
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const bool serving = !down && nodes_[i].available(t) && !alive.empty();
     const double util = serving ? per_node_rate / config_.node_capacity : 0.0;
@@ -145,7 +157,14 @@ void ScpSimulator::tick(double t) {
       if (share <= 0.0) continue;
       const double mean_ms =
           config_.base_response_ms[c] * qmult * degradation;
-      const double p = violation_probability(mean_ms);
+      double p;
+      if (mean_ms == memo_mean[c]) {
+        p = memo_p[c];
+      } else {
+        p = violation_probability(mean_ms);
+        memo_mean[c] = mean_ms;
+        memo_p[c] = p;
+      }
       if (p <= 0.0) continue;
       const double expected = share * p;
       auto v = rng_.poisson(expected);

@@ -153,6 +153,11 @@ class ScpSimulator {
   double disk_io_ = 120.0;
   double ambient_phase_ = 0.0;
   double thread_walk_ = 0.0;
+
+  // Per-tick scratch, hoisted out of tick() so the hot loop stays
+  // allocation-free after warm-up. Values never survive a tick.
+  std::vector<mon::ErrorEvent> tick_events_;
+  std::vector<std::size_t> tick_alive_;
 };
 
 /// Human-readable failure cause.

@@ -17,3 +17,8 @@ int swallow() {
 }
 
 volatile int g_flag = 0;
+
+// Raw threading primitives outside the pool: a detached std::thread
+// (line 23) and a bare condition_variable member (line 24).
+void spawn() { std::thread([] { return 1; }).detach(); }
+struct Waiter { std::condition_variable cv; };

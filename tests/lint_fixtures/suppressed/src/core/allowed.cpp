@@ -9,3 +9,9 @@ volatile int suppressed_flag = 0;
 int suppressed_entropy() {
   return std::rand();
 }
+
+// pfm-lint: allow(concurrency)
+int* raw_thread_shape() {
+  static std::thread* owned = nullptr;  // pfm-lint: allow(concurrency)
+  return nullptr;
+}

@@ -148,7 +148,23 @@ TEST(ObsFleet, GoldenPrometheusExpositionOfASeededRun) {
       "# TYPE pfm_fleet_open_breakers gauge\n"
       "pfm_fleet_open_breakers 0\n"
       "# TYPE pfm_fleet_quarantined_nodes gauge\n"
-      "pfm_fleet_quarantined_nodes 0\n";
+      "pfm_fleet_quarantined_nodes 0\n"
+      "# TYPE pfm_fleet_batch_size histogram\n"
+      "pfm_fleet_batch_size_bucket{le=\"1\"} 0\n"
+      "pfm_fleet_batch_size_bucket{le=\"2\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"4\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"8\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"16\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"32\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"64\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"128\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"256\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"512\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"1024\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"2048\"} 10\n"
+      "pfm_fleet_batch_size_bucket{le=\"+Inf\"} 10\n"
+      "pfm_fleet_batch_size_sum 20\n"
+      "pfm_fleet_batch_size_count 10\n";
   EXPECT_EQ(obs::prometheus_text(hub.metrics(), /*include_wall=*/false),
             expected);
 

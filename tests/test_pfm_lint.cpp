@@ -90,13 +90,15 @@ TEST(PfmLint, DeterminismRuleFlagsEntropyAddressKeysAndUnorderedIteration) {
   for (const auto& f : findings) EXPECT_EQ(f.rule, "determinism");
 }
 
-TEST(PfmLint, ConcurrencyRuleFlagsMutableStaticCatchAllAndVolatile) {
+TEST(PfmLint, ConcurrencyRuleFlagsMutableStaticCatchAllVolatileRawThread) {
   const auto findings = run_on(fixture("concurrency"), {"concurrency"});
   EXPECT_EQ(keys(findings),
             (std::vector<std::string>{
                 "src/runtime/bad_shared.cpp:7 mutable-static",
                 "src/runtime/bad_shared.cpp:14 catch-all",
                 "src/runtime/bad_shared.cpp:19 volatile",
+                "src/runtime/bad_shared.cpp:23 raw-thread",
+                "src/runtime/bad_shared.cpp:24 raw-thread",
             }));
   for (const auto& f : findings) EXPECT_EQ(f.rule, "concurrency");
 }

@@ -10,11 +10,20 @@ amid their human-readable tables. This script runs
 scrapes those lines, and writes each file as a JSON array, so dashboards
 and regression checks can consume bench results without parsing tables.
 
-Usage:
-  tools/bench_to_json.py [--build-dir build] [--out-dir .]
+All benches are run and validated before any output file is touched:
+a missing binary, a failing bench, or a bench that emits no JSON lines
+exits non-zero with every BENCH_*.json unchanged — never a partial
+refresh.
 
-Exits non-zero when a bench fails, emits no JSON lines, or (for the
-observability overhead arm) reports an overhead above the 5% budget.
+Gates (each exits non-zero on violation):
+  - the observability overhead arm must stay within the 5% budget;
+  - the optimized fleet path must not run >10% slower than the
+    reference path, and its reference/optimized speedup must not
+    regress >10% against the committed BENCH_fleet.json (the ratio is
+    machine-relative, so the gate is portable across hosts).
+
+Usage:
+  tools/bench_to_json.py [--build-dir build] [--out-dir .] [--quick]
 """
 
 import argparse
@@ -28,8 +37,15 @@ BENCHES = {
     "bench_fault_injection": "BENCH_injection.json",
 }
 
+# Benches that understand the --quick trim flag.
+QUICK_AWARE = {"bench_fleet_throughput"}
+
 # Acceptance budget for the fleet_obs_overhead arm (fraction, not %).
 OBS_OVERHEAD_BUDGET = 0.05
+
+# The optimized path may lose at most this fraction against the
+# reference path, and against its own committed speedup.
+PATH_REGRESSION_BUDGET = 0.10
 
 
 def scrape_json_lines(text: str) -> list:
@@ -46,14 +62,13 @@ def scrape_json_lines(text: str) -> list:
     return records
 
 
-def run_bench(binary: pathlib.Path) -> list:
+def run_bench(binary: pathlib.Path, quick: bool) -> list:
     # --benchmark_filter=NONE skips the microbenchmark section; the
     # experiment tables (and their JSON lines) always run.
-    proc = subprocess.run(
-        [str(binary), "--benchmark_filter=NONE"],
-        capture_output=True,
-        text=True,
-    )
+    cmd = [str(binary), "--benchmark_filter=NONE"]
+    if quick and binary.name in QUICK_AWARE:
+        cmd.append("--quick")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
     sys.stdout.write(proc.stdout)
     if proc.returncode != 0:
         sys.stderr.write(proc.stderr)
@@ -75,28 +90,96 @@ def check_obs_overhead(records: list) -> None:
                 f"the {OBS_OVERHEAD_BUDGET * 100.0:.0f}% budget")
 
 
+def path_speedup(records: list):
+    """reference/optimized wall-time ratio of the fleet_path arm, or None."""
+    walls = {}
+    for record in records:
+        if record.get("bench") != "fleet_path":
+            continue
+        wall = record.get("wall_seconds", 0.0)
+        if wall > 0.0:
+            walls[record.get("path")] = wall
+    if "reference" in walls and "optimized" in walls:
+        return walls["reference"] / walls["optimized"]
+    return None
+
+
+def check_path_regression(records: list, baseline_records: list) -> None:
+    speedup = path_speedup(records)
+    if speedup is None:
+        raise SystemExit(
+            "bench_fleet_throughput emitted no complete fleet_path arm "
+            "(need one reference and one optimized row)")
+    print(f"fleet path speedup (reference/optimized): {speedup:.3f}x")
+    if speedup < 1.0 - PATH_REGRESSION_BUDGET:
+        raise SystemExit(
+            f"optimized fleet path is {(1.0 - speedup) * 100.0:.1f}% slower "
+            f"than the reference path (budget "
+            f"{PATH_REGRESSION_BUDGET * 100.0:.0f}%)")
+    baseline = path_speedup(baseline_records)
+    if baseline is None:
+        print("no fleet_path arm in the committed baseline — skipping the "
+              "speedup-regression comparison")
+        return
+    floor = baseline * (1.0 - PATH_REGRESSION_BUDGET)
+    print(f"committed baseline speedup: {baseline:.3f}x (floor {floor:.3f}x)")
+    if speedup < floor:
+        raise SystemExit(
+            f"fleet path speedup regressed: {speedup:.3f}x < {floor:.3f}x "
+            f"(committed {baseline:.3f}x minus the "
+            f"{PATH_REGRESSION_BUDGET * 100.0:.0f}% budget)")
+
+
+def load_baseline(path: pathlib.Path) -> list:
+    if not path.exists():
+        return []
+    try:
+        records = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    return records if isinstance(records, list) else []
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
                         help="CMake build tree containing bench/")
     parser.add_argument("--out-dir", default=".",
                         help="where the BENCH_*.json files go")
+    parser.add_argument("--quick", action="store_true",
+                        help="pass --quick to quick-aware benches (CI trim)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_fleet.json to gate the fleet "
+                             "path speedup against (default: the one in "
+                             "--out-dir)")
     args = parser.parse_args()
 
     bench_dir = pathlib.Path(args.build_dir) / "bench"
     out_dir = pathlib.Path(args.out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
 
+    # Validate everything up front: no output file is written until every
+    # bench binary exists, ran successfully, and produced records.
+    missing = [name for name in BENCHES
+               if not (bench_dir / name).exists()]
+    if missing:
+        raise SystemExit("bench binaries not found (build them first): " +
+                         ", ".join(str(bench_dir / name) for name in missing))
+
+    collected = {}
     for name, out_name in BENCHES.items():
-        binary = bench_dir / name
-        if not binary.exists():
-            raise SystemExit(f"{binary} not found — build the '{name}' "
-                             "target first")
-        records = run_bench(binary)
+        records = run_bench(bench_dir / name, args.quick)
         if not records:
             raise SystemExit(f"{name} produced no JSON lines")
-        if name == "bench_fleet_throughput":
-            check_obs_overhead(records)
+        collected[out_name] = records
+
+    fleet_records = collected["BENCH_fleet.json"]
+    check_obs_overhead(fleet_records)
+    baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                     else out_dir / "BENCH_fleet.json")
+    check_path_regression(fleet_records, load_baseline(baseline_path))
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for out_name, records in collected.items():
         out_path = out_dir / out_name
         out_path.write_text(json.dumps(records, indent=2) + "\n")
         print(f"wrote {out_path} ({len(records)} records)")

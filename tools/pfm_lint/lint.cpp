@@ -480,6 +480,13 @@ void rule_concurrency(const SourceFile& file, std::vector<Finding>* findings) {
   // runs). Everywhere else it needs an explicit allow.
   const bool capture_site = file.rel_path == "src/runtime/thread_pool.cpp";
 
+  // The only src/ files that may touch raw threading primitives: the
+  // pool itself and the annotated MutexLock wrapper it hands out for
+  // condition_variable interop.
+  const bool thread_site = file.rel_path == "src/runtime/thread_pool.cpp" ||
+                           file.rel_path == "src/runtime/thread_pool.hpp" ||
+                           file.rel_path == "src/runtime/annotations.hpp";
+
   static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
   static const std::regex kStaticDecl(R"(^\s*(inline\s+)?static\s+\w)");
 
@@ -494,6 +501,25 @@ void rule_concurrency(const SourceFile& file, std::vector<Finding>* findings) {
     }
 
     if (!file.in_src()) continue;  // the checks below are src/-only
+
+    // Raw threading primitives outside the pool. Persistent-worker
+    // state (generation counters, parked workers, shard cursors) only
+    // stays coherent behind the pool's annotated handshake; a stray
+    // std::thread or condition_variable bypasses all of it.
+    if (!thread_site) {
+      for (const char* name : {"std::thread", "std::jthread",
+                               "condition_variable"}) {
+        for (std::size_t pos = code.find(name); pos != std::string::npos;
+             pos = code.find(name, pos + 1)) {
+          if (!token_at(code, pos, name)) continue;
+          emit(findings, file, l + 1, "concurrency", "raw-thread",
+               std::string(name) +
+                   " outside src/runtime/thread_pool — spawn threads only "
+                   "through runtime::ThreadPool; persistent-worker state "
+                   "must live behind its annotated handshake");
+        }
+      }
+    }
 
     for (std::size_t pos = code.find("volatile"); pos != std::string::npos;
          pos = code.find("volatile", pos + 1)) {

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_to_json.py (stdlib unittest; also runs
+under pytest). Wired into ctest as ToolsBenchToJson and into the lint
+workflow's observability job.
+
+The interesting properties:
+  - scraping tolerates garbage and keeps valid records;
+  - a missing binary or a bench with no JSON rows exits non-zero
+    *before* any BENCH_*.json is written (no partial refresh);
+  - the fleet-path regression gate fires on a >10% loss against the
+    reference path or against the committed baseline, and skips
+    cleanly when the baseline predates the fleet_path arm.
+"""
+
+import json
+import os
+import pathlib
+import stat
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import bench_to_json  # noqa: E402
+
+
+def path_rows(ref_wall, opt_wall):
+    return [
+        {"bench": "fleet_path", "path": "reference", "threads": 8,
+         "wall_seconds": ref_wall},
+        {"bench": "fleet_path", "path": "optimized", "threads": 8,
+         "wall_seconds": opt_wall},
+    ]
+
+
+class ScrapeTest(unittest.TestCase):
+    def test_keeps_valid_lines_and_skips_garbage(self):
+        text = "\n".join([
+            "== some table ==",
+            '{"bench":"fleet_throughput","threads":1,"wall_seconds":1.0}',
+            '{"bench":"broken", unparsable}',
+            "  threads  wall [s]",
+            '  {"bench":"fleet_path","path":"optimized","wall_seconds":0.5}',
+            '{"not_a_bench":"x"}',
+        ])
+        records = bench_to_json.scrape_json_lines(text)
+        self.assertEqual(len(records), 2)
+        self.assertEqual(records[0]["bench"], "fleet_throughput")
+        self.assertEqual(records[1]["path"], "optimized")
+
+
+class PathGateTest(unittest.TestCase):
+    def test_speedup_is_reference_over_optimized(self):
+        self.assertAlmostEqual(
+            bench_to_json.path_speedup(path_rows(1.5, 1.0)), 1.5)
+
+    def test_incomplete_arm_yields_none_and_fails_the_gate(self):
+        rows = path_rows(1.5, 1.0)[:1]
+        self.assertIsNone(bench_to_json.path_speedup(rows))
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_path_regression(rows, [])
+
+    def test_optimized_much_slower_than_reference_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_path_regression(path_rows(1.0, 1.2), [])
+
+    def test_regression_against_committed_baseline_fails(self):
+        fresh = path_rows(1.05, 1.0)      # 1.05x now
+        baseline = path_rows(1.5, 1.0)    # 1.50x committed; floor 1.35x
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_path_regression(fresh, baseline)
+
+    def test_within_budget_passes(self):
+        fresh = path_rows(1.40, 1.0)
+        baseline = path_rows(1.5, 1.0)
+        bench_to_json.check_path_regression(fresh, baseline)
+
+    def test_baseline_without_path_arm_skips_the_comparison(self):
+        fresh = path_rows(1.1, 1.0)
+        baseline = [{"bench": "fleet_throughput", "threads": 8,
+                     "wall_seconds": 1.0}]
+        bench_to_json.check_path_regression(fresh, baseline)
+
+
+class ObsOverheadTest(unittest.TestCase):
+    def test_overhead_above_budget_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_obs_overhead(
+                [{"bench": "fleet_obs_overhead", "overhead_pct": 7.5}])
+
+    def test_overhead_within_budget_passes(self):
+        bench_to_json.check_obs_overhead(
+            [{"bench": "fleet_obs_overhead", "overhead_pct": 1.2}])
+
+
+class MainAtomicityTest(unittest.TestCase):
+    """main() must not write any BENCH_*.json until everything passed."""
+
+    def run_main(self, build_dir, out_dir, extra=()):
+        argv = ["bench_to_json.py", "--build-dir", str(build_dir),
+                "--out-dir", str(out_dir), *extra]
+        old = sys.argv
+        sys.argv = argv
+        try:
+            bench_to_json.main()
+        finally:
+            sys.argv = old
+
+    def fake_bench(self, bench_dir, name, lines):
+        path = bench_dir / name
+        body = "#!/bin/sh\n" + "".join(f"echo '{line}'\n" for line in lines)
+        path.write_text(body)
+        path.chmod(path.stat().st_mode | stat.S_IEXEC)
+
+    def good_fleet_lines(self):
+        return [
+            json.dumps({"bench": "fleet_throughput", "threads": 8,
+                        "wall_seconds": 1.0}),
+            json.dumps({"bench": "fleet_path", "path": "reference",
+                        "wall_seconds": 1.2}),
+            json.dumps({"bench": "fleet_path", "path": "optimized",
+                        "wall_seconds": 1.0}),
+        ]
+
+    def test_missing_binary_exits_nonzero_and_writes_nothing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            (tmp / "build" / "bench").mkdir(parents=True)
+            out = tmp / "out"
+            with self.assertRaises(SystemExit):
+                self.run_main(tmp / "build", out)
+            self.assertFalse(out.exists())
+
+    def test_bench_with_no_rows_exits_nonzero_and_writes_nothing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            bench_dir = tmp / "build" / "bench"
+            bench_dir.mkdir(parents=True)
+            self.fake_bench(bench_dir, "bench_fleet_throughput",
+                            self.good_fleet_lines())
+            self.fake_bench(bench_dir, "bench_fault_injection",
+                            ["no json here"])
+            out = tmp / "out"
+            with self.assertRaises(SystemExit):
+                self.run_main(tmp / "build", out)
+            # The fleet bench succeeded, but its output must not have
+            # been committed when the injection bench produced nothing.
+            self.assertFalse((out / "BENCH_fleet.json").exists())
+
+    def test_happy_path_writes_both_files(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            bench_dir = tmp / "build" / "bench"
+            bench_dir.mkdir(parents=True)
+            self.fake_bench(bench_dir, "bench_fleet_throughput",
+                            self.good_fleet_lines())
+            self.fake_bench(bench_dir, "bench_fault_injection",
+                            [json.dumps({"bench": "injection", "arm": "x"})])
+            out = tmp / "out"
+            self.run_main(tmp / "build", out)
+            fleet = json.loads((out / "BENCH_fleet.json").read_text())
+            self.assertEqual(len(fleet), 3)
+            injection = json.loads((out / "BENCH_injection.json").read_text())
+            self.assertEqual(injection[0]["bench"], "injection")
+
+    def test_explicit_baseline_gates_the_refresh(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = pathlib.Path(tmp)
+            bench_dir = tmp / "build" / "bench"
+            bench_dir.mkdir(parents=True)
+            self.fake_bench(bench_dir, "bench_fleet_throughput",
+                            self.good_fleet_lines())  # 1.2x speedup
+            self.fake_bench(bench_dir, "bench_fault_injection",
+                            [json.dumps({"bench": "injection"})])
+            committed = tmp / "BENCH_fleet.json"
+            committed.write_text(json.dumps(path_rows(2.0, 1.0)))  # 2.0x
+            out = tmp / "out"
+            with self.assertRaises(SystemExit):
+                self.run_main(tmp / "build", out,
+                              extra=("--baseline", str(committed)))
+            self.assertFalse(out.exists())
+
+
+if __name__ == "__main__":
+    # Quiet the bench stdout passthrough during the atomicity tests;
+    # unittest itself reports on stderr.
+    with open(os.devnull, "w") as devnull:
+        stdout = sys.stdout
+        sys.stdout = devnull
+        try:
+            unittest.main()
+        finally:
+            sys.stdout = stdout
