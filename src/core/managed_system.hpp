@@ -57,6 +57,18 @@ struct SystemStats {
   }
 };
 
+/// Hint a managed system gives the adaptive monitoring scheduler (the
+/// Fig. 11 blueprint's variable-rate monitoring): how urgently the system
+/// wants its next Monitor/Evaluate visit. The scheduler keeps urgent
+/// nodes on a dense per-tick cadence and backs quiet nodes off
+/// exponentially; the hint only stretches or shrinks sampling gaps, so a
+/// wrong hint costs detection latency, never correctness.
+struct SchedulingHint {
+  /// In [0, 1]; 1 = keep the node dense (the safe default for backends
+  /// that do not model urgency), 0 = fully quiet.
+  double urgency = 1.0;
+};
+
 /// The system under proactive fault management (the paper's "system" box
 /// of Fig. 1): everything the Monitor-Evaluate-Act loop needs from the
 /// managed platform, and nothing else.
@@ -116,6 +128,11 @@ class ManagedSystem {
     seq.events = trace().events_in(seq.end_time - data_window, seq.end_time);
     return seq;
   }
+
+  /// Adaptive-monitoring urgency of the next visit. Must not throw and
+  /// must be cheap (called once per evaluation). The default keeps the
+  /// system dense — correct for any backend that does not model urgency.
+  virtual SchedulingHint scheduling_hint() const { return SchedulingHint{}; }
 
   // --- unit health / load ---------------------------------------------------
 

@@ -171,11 +171,15 @@ double MeaController::evaluate_now(std::size_t* sanitized) const {
   };
 
   if (!symptom_.empty() && !system_->trace().samples().empty()) {
-    const auto ctx = system_->symptom_context(config_.context_samples);
+    auto ctx = system_->symptom_context(config_.context_samples);
+    // Evaluation identity for keyed fault-injection streams: origin 0
+    // (single system), ordinal = this evaluation's count.
+    ctx.ordinal = stats_.evaluations;
     for (const auto& p : symptom_) fold(p->score(ctx));
   }
   if (!event_.empty()) {
-    const auto seq = system_->error_sequence(config_.windows.data_window);
+    auto seq = system_->error_sequence(config_.windows.data_window);
+    seq.ordinal = stats_.evaluations;
     for (const auto& p : event_) fold(p->score(seq));
   }
   return combined;

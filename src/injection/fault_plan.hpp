@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/sharding.hpp"
+
 namespace pfm::inj {
 
 /// Exception thrown by a FaultyManagedSystem once its scripted crash time
@@ -93,6 +95,21 @@ struct FaultPlan {
     auto it = nodes.find(index);
     return it != nodes.end() ? it->second : default_node;
   }
+
+  /// Writable spec slot for the node addressed as (shard, local) under
+  /// `layout` — the sharded runtime's native addressing. The plan still
+  /// stores specs by global index, so the same plan replays bit-exactly
+  /// under any resharding: re-addressing through a different layout
+  /// reaches the same global slot or a different node, never a shifted
+  /// stream.
+  NodeFaultSpec& node_at(const core::ShardLayout& layout, std::size_t shard,
+                         std::size_t local) {
+    return nodes[layout.global_index(shard, local)];
+  }
+  const NodeFaultSpec& node_spec(const core::ShardLayout& layout,
+                                 std::size_t shard, std::size_t local) const {
+    return node_spec(layout.global_index(shard, local));
+  }
   const PredictorFaultSpec& predictor_spec(std::size_t id) const {
     auto it = predictors.find(id);
     return it != predictors.end() ? it->second : default_predictor;
@@ -122,6 +139,17 @@ class DecisionStream {
   /// Next Bernoulli draw; p <= 0 never fires (and burns no draw), so a
   /// zero-probability plan leaves the stream untouched.
   bool fire(double p) { return p > 0.0 && uniform() < p; }
+
+  /// Derives a sub-stream id from two components with the same splitmix64
+  /// finalizer the stream key uses. Wrappers that roll *per item* rather
+  /// than per call chain this over the item's identity — e.g.
+  /// derive(derive(id, origin), ordinal) — so each item owns a stream
+  /// that is a pure function of what it is, not of when or where it was
+  /// scored; that is what keeps injected rolls bit-exact under
+  /// resharding and concurrent scoring.
+  static std::uint64_t derive(std::uint64_t a, std::uint64_t b) noexcept {
+    return mix(a, b);
+  }
 
  private:
   /// splitmix64 finalizer over a combined key (same construction as

@@ -16,8 +16,7 @@ constexpr std::uint64_t kPredictorStream = 2;
 PredictorFaultState::PredictorFaultState(const FaultPlan& plan,
                                          std::size_t id,
                                          obs::Observability* hub)
-    : spec_(plan.predictor_spec(id)),
-      stream_(plan.seed, kPredictorStream, id) {
+    : spec_(plan.predictor_spec(id)), seed_(plan.seed), id_(id) {
   if (hub != nullptr) {
     auto& metrics = hub->metrics();
     throw_counter_ = &metrics.counter(
@@ -27,26 +26,34 @@ PredictorFaultState::PredictorFaultState(const FaultPlan& plan,
   }
 }
 
-void PredictorFaultState::corrupt(std::span<double> out) const {
+void PredictorFaultState::sleep_latency() const {
   if (spec_.added_latency > 0.0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(spec_.added_latency));
   }
-  for (auto& value : out) {
-    if (stream_.fire(spec_.throw_p)) {
-      ++stats_.predictor_throws;
-      if (throw_counter_ != nullptr) throw_counter_->inc();
-      throw PredictorFaultError("injected predictor fault");
-    }
-    if (stream_.fire(spec_.nan_p)) {
-      ++stats_.predictor_nans;
-      if (nan_counter_ != nullptr) nan_counter_->inc();
-      value = std::numeric_limits<double>::quiet_NaN();
-    } else if (stream_.fire(spec_.inf_p)) {
-      ++stats_.predictor_nans;
-      if (nan_counter_ != nullptr) nan_counter_->inc();
-      value = std::numeric_limits<double>::infinity();
-    }
+}
+
+void PredictorFaultState::corrupt_one(double& value, std::uint64_t origin,
+                                      std::uint64_t ordinal) const {
+  if (spec_.throw_p <= 0.0 && spec_.nan_p <= 0.0 && spec_.inf_p <= 0.0) {
+    return;
+  }
+  DecisionStream stream(
+      seed_, kPredictorStream,
+      DecisionStream::derive(DecisionStream::derive(id_, origin), ordinal));
+  if (stream.fire(spec_.throw_p)) {
+    throws_.fetch_add(1, std::memory_order_relaxed);
+    if (throw_counter_ != nullptr) throw_counter_->inc();
+    throw PredictorFaultError("injected predictor fault");
+  }
+  if (stream.fire(spec_.nan_p)) {
+    nans_.fetch_add(1, std::memory_order_relaxed);
+    if (nan_counter_ != nullptr) nan_counter_->inc();
+    value = std::numeric_limits<double>::quiet_NaN();
+  } else if (stream.fire(spec_.inf_p)) {
+    nans_.fetch_add(1, std::memory_order_relaxed);
+    if (nan_counter_ != nullptr) nan_counter_->inc();
+    value = std::numeric_limits<double>::infinity();
   }
 }
 
@@ -70,7 +77,8 @@ void FaultySymptomPredictor::train(const mon::MonitoringDataset&) {
 double FaultySymptomPredictor::score(
     const pred::SymptomContext& context) const {
   double value = inner_->score(context);
-  state_.corrupt({&value, 1});
+  state_.sleep_latency();
+  state_.corrupt_one(value, context.origin, context.ordinal);
   return value;
 }
 
@@ -78,7 +86,20 @@ void FaultySymptomPredictor::score_batch(
     std::span<const pred::SymptomContext> contexts,
     std::span<double> out) const {
   inner_->score_batch(contexts, out);
-  state_.corrupt(out);
+  state_.sleep_latency();
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    state_.corrupt_one(out[i], contexts[i].origin, contexts[i].ordinal);
+  }
+}
+
+void FaultySymptomPredictor::score_batch(
+    std::span<const pred::SymptomContext> contexts, std::span<double> out,
+    pred::BatchScratch& scratch) const {
+  inner_->score_batch(contexts, out, scratch);
+  state_.sleep_latency();
+  for (std::size_t i = 0; i < contexts.size(); ++i) {
+    state_.corrupt_one(out[i], contexts[i].origin, contexts[i].ordinal);
+  }
 }
 
 FaultyEventPredictor::FaultyEventPredictor(
@@ -97,7 +118,8 @@ void FaultyEventPredictor::train(std::span<const mon::ErrorSequence>,
 
 double FaultyEventPredictor::score(const mon::ErrorSequence& sequence) const {
   double value = inner_->score(sequence);
-  state_.corrupt({&value, 1});
+  state_.sleep_latency();
+  state_.corrupt_one(value, sequence.origin, sequence.ordinal);
   return value;
 }
 
@@ -105,7 +127,20 @@ void FaultyEventPredictor::score_batch(
     std::span<const mon::ErrorSequence> sequences,
     std::span<double> out) const {
   inner_->score_batch(sequences, out);
-  state_.corrupt(out);
+  state_.sleep_latency();
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    state_.corrupt_one(out[i], sequences[i].origin, sequences[i].ordinal);
+  }
+}
+
+void FaultyEventPredictor::score_batch(
+    std::span<const mon::ErrorSequence> sequences, std::span<double> out,
+    pred::BatchScratch& scratch) const {
+  inner_->score_batch(sequences, out, scratch);
+  state_.sleep_latency();
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    state_.corrupt_one(out[i], sequences[i].origin, sequences[i].ordinal);
+  }
 }
 
 }  // namespace pfm::inj

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "injection/fault_plan.hpp"
@@ -11,11 +12,16 @@ namespace pfm::inj {
 namespace detail {
 
 /// Shared fault machinery of the two predictor decorators: per-item rolls
-/// of (throw, NaN, inf) from one decision stream, plus optional wall
-/// latency per batch call. Mutable because the predictor contracts are
-/// const; unlike bare predictors, a faulty wrapper must therefore not be
-/// scored concurrently with itself (the fleet runtime issues one
-/// score_batch per predictor per round, which satisfies this).
+/// of (throw, NaN, inf), plus optional wall latency per batch call.
+///
+/// Each scored item rolls from its *own* decision stream, keyed by
+/// (plan seed, predictor id, item origin, item ordinal) — the identity
+/// the controller stamped into the context/sequence. The rolls are
+/// therefore a pure function of what is scored, never of call order:
+/// the sharded fleet runtime may score the same wrapper concurrently
+/// from many shard controllers, re-batch items arbitrarily, or reshard
+/// the fleet, and every item still draws the same faults. The only
+/// mutable state left is the atomic fault counters.
 class PredictorFaultState {
  public:
   /// `hub`, when given, counts injected predictor faults (throws, NaN
@@ -24,17 +30,29 @@ class PredictorFaultState {
   PredictorFaultState(const FaultPlan& plan, std::size_t id,
                       obs::Observability* hub = nullptr);
 
-  /// Applies the per-item rolls to `out` (already filled by the inner
-  /// predictor) and sleeps the injected latency. Throws
-  /// PredictorFaultError when the throw roll fires for any item.
-  void corrupt(std::span<double> out) const;
+  /// Applies the (throw, NaN, inf) rolls of item (origin, ordinal) to
+  /// `value` (already scored by the inner predictor). Throws
+  /// PredictorFaultError when the throw roll fires.
+  void corrupt_one(double& value, std::uint64_t origin,
+                   std::uint64_t ordinal) const;
 
-  const InjectionStats& stats() const noexcept { return stats_; }
+  /// Sleeps the injected per-call latency (wall time only; no results).
+  void sleep_latency() const;
+
+  /// Snapshot of the injected-fault counters (atomics materialized).
+  InjectionStats stats() const noexcept {
+    InjectionStats out;
+    out.predictor_throws = throws_.load(std::memory_order_relaxed);
+    out.predictor_nans = nans_.load(std::memory_order_relaxed);
+    return out;
+  }
 
  private:
   PredictorFaultSpec spec_;
-  mutable DecisionStream stream_;
-  mutable InjectionStats stats_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t id_ = 0;
+  mutable std::atomic<std::size_t> throws_{0};
+  mutable std::atomic<std::size_t> nans_{0};
   obs::Counter* throw_counter_ = nullptr;  // sharded: safe from workers
   obs::Counter* nan_counter_ = nullptr;
 };
@@ -54,10 +72,11 @@ class FaultySymptomPredictor final : public pred::SymptomPredictor {
   double score(const pred::SymptomContext& context) const override;
   void score_batch(std::span<const pred::SymptomContext> contexts,
                    std::span<double> out) const override;
+  void score_batch(std::span<const pred::SymptomContext> contexts,
+                   std::span<double> out,
+                   pred::BatchScratch& scratch) const override;
 
-  const InjectionStats& injection_stats() const noexcept {
-    return state_.stats();
-  }
+  InjectionStats injection_stats() const noexcept { return state_.stats(); }
 
  private:
   std::shared_ptr<const pred::SymptomPredictor> inner_;
@@ -78,10 +97,11 @@ class FaultyEventPredictor final : public pred::EventPredictor {
   double score(const mon::ErrorSequence& sequence) const override;
   void score_batch(std::span<const mon::ErrorSequence> sequences,
                    std::span<double> out) const override;
+  void score_batch(std::span<const mon::ErrorSequence> sequences,
+                   std::span<double> out,
+                   pred::BatchScratch& scratch) const override;
 
-  const InjectionStats& injection_stats() const noexcept {
-    return state_.stats();
-  }
+  InjectionStats injection_stats() const noexcept { return state_.stats(); }
 
  private:
   std::shared_ptr<const pred::EventPredictor> inner_;

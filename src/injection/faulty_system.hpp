@@ -53,6 +53,11 @@ class FaultyManagedSystem final : public core::ManagedSystem {
   double offered_load() const override { return inner_->offered_load(); }
   double unit_capacity() const override { return inner_->unit_capacity(); }
   bool service_down() const override { return inner_->service_down(); }
+  // Read-only like trace(): keeps answering from the inner system even
+  // after a crash (the node is quarantined at its next step anyway).
+  core::SchedulingHint scheduling_hint() const override {
+    return inner_->scheduling_hint();
+  }
 
   void restart_unit(std::size_t unit) override;
   void shed_load(double fraction, double duration) override;

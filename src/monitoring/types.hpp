@@ -62,6 +62,13 @@ struct ErrorSequence {
   std::vector<ErrorEvent> events;
   double end_time = 0.0;          ///< right edge of the data window
   bool preceded_failure = false;  ///< ground-truth label
+  /// Evaluation identity stamped by the controller that cut the window
+  /// (global node index / per-node evaluation count); predictors ignore
+  /// it, fault-injection wrappers key per-item decision streams on it so
+  /// injected rolls survive resharding bit-exactly. 0/0 for training
+  /// sequences.
+  std::uint64_t origin = 0;
+  std::uint64_t ordinal = 0;
 };
 
 }  // namespace pfm::mon

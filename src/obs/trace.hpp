@@ -61,6 +61,12 @@ inline constexpr std::uint32_t node_track(std::size_t node) noexcept {
 inline constexpr std::uint32_t predictor_track(std::size_t p) noexcept {
   return static_cast<std::uint32_t>(1000000 + p);
 }
+/// Stage-span lane of shard `s` of the event-driven fleet runtime. A
+/// single-shard fleet records its stage spans on kFleetTrack instead, so
+/// its traces stay byte-identical to the lockstep loop's.
+inline constexpr std::uint32_t shard_track(std::size_t s) noexcept {
+  return static_cast<std::uint32_t>(2000000 + s);
+}
 
 /// One trace span. Instant events have sim_begin == sim_end. `sub`
 /// breaks ties deterministically inside one (sim_begin, track, kind)

@@ -20,6 +20,15 @@ struct SymptomContext {
   std::span<const mon::SymptomSample> history;
   std::span<const double> past_failures;
 
+  /// Identity of this evaluation, stamped by the controller that built
+  /// the context: `origin` is the global node index (0 for single-system
+  /// controllers) and `ordinal` that node's evaluation count. Predictors
+  /// ignore both; fault-injection wrappers key their per-item decision
+  /// streams on (origin, ordinal), so injected rolls stay bit-exact no
+  /// matter how the fleet is sharded or batched.
+  std::uint64_t origin = 0;
+  std::uint64_t ordinal = 0;
+
   double now() const { return history.empty() ? 0.0 : history.back().time; }
 };
 

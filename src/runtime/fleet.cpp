@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/shard.hpp"
+
 namespace pfm::runtime {
 
 namespace {
@@ -42,6 +44,19 @@ FleetController::FleetController(
       config_.mea.warning_threshold > 1.0) {
     throw std::invalid_argument("FleetController: threshold in [0,1]");
   }
+  if (config_.num_shards == 0) {
+    throw std::invalid_argument("FleetController: num_shards must be >= 1");
+  }
+  if (config_.epoch_ticks == 0) {
+    throw std::invalid_argument("FleetController: epoch_ticks must be >= 1");
+  }
+  config_.schedule.validate();
+  if (config_.scheduler == FleetScheduler::kEventDriven &&
+      config_.num_shards > nodes_.size()) {
+    throw std::invalid_argument(
+        "FleetController: more shards than nodes (need at least one node "
+        "per shard)");
+  }
 
   // Observability: use the caller's hub when given (it must have a shard
   // for every pool thread, or two workers would share a slot and race);
@@ -63,24 +78,27 @@ FleetController::FleetController(
     obs_ = owned_obs_.get();
   }
   auto& metrics = obs_->metrics();
-  rounds_total_ = &metrics.counter("pfm_fleet_rounds_total");
-  scores_total_ = &metrics.counter("pfm_fleet_scores_total");
-  warnings_total_ = &metrics.counter("pfm_fleet_warnings_total");
-  node_faults_total_ = &metrics.counter("pfm_fleet_node_faults_total");
-  stall_detections_total_ =
+  inst_.rounds_total = &metrics.counter("pfm_fleet_rounds_total");
+  inst_.epochs_total = &metrics.counter("pfm_fleet_epochs_total");
+  inst_.node_steps_total = &metrics.counter("pfm_fleet_node_steps_total");
+  inst_.scores_total = &metrics.counter("pfm_fleet_scores_total");
+  inst_.warnings_total = &metrics.counter("pfm_fleet_warnings_total");
+  inst_.node_faults_total = &metrics.counter("pfm_fleet_node_faults_total");
+  inst_.stall_detections_total =
       &metrics.counter("pfm_fleet_stall_detections_total");
-  quarantines_total_ = &metrics.counter("pfm_fleet_quarantines_total");
-  predictor_faults_total_ =
+  inst_.quarantines_total = &metrics.counter("pfm_fleet_quarantines_total");
+  inst_.predictor_faults_total =
       &metrics.counter("pfm_fleet_predictor_faults_total");
-  breaker_trips_total_ = &metrics.counter("pfm_fleet_breaker_trips_total");
-  scores_sanitized_total_ =
+  inst_.breaker_trips_total =
+      &metrics.counter("pfm_fleet_breaker_trips_total");
+  inst_.scores_sanitized_total =
       &metrics.counter("pfm_fleet_scores_sanitized_total");
   const obs::HistogramSpec latency_spec;  // 1µs..~17s log-scale, 1ns ticks
-  monitor_latency_ = &metrics.histogram(
+  inst_.monitor_latency = &metrics.histogram(
       "pfm_stage_latency_seconds{stage=\"monitor\"}", latency_spec);
-  evaluate_latency_ = &metrics.histogram(
+  inst_.evaluate_latency = &metrics.histogram(
       "pfm_stage_latency_seconds{stage=\"evaluate\"}", latency_spec);
-  act_latency_ = &metrics.histogram(
+  inst_.act_latency = &metrics.histogram(
       "pfm_stage_latency_seconds{stage=\"act\"}", latency_spec);
   nodes_gauge_ = &metrics.gauge("pfm_fleet_nodes");
   nodes_gauge_->set(static_cast<double>(nodes_.size()));
@@ -94,8 +112,8 @@ FleetController::FleetController(
   batch_spec.factor = 2.0;
   batch_spec.num_buckets = 12;
   batch_spec.resolution = 1.0;
-  batch_size_hist_ = &metrics.histogram("pfm_fleet_batch_size", batch_spec,
-                                        obs::Clock::kSim);
+  inst_.batch_size_hist = &metrics.histogram("pfm_fleet_batch_size",
+                                             batch_spec, obs::Clock::kSim);
   // Arena footprint differs between paths by design — wall clock keeps
   // it out of the include_wall=false exports the conformance suite pins.
   scratch_bytes_gauge_ =
@@ -104,6 +122,8 @@ FleetController::FleetController(
     engines_[i].set_observability(obs_, obs::node_track(i));
   }
 }
+
+FleetController::~FleetController() = default;
 
 void FleetController::add_symptom_predictor(
     std::shared_ptr<const pred::SymptomPredictor> p) {
@@ -129,6 +149,14 @@ void FleetController::run() {
   run_until(horizon);
 }
 
+void FleetController::run_until(double t) {
+  if (config_.scheduler == FleetScheduler::kEventDriven) {
+    run_event_driven(t);
+  } else {
+    run_lockstep(t);
+  }
+}
+
 std::string FleetController::describe(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
@@ -147,12 +175,12 @@ void FleetController::quarantine(std::size_t node_index,
   state.quarantined = true;
   state.reason = reason;
   state.quarantine_time = nodes_[node_index]->now();
-  quarantines_total_->inc();
+  inst_.quarantines_total->inc();
   obs::record_instant(obs_->tracer(), obs::SpanKind::kQuarantine,
                       obs::node_track(node_index), state.quarantine_time);
 }
 
-void FleetController::run_until(double t) {
+void FleetController::run_lockstep(double t) {
   // This thread is the controller for the whole run: quarantine, breaker
   // and telemetry state below is only ever touched between the parallel
   // sections (never from the worker lambdas handed to pool_).
@@ -191,10 +219,15 @@ void FleetController::run_until(double t) {
       if (!nodes_[i]->finished() && nodes_[i]->now() < t) active.push_back(i);
     }
     if (active.empty()) break;
-    rounds_total_->inc();
+    inst_.rounds_total->inc();
+    // Under lockstep every round is a fleet-wide synchronization point
+    // and every active node steps once, so epochs == rounds and
+    // node_steps advances by the active count.
+    inst_.epochs_total->inc();
+    inst_.node_steps_total->inc(active.size());
     // Stage spans of one round share the round ordinal as their `sub`,
     // keeping them unique (and grouped) in the deterministic sort.
-    const auto round = static_cast<std::uint32_t>(rounds_total_->value());
+    const auto round = static_cast<std::uint32_t>(inst_.rounds_total->value());
 
     // --- Monitor: advance every live node one evaluation interval. ----------
     const auto monitor_start = Clock::now();
@@ -221,14 +254,14 @@ void FleetController::run_until(double t) {
         for (std::size_t a = 0; a < active.size(); ++a) {
           const std::size_t i = active[a];
           if (errors[a]) {
-            node_faults_total_->inc();
+            inst_.node_faults_total->inc();
             quarantine(i, describe(errors[a]));
           } else if (!nodes_[i]->finished() &&
                      nodes_[i]->now() <= pre_step_time[a]) {
             // The node returned but made no time progress: a hang, not a
             // crash. Quarantine only after a persistent streak so a
             // transient stall can recover.
-            stall_detections_total_->inc();
+            inst_.stall_detections_total->inc();
             if (++node_state_[i].stall_streak >= res.max_stall_rounds) {
               quarantine(i, "stalled: no monitor progress for " +
                                 std::to_string(node_state_[i].stall_streak) +
@@ -256,7 +289,7 @@ void FleetController::run_until(double t) {
       }
       monitor_span.set_sim_end(round_end);
     }
-    monitor_latency_->observe(seconds_since(monitor_start));
+    inst_.monitor_latency->observe(seconds_since(monitor_start));
     if (active.empty()) continue;
 
     // --- Evaluate: one score_batch call per predictor over the fleet. -------
@@ -280,18 +313,22 @@ void FleetController::run_until(double t) {
       ++stats_[active[a]].evaluations;
       if (!symptom_.empty() && !node.trace().samples().empty()) {
         contexts.push_back(node.symptom_context(config_.mea.context_samples));
+        contexts.back().origin = active[a];
+        contexts.back().ordinal = stats_[active[a]].evaluations;
         context_owner.push_back(a);
       }
       if (!event_.empty()) {
         sequences.push_back(
             node.error_sequence(config_.mea.windows.data_window));
+        sequences.back().origin = active[a];
+        sequences.back().ordinal = stats_[active[a]].evaluations;
       }
     }
     if (!symptom_.empty()) {
-      batch_size_hist_->observe(static_cast<double>(contexts.size()));
+      inst_.batch_size_hist->observe(static_cast<double>(contexts.size()));
     }
     if (!event_.empty()) {
-      batch_size_hist_->observe(static_cast<double>(sequences.size()));
+      inst_.batch_size_hist->observe(static_cast<double>(sequences.size()));
     }
 
     // Breaker scheduling: open breakers sit out their cooldown, then get
@@ -344,12 +381,12 @@ void FleetController::run_until(double t) {
       if (!threw) {
         const auto& column = columns[p];
         const std::size_t n = column.size();
-        scores_total_->inc(n);
+        inst_.scores_total->inc(n);
         if (p < symptom_.size()) {
           for (std::size_t c = 0; c < n; ++c) {
             const double v = column[c];
             if (hardened && !std::isfinite(v)) {
-              scores_sanitized_total_->inc();
+              inst_.scores_sanitized_total->inc();
               faulty = true;
               continue;
             }
@@ -360,7 +397,7 @@ void FleetController::run_until(double t) {
           for (std::size_t a = 0; a < n; ++a) {
             const double v = column[a];
             if (hardened && !std::isfinite(v)) {
-              scores_sanitized_total_->inc();
+              inst_.scores_sanitized_total->inc();
               faulty = true;
               continue;
             }
@@ -371,17 +408,17 @@ void FleetController::run_until(double t) {
       if (!hardened) continue;
       auto& breaker = breakers_[p];
       if (faulty) {
-        predictor_faults_total_->inc();
+        inst_.predictor_faults_total->inc();
         if (breaker.open) {
           // Half-open probe failed: back to a full cooldown.
           breaker.open_rounds_left = res.breaker_open_rounds;
-          breaker_trips_total_->inc();
+          inst_.breaker_trips_total->inc();
           obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
         } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
           breaker.open = true;
           breaker.open_rounds_left = res.breaker_open_rounds;
-          breaker_trips_total_->inc();
+          inst_.breaker_trips_total->inc();
           obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
         }
@@ -396,7 +433,7 @@ void FleetController::run_until(double t) {
       }
     }
     }  // evaluate_span
-    evaluate_latency_->observe(seconds_since(evaluate_start));
+    inst_.evaluate_latency->observe(seconds_since(evaluate_start));
     if (optimized) {
       // Footprint accounting: after warm-up the arenas stop growing, so
       // this settles to zero new events (the stress suite asserts it).
@@ -417,7 +454,7 @@ void FleetController::run_until(double t) {
       for (std::size_t a = 0; a < active.size(); ++a) {
         if (combined[a] < threshold) continue;
         ++warned;
-        warnings_total_->inc();
+        inst_.warnings_total->inc();
         obs::record_instant(tracer, obs::SpanKind::kWarning,
                             obs::node_track(active[a]),
                             nodes_[active[a]]->now(), 0,
@@ -434,14 +471,14 @@ void FleetController::run_until(double t) {
         pool_.parallel_for_captured(active.size(), act_node, errors);
         for (std::size_t a = 0; a < active.size(); ++a) {
           if (!errors[a]) continue;
-          node_faults_total_->inc();
+          inst_.node_faults_total->inc();
           quarantine(active[a], describe(errors[a]));
         }
       } else {
         pool_.parallel_for(active.size(), act_node);
       }
     }
-    act_latency_->observe(seconds_since(act_start));
+    inst_.act_latency->observe(seconds_since(act_start));
   }
 
   // Scrape-facing level gauges, refreshed when the loop settles (gauges
@@ -458,9 +495,124 @@ void FleetController::run_until(double t) {
   breakers_open_gauge_->set(static_cast<double>(open));
 }
 
+void FleetController::ensure_shards() {
+  if (!shards_.empty()) return;
+  layout_ = core::ShardLayout(nodes_.size(), config_.num_shards);
+  auto& metrics = obs_->metrics();
+  const bool multi = config_.num_shards > 1;
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    ShardEnv env;
+    env.config = &config_;
+    env.nodes = &nodes_;
+    env.engines = &engines_;
+    env.stats = &stats_;
+    env.symptom = &symptom_;
+    env.event = &event_;
+    env.obs = obs_;
+    env.inst = inst_;
+    // A single-shard fleet records its stage spans on the fleet track and
+    // registers no shard-labelled metrics, keeping its exports identical
+    // to the lockstep loop's.
+    const std::uint32_t track =
+        multi ? obs::shard_track(s) : obs::kFleetTrack;
+    auto shard = std::make_unique<ShardController>(
+        env, s, layout_.begin(s), layout_.size(s), track);
+    if (multi) {
+      const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+      shard->set_shard_metrics(
+          &metrics.counter("pfm_shard_ticks_total" + label),
+          &metrics.counter("pfm_shard_node_steps_total" + label));
+      metrics.gauge("pfm_shard_nodes" + label)
+          .set(static_cast<double>(layout_.size(s)));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void FleetController::run_event_driven(double t) {
+  ensure_shards();
+  const std::size_t num_predictors = symptom_.size() + event_.size();
+  for (auto& shard : shards_) {
+    shard->resize_predictors(num_predictors);
+    shard->activate(t);
+  }
+  for (;;) {
+    bool all_idle = true;
+    for (const auto& shard : shards_) {
+      if (!shard->idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) break;
+    // One cross-shard epoch: every shard drains its calendar up to the
+    // shared barrier tick in parallel (one pool thread per shard; all
+    // state a shard touches is shard-local, so the pool handshake is the
+    // only synchronization). With resilience enabled shards absorb
+    // component faults internally and never throw; fail-fast mode
+    // propagates the first fault, like the lockstep loop.
+    inst_.epochs_total->inc();
+    epoch_end_tick_ += config_.epoch_ticks;
+    const std::uint64_t end_tick = epoch_end_tick_;
+    pool_.parallel_for(shards_.size(),
+                       [&](std::size_t s) { shards_[s]->run_epoch(end_tick, t); });
+  }
+
+  // Scrape-facing level gauges, refreshed when the loop settles (gauges
+  // are controller-thread instruments).
+  std::size_t quarantined = 0;
+  std::size_t open = 0;
+  for (const auto& shard : shards_) {
+    quarantined += shard->quarantined_nodes();
+    open += shard->open_breakers();
+  }
+  quarantined_gauge_->set(static_cast<double>(quarantined));
+  breakers_open_gauge_->set(static_cast<double>(open));
+  if (config_.path == FleetPath::kOptimized) {
+    scratch_bytes_gauge_->set(
+        static_cast<double>(scratch_capacity_bytes()));
+  }
+}
+
+bool FleetController::node_quarantined(std::size_t i) const {
+  RoleGuard guard(controller_);
+  if (!shards_.empty()) {
+    const std::size_t s = layout_.shard_of(i);
+    return shards_[s]->node_state(i - layout_.begin(s)).quarantined;
+  }
+  return node_state_.at(i).quarantined;
+}
+
+const std::string& FleetController::node_quarantine_reason(
+    std::size_t i) const {
+  RoleGuard guard(controller_);
+  if (!shards_.empty()) {
+    const std::size_t s = layout_.shard_of(i);
+    return shards_[s]->node_state(i - layout_.begin(s)).reason;
+  }
+  return node_state_.at(i).reason;
+}
+
+bool FleetController::predictor_tripped(std::size_t p) const {
+  RoleGuard guard(controller_);
+  if (p < breakers_.size() && breakers_[p].open) return true;
+  for (const auto& shard : shards_) {
+    if (shard->breaker_open(p)) return true;
+  }
+  return false;
+}
+
 std::size_t FleetController::scratch_capacity_bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& s : batch_scratch_) total += s.capacity_bytes();
+  for (const auto& shard : shards_) total += shard->scratch_capacity_bytes();
+  return total;
+}
+
+std::size_t FleetController::scratch_grow_events() const noexcept {
+  std::size_t total = scratch_grow_events_;
+  for (const auto& shard : shards_) total += shard->scratch_grow_events();
   return total;
 }
 
@@ -470,22 +622,30 @@ FleetTelemetry FleetController::telemetry() const {
   out.nodes = nodes_.size();
   // Counter-valued fields are views over the metrics registry — the same
   // numbers a Prometheus scrape of the hub reports.
-  out.rounds = rounds_total_->value();
-  out.scores_computed = scores_total_->value();
-  out.warnings_raised = warnings_total_->value();
-  out.latency.monitor_seconds = monitor_latency_->sum();
-  out.latency.evaluate_seconds = evaluate_latency_->sum();
-  out.latency.act_seconds = act_latency_->sum();
-  out.resilience.node_faults = node_faults_total_->value();
-  out.resilience.stall_detections = stall_detections_total_->value();
-  out.resilience.predictor_faults = predictor_faults_total_->value();
-  out.resilience.breaker_trips = breaker_trips_total_->value();
-  out.resilience.scores_sanitized = scores_sanitized_total_->value();
+  out.rounds = inst_.rounds_total->value();
+  out.epochs = inst_.epochs_total->value();
+  out.node_steps = inst_.node_steps_total->value();
+  out.scores_computed = inst_.scores_total->value();
+  out.warnings_raised = inst_.warnings_total->value();
+  out.latency.monitor_seconds = inst_.monitor_latency->sum();
+  out.latency.evaluate_seconds = inst_.evaluate_latency->sum();
+  out.latency.act_seconds = inst_.act_latency->sum();
+  out.resilience.node_faults = inst_.node_faults_total->value();
+  out.resilience.stall_detections = inst_.stall_detections_total->value();
+  out.resilience.predictor_faults = inst_.predictor_faults_total->value();
+  out.resilience.breaker_trips = inst_.breaker_trips_total->value();
+  out.resilience.scores_sanitized = inst_.scores_sanitized_total->value();
+  // Level counts live wherever the scheduler keeps its state: the
+  // lockstep banks, the shard banks, or both (one of them is all-zero).
   for (const auto& state : node_state_) {
     if (state.quarantined) ++out.resilience.nodes_quarantined;
   }
   for (const auto& breaker : breakers_) {
     if (breaker.open) ++out.resilience.breakers_open;
+  }
+  for (const auto& shard : shards_) {
+    out.resilience.nodes_quarantined += shard->quarantined_nodes();
+    out.resilience.breakers_open += shard->open_breakers();
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out.mea += stats_[i];

@@ -8,12 +8,16 @@
 
 #include "core/managed_system.hpp"
 #include "core/mea.hpp"
+#include "core/sharding.hpp"
 #include "obs/observability.hpp"
 #include "prediction/predictor.hpp"
 #include "runtime/annotations.hpp"
+#include "runtime/schedule.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace pfm::runtime {
+
+class ShardController;
 
 /// Fault handling of the fleet loop itself. Enabled by default: with
 /// healthy components none of it ever engages, so the fault-free path is
@@ -46,6 +50,20 @@ enum class FleetPath : std::uint8_t {
   kOptimized = 1
 };
 
+/// Loop structure of the fleet runtime.
+enum class FleetScheduler : std::uint8_t {
+  /// One global round: every live node steps, the whole fleet is scored,
+  /// warned nodes act — all in lockstep. The PR-5 reference shape.
+  kLockstep = 0,
+  /// Sharded hierarchical controllers driven by a per-shard calendar
+  /// queue (runtime/schedule.hpp): each shard drains its own event
+  /// calendar between cross-shard epoch barriers, and nodes carry
+  /// adaptive next-due times instead of being stepped every round. With
+  /// a dense schedule, one shard and epoch_ticks == 1 every sim-time
+  /// export is byte-identical to the lockstep path (conformance-pinned).
+  kEventDriven = 1
+};
+
 /// FleetController configuration: the per-node MEA parameters plus the
 /// degree of parallelism.
 struct FleetConfig {
@@ -55,6 +73,22 @@ struct FleetConfig {
   std::size_t num_threads = 1;
   /// Hot-path selection (wall-time only; see FleetPath).
   FleetPath path = FleetPath::kOptimized;
+  /// Loop structure (see FleetScheduler). Defaults to the lockstep
+  /// reference shape; the sharded event-driven path is opt-in.
+  FleetScheduler scheduler = FleetScheduler::kLockstep;
+  /// Shards of the event-driven path (ignored under kLockstep). Nodes
+  /// are partitioned into contiguous blocks (core::ShardLayout); shards
+  /// run in parallel on the pool, everything inside a shard is
+  /// sequential. Results depend on the shard count (per-shard breakers
+  /// and batches) but never on the thread count.
+  std::size_t num_shards = 1;
+  /// Calendar ticks each shard advances between cross-shard epoch
+  /// barriers (event-driven only). Larger values amortize the barrier;
+  /// 1 keeps shards in per-tick sync (and epochs == rounds, the
+  /// lockstep-equivalent accounting).
+  std::size_t epoch_ticks = 8;
+  /// Adaptive sampling policy of the event-driven scheduler.
+  SchedulePolicy schedule;
   ResilienceConfig resilience;
   /// External observability hub (metrics + tracing + exporters). Must be
   /// sized with shards >= num_threads and not shared between concurrently
@@ -92,7 +126,19 @@ struct ResilienceStats {
 /// scrape and a telemetry() call can never disagree.
 struct FleetTelemetry {
   std::size_t nodes = 0;
-  std::size_t rounds = 0;           ///< lockstep evaluation rounds run
+  /// Evaluation rounds: lockstep fleet rounds, or — event-driven —
+  /// calendar ticks processed summed over shards. Kept for continuity;
+  /// round-based thresholds are defined in the two fields below.
+  std::size_t rounds = 0;
+  /// Cross-fleet synchronization points: lockstep rounds, or epoch
+  /// barriers of the event-driven path. epochs == rounds under lockstep
+  /// (and under the event-driven path with epoch_ticks == 1).
+  std::size_t epochs = 0;
+  /// Individual node Monitor steps. This is the unit quarantine
+  /// thresholds (max_stall_rounds) count in: node-local steps, not
+  /// global rounds — identical under lockstep, but an adaptively
+  /// backed-off node steps far fewer times than the fleet runs rounds.
+  std::size_t node_steps = 0;
   std::size_t scores_computed = 0;  ///< individual predictor scores
   std::size_t warnings_raised = 0;  ///< across the whole fleet
   StageLatency latency;
@@ -102,18 +148,69 @@ struct FleetTelemetry {
   core::SystemStats system;   ///< sum of the per-node SystemStats
 };
 
+/// Per-node loop state beyond the MEA counters. Owned by the lockstep
+/// controller or — event-driven — by the node's shard.
+struct FleetNodeState {
+  bool quarantined = false;
+  std::string reason;
+  double quarantine_time = 0.0;
+  std::size_t stall_streak = 0;  ///< consecutive no-progress node steps
+};
+
+/// Per-predictor circuit breaker (closed -> open -> half-open probe).
+/// Event-driven shards each keep their own bank: a predictor that only
+/// misbehaves for one shard's batches trips only there. The open/probe
+/// cooldown counts the owning controller's evaluation rounds (shard
+/// ticks under the event-driven path).
+struct PredictorBreaker {
+  std::size_t failure_streak = 0;    ///< consecutive faulty rounds
+  bool open = false;
+  std::size_t open_rounds_left = 0;  ///< rounds until the half-open probe
+};
+
+/// Prebuilt metric handles shared by the lockstep loop and the shard
+/// controllers. All sharded instruments — safe to bump from worker
+/// threads by construction (each thread owns its registry shard).
+struct FleetInstruments {
+  obs::Counter* rounds_total = nullptr;
+  obs::Counter* epochs_total = nullptr;
+  obs::Counter* node_steps_total = nullptr;
+  obs::Counter* scores_total = nullptr;
+  obs::Counter* warnings_total = nullptr;
+  obs::Counter* node_faults_total = nullptr;
+  obs::Counter* stall_detections_total = nullptr;
+  obs::Counter* quarantines_total = nullptr;
+  obs::Counter* predictor_faults_total = nullptr;
+  obs::Counter* breaker_trips_total = nullptr;
+  obs::Counter* scores_sanitized_total = nullptr;
+  obs::Histogram* monitor_latency = nullptr;
+  obs::Histogram* evaluate_latency = nullptr;
+  obs::Histogram* act_latency = nullptr;
+  obs::Histogram* batch_size_hist = nullptr;
+};
+
 /// Runs the Monitor-Evaluate-Act loop over a fleet of managed systems on
 /// a fixed thread pool — the runtime shape of the Fig. 11 blueprint at
 /// production scale: shared, immutable predictors; one Act engine and
 /// one deterministic RNG stream per node.
 ///
-/// Rounds are lockstep: every unfinished node advances one evaluation
-/// interval (Monitor, parallel over nodes), then each predictor scores
-/// the whole fleet in one score_batch call (Evaluate, parallel over
-/// predictors), then warned nodes run their countermeasures (Act,
-/// parallel over nodes). Nodes never share mutable state, every output
-/// lands in its own slot, and per-node randomness lives inside the node,
-/// so results are bit-identical for any thread count.
+/// Under the default kLockstep scheduler rounds are lockstep: every
+/// unfinished node advances one evaluation interval (Monitor, parallel
+/// over nodes), then each predictor scores the whole fleet in one
+/// score_batch call (Evaluate, parallel over predictors), then warned
+/// nodes run their countermeasures (Act, parallel over nodes). Nodes
+/// never share mutable state, every output lands in its own slot, and
+/// per-node randomness lives inside the node, so results are
+/// bit-identical for any thread count.
+///
+/// Under kEventDriven the fleet is partitioned into contiguous shards
+/// (core::ShardLayout), each owned by a ShardController that drains its
+/// own calendar queue of node due-times (runtime/schedule.hpp) —
+/// Monitor/Evaluate/Act per calendar tick over just the due set, with
+/// adaptive sampling backing quiet nodes off. Shards run in parallel
+/// between cross-shard epoch barriers; everything inside a shard is
+/// sequential and shard-local, so results are bit-identical for any
+/// thread count and each shard replays independently.
 ///
 /// The loop is itself proactively fault-managed (ResilienceConfig):
 ///  - a node whose Monitor/Act stage throws, or that stops making time
@@ -134,6 +231,7 @@ class FleetController {
  public:
   FleetController(std::vector<std::unique_ptr<core::ManagedSystem>> nodes,
                   FleetConfig config);
+  ~FleetController();  // out-of-line: ShardController is incomplete here
 
   /// Registers a trained symptom predictor, shared (read-only) by all
   /// nodes.
@@ -162,22 +260,15 @@ class FleetController {
     return stats_.at(i);
   }
 
-  bool node_quarantined(std::size_t i) const {
-    RoleGuard guard(controller_);
-    return node_state_.at(i).quarantined;
-  }
+  bool node_quarantined(std::size_t i) const;
   /// Human-readable cause ("" while not quarantined).
-  const std::string& node_quarantine_reason(std::size_t i) const {
-    RoleGuard guard(controller_);
-    return node_state_.at(i).reason;
-  }
+  const std::string& node_quarantine_reason(std::size_t i) const;
 
   /// True when predictor `p`'s breaker is currently open (predictors are
-  /// numbered symptom first, then event, in registration order).
-  bool predictor_tripped(std::size_t p) const {
-    RoleGuard guard(controller_);
-    return p < breakers_.size() && breakers_[p].open;
-  }
+  /// numbered symptom first, then event, in registration order). Under
+  /// the event-driven path breakers are per-shard; this reports whether
+  /// *any* shard currently has predictor `p` tripped.
+  bool predictor_tripped(std::size_t p) const;
 
   /// Aggregates the current per-node statistics and latency counters.
   /// Counter-valued fields are read back from the metrics registry.
@@ -188,12 +279,10 @@ class FleetController {
   /// exported as the wall-clock gauge `pfm_fleet_scratch_bytes`.
   std::size_t scratch_capacity_bytes() const noexcept;
 
-  /// Number of rounds that grew the arena footprint. Stabilizes after
-  /// warm-up — the stress suite asserts no growth once the fleet reached
-  /// steady state.
-  std::size_t scratch_grow_events() const noexcept {
-    return scratch_grow_events_;
-  }
+  /// Number of rounds that grew the arena footprint (summed over shards
+  /// under the event-driven path). Stabilizes after warm-up — the stress
+  /// suite asserts no growth once the fleet reached steady state.
+  std::size_t scratch_grow_events() const noexcept;
 
   /// The hub the controller records into: the external one from
   /// FleetConfig::obs, else the private metrics-only fallback.
@@ -201,24 +290,16 @@ class FleetController {
   obs::Observability& observability() noexcept { return *obs_; }
 
  private:
-  /// Per-node loop state beyond the MEA counters.
-  struct NodeState {
-    bool quarantined = false;
-    std::string reason;
-    double quarantine_time = 0.0;
-    std::size_t stall_streak = 0;  ///< consecutive no-progress rounds
-  };
-
-  /// Per-predictor circuit breaker (closed -> open -> half-open probe).
-  struct Breaker {
-    std::size_t failure_streak = 0;   ///< consecutive faulty rounds
-    bool open = false;
-    std::size_t open_rounds_left = 0; ///< rounds until the half-open probe
-  };
-
   void quarantine(std::size_t node_index, const std::string& reason)
       PFM_REQUIRES(controller_);
   static std::string describe(const std::exception_ptr& error);
+
+  void run_lockstep(double t);
+  void run_event_driven(double t);
+  /// Builds the shard controllers (first event-driven run only): the
+  /// layout, per-shard metric handles, and one ShardController per
+  /// block. Idempotent afterwards.
+  void ensure_shards();
 
   std::vector<std::unique_ptr<core::ManagedSystem>> nodes_;
   FleetConfig config_;
@@ -247,33 +328,31 @@ class FleetController {
   std::size_t scratch_grow_events_ = 0;
   std::size_t scratch_bytes_seen_ = 0;
 
-  // Observability. The handles below are sharded instruments — safe to
-  // bump from worker lambdas by construction (each thread owns its
+  // Observability. The handles in inst_ are sharded instruments — safe
+  // to bump from worker lambdas by construction (each thread owns its
   // shard), so unlike the role-guarded state they need no capability.
+  // The batch-size histogram is sim-clock: batch sizes are pure
+  // functions of sim state and identical on both execution paths. The
+  // gauges (and the scratch gauge in particular) are controller-thread
+  // instruments; the scratch gauge is wall-clock — footprint differs
+  // between paths by design, so it must stay out of the
+  // include_wall=false exports the conformance suite compares.
   std::unique_ptr<obs::Observability> owned_obs_;  // fallback when none given
   obs::Observability* obs_ = nullptr;              // never null after ctor
-  obs::Counter* rounds_total_ = nullptr;
-  obs::Counter* scores_total_ = nullptr;
-  obs::Counter* warnings_total_ = nullptr;
-  obs::Counter* node_faults_total_ = nullptr;
-  obs::Counter* stall_detections_total_ = nullptr;
-  obs::Counter* quarantines_total_ = nullptr;
-  obs::Counter* predictor_faults_total_ = nullptr;
-  obs::Counter* breaker_trips_total_ = nullptr;
-  obs::Counter* scores_sanitized_total_ = nullptr;
-  obs::Histogram* monitor_latency_ = nullptr;
-  obs::Histogram* evaluate_latency_ = nullptr;
-  obs::Histogram* act_latency_ = nullptr;
+  FleetInstruments inst_;
   obs::Gauge* nodes_gauge_ = nullptr;
   obs::Gauge* quarantined_gauge_ = nullptr;
   obs::Gauge* breakers_open_gauge_ = nullptr;
-  // Hot-path instruments. The batch-size histogram is sim-clock: batch
-  // sizes are pure functions of sim state and identical on both paths.
-  // The scratch gauge is wall-clock — footprint differs between paths by
-  // design, so it must stay out of the include_wall=false exports the
-  // conformance suite compares.
-  obs::Histogram* batch_size_hist_ = nullptr;
   obs::Gauge* scratch_bytes_gauge_ = nullptr;
+
+  // Event-driven path: the shard partition and one controller per
+  // block, built lazily on the first event-driven run. Shards own their
+  // slice's quarantine/breaker/scheduling state; during an epoch each
+  // shard is driven by exactly one pool thread and the epoch barrier
+  // (the pool handshake) publishes everything back to this thread.
+  core::ShardLayout layout_;
+  std::vector<std::unique_ptr<ShardController>> shards_;
+  std::uint64_t epoch_end_tick_ = 0;
 
   // Controller-thread-only state. Worker lambdas operate on disjoint
   // per-node/per-predictor slots of the vectors above; everything below
@@ -282,8 +361,8 @@ class FleetController {
   // Clang (-Wthread-safety): touching it from a worker lambda — which
   // never holds a RoleGuard — breaks the build.
   ThreadRole controller_;
-  std::vector<NodeState> node_state_ PFM_GUARDED_BY(controller_);
-  std::vector<Breaker> breakers_ PFM_GUARDED_BY(controller_);
+  std::vector<FleetNodeState> node_state_ PFM_GUARDED_BY(controller_);
+  std::vector<PredictorBreaker> breakers_ PFM_GUARDED_BY(controller_);
 };
 
 }  // namespace pfm::runtime

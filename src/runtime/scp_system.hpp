@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -58,6 +59,26 @@ class ScpManagedSystem final : public core::ManagedSystem {
     return sim_->config().node_capacity;
   }
   bool service_down() const override { return sim_->service_down(); }
+
+  /// Symptom-delta trigger for the adaptive scheduler: any active fault
+  /// (leak, cascade, down unit, service failure) pins the node dense;
+  /// otherwise urgency tracks the worst unit's memory pressure, so aging
+  /// nodes drift back toward dense sampling as they approach trouble.
+  core::SchedulingHint scheduling_hint() const override {
+    core::SchedulingHint hint;  // urgency 1.0: the dense-safe default
+    if (sim_->service_down()) return hint;
+    double urgency = 0.0;
+    for (std::size_t u = 0; u < sim_->num_nodes(); ++u) {
+      const auto& node = sim_->node(u);
+      if (node.leak_active() || node.cascade_stage() > 0 ||
+          !node.available(sim_->now())) {
+        return hint;
+      }
+      urgency = std::max(urgency, node.memory_pressure());
+    }
+    hint.urgency = urgency;
+    return hint;
+  }
 
   void restart_unit(std::size_t unit) override {
     sim_->preventive_restart(unit);

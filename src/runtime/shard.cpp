@@ -1,0 +1,461 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/trace.hpp"
+
+namespace pfm::runtime {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+std::string describe(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {  // pfm-lint: allow(concurrency) — describing an already
+                   // captured exception_ptr; nothing is swallowed here
+    return "unknown error";
+  }
+}
+
+}  // namespace
+
+ShardController::ShardController(ShardEnv env, std::size_t shard_index,
+                                 std::size_t base, std::size_t count,
+                                 std::uint32_t stage_track)
+    : env_(env),
+      shard_index_(shard_index),
+      base_(base),
+      count_(count),
+      stage_track_(stage_track),
+      tracer_(env.obs->tracer()),
+      // The ring must reach every schedulable gap: [1, max_gap] adaptive,
+      // exactly 1 dense.
+      calendar_(env.config->schedule.adaptive ? env.config->schedule.max_gap + 1
+                                              : 2),
+      sched_(count),
+      node_state_(count) {}
+
+void ShardController::set_shard_metrics(obs::Counter* ticks,
+                                        obs::Counter* node_steps) {
+  shard_ticks_total_ = ticks;
+  shard_node_steps_total_ = node_steps;
+}
+
+void ShardController::resize_predictors(std::size_t num_predictors) {
+  breakers_.resize(num_predictors);
+  columns_.resize(num_predictors);
+  batch_scratch_.resize(num_predictors);
+}
+
+void ShardController::activate(double t) {
+  for (std::size_t local = 0; local < count_; ++local) {
+    auto& ns = sched_[local];
+    if (ns.scheduled || node_state_[local].quarantined) continue;
+    const auto& node = *(*env_.nodes)[base_ + local];
+    if (node.finished() || node.now() >= t) continue;
+    calendar_.schedule(calendar_.cursor(), static_cast<std::uint32_t>(local));
+    ns.scheduled = true;
+    ns.pending_gap = 1;
+    ns.prev_gap = 1;
+    ns.seen_events = node.trace().events().size();
+    ns.seen_failures = node.trace().failures().size();
+  }
+}
+
+void ShardController::run_epoch(std::uint64_t end_tick, double t) {
+  std::uint64_t tick = 0;
+  while (calendar_.pop_due(end_tick, tick, due_)) process_tick(tick, t);
+}
+
+void ShardController::quarantine_local(std::size_t local,
+                                       const std::string& reason) {
+  auto& state = node_state_[local];
+  if (state.quarantined) return;
+  state.quarantined = true;
+  state.reason = reason;
+  state.quarantine_time = (*env_.nodes)[base_ + local]->now();
+  env_.inst.quarantines_total->inc();
+  obs::record_instant(tracer_, obs::SpanKind::kQuarantine,
+                      obs::node_track(base_ + local), state.quarantine_time);
+}
+
+bool ShardController::node_is_hot(std::size_t local, double combined_score) {
+  const FleetConfig& config = *env_.config;
+  const auto& node = *(*env_.nodes)[base_ + local];
+  auto& ns = sched_[local];
+  const std::uint64_t events = node.trace().events().size();
+  const std::uint64_t failures = node.trace().failures().size();
+  const bool delta = events != ns.seen_events || failures != ns.seen_failures;
+  ns.seen_events = events;
+  ns.seen_failures = failures;
+  if (combined_score >=
+      config.schedule.hot_score_fraction * config.mea.warning_threshold) {
+    return true;
+  }
+  if (delta) return true;
+  return node.scheduling_hint().urgency >= config.schedule.hot_urgency;
+}
+
+void ShardController::process_tick(std::uint64_t tick, double t) {
+  const FleetConfig& config = *env_.config;
+  const double interval = config.mea.evaluation_interval;
+  const double threshold = config.mea.warning_threshold;
+  const ResilienceConfig& res = config.resilience;
+  const bool hardened = res.enabled;
+  const bool optimized = config.path == FleetPath::kOptimized;
+  auto& nodes = *env_.nodes;
+  const auto& symptom = *env_.symptom;
+  const auto& event = *env_.event;
+  const std::size_t num_predictors = symptom.size() + event.size();
+  const FleetInstruments& inst = env_.inst;
+
+  // Due set -> active list. The reschedule step keeps unrunnable nodes
+  // off the calendar, so the filter is defensive only.
+  active_.clear();
+  for (const std::uint32_t local : due_) {
+    sched_[local].scheduled = false;
+    const auto& node = *nodes[base_ + local];
+    if (node_state_[local].quarantined || node.finished() || node.now() >= t) {
+      continue;
+    }
+    active_.push_back(local);
+  }
+  if (active_.empty()) return;
+  inst.rounds_total->inc();
+  inst.node_steps_total->inc(active_.size());
+  if (shard_ticks_total_ != nullptr) {
+    shard_ticks_total_->inc();
+    shard_node_steps_total_->inc(active_.size());
+  }
+  // Stage spans of one shard tick share the shard-local round ordinal as
+  // their `sub` (== the global rounds counter for a 1-shard fleet on a
+  // fresh hub, preserving lockstep byte-identity).
+  const std::uint32_t round = ++local_rounds_;
+
+  // --- Monitor: advance every due node by its pending gap. -----------------
+  const auto monitor_start = WallClock::now();
+  pre_step_time_.resize(active_.size());
+  double round_begin = nodes[base_ + active_[0]]->now();
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    pre_step_time_[a] = nodes[base_ + active_[a]]->now();
+    round_begin = std::min(round_begin, pre_step_time_[a]);
+  }
+  {
+    obs::ScopedSpan monitor_span(tracer_, obs::SpanKind::kMonitorStage,
+                                 stage_track_, round_begin, round,
+                                 static_cast<std::int64_t>(active_.size()));
+    if (hardened) errors_.assign(active_.size(), std::exception_ptr{});
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      const std::size_t local = active_[a];
+      const std::size_t i = base_ + local;
+      auto& node = *nodes[i];
+      const double target =
+          std::min(node.now() + sched_[local].pending_gap * interval, t);
+      obs::ScopedSpan span(tracer_, obs::SpanKind::kNodeStep,
+                           obs::node_track(i), pre_step_time_[a]);
+      if (hardened) {
+        try {
+          node.step_to(target);
+        } catch (...) {  // pfm-lint: allow(concurrency) — shard-local
+                         // capture; processed right below, mirroring the
+                         // lockstep loop's parallel_for_captured
+          errors_[a] = std::current_exception();
+        }
+      } else {
+        node.step_to(target);
+      }
+      span.set_sim_end(node.now());
+    }
+    if (hardened) {
+      for (std::size_t a = 0; a < active_.size(); ++a) {
+        const std::size_t local = active_[a];
+        const std::size_t i = base_ + local;
+        if (errors_[a]) {
+          inst.node_faults_total->inc();
+          quarantine_local(local, describe(errors_[a]));
+        } else if (!nodes[i]->finished() &&
+                   nodes[i]->now() <= pre_step_time_[a]) {
+          // Returned but made no time progress: a hang, not a crash.
+          // Thresholded in node-local steps — an adaptively backed-off
+          // node accrues its streak at its own visits.
+          inst.stall_detections_total->inc();
+          if (++node_state_[local].stall_streak >= res.max_stall_rounds) {
+            quarantine_local(
+                local, "stalled: no monitor progress for " +
+                           std::to_string(node_state_[local].stall_streak) +
+                           " rounds");
+          }
+        } else {
+          node_state_[local].stall_streak = 0;
+        }
+      }
+      const auto& node_state = node_state_;
+      active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                   [&](std::size_t local) {
+                                     return node_state[local].quarantined;
+                                   }),
+                    active_.end());
+    }
+    double round_end = round_begin;
+    for (const std::size_t local : active_) {
+      round_end = std::max(round_end, nodes[base_ + local]->now());
+    }
+    monitor_span.set_sim_end(round_end);
+  }
+  inst.monitor_latency->observe(seconds_since(monitor_start));
+  if (active_.empty()) return;
+
+  // --- Evaluate: batch-score this tick's due set. ---------------------------
+  const auto evaluate_start = WallClock::now();
+  double eval_time = nodes[base_ + active_[0]]->now();
+  for (const std::size_t local : active_) {
+    eval_time = std::max(eval_time, nodes[base_ + local]->now());
+  }
+  {
+    obs::ScopedSpan evaluate_span(tracer_, obs::SpanKind::kEvaluateStage,
+                                  stage_track_, eval_time, round,
+                                  static_cast<std::int64_t>(active_.size()));
+    contexts_.clear();
+    context_owner_.clear();
+    sequences_.clear();
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      const std::size_t i = base_ + active_[a];
+      auto& node = *nodes[i];
+      auto& st = (*env_.stats)[i];
+      ++st.evaluations;
+      if (!symptom.empty() && !node.trace().samples().empty()) {
+        contexts_.push_back(node.symptom_context(config.mea.context_samples));
+        contexts_.back().origin = i;
+        contexts_.back().ordinal = st.evaluations;
+        context_owner_.push_back(a);
+      }
+      if (!event.empty()) {
+        sequences_.push_back(
+            node.error_sequence(config.mea.windows.data_window));
+        sequences_.back().origin = i;
+        sequences_.back().ordinal = st.evaluations;
+      }
+    }
+    if (!symptom.empty()) {
+      inst.batch_size_hist->observe(static_cast<double>(contexts_.size()));
+    }
+    if (!event.empty()) {
+      inst.batch_size_hist->observe(static_cast<double>(sequences_.size()));
+    }
+
+    // Breaker scheduling: open breakers sit out their cooldown, then get
+    // one half-open probe tick; closed (and probing) predictors score.
+    live_.clear();
+    for (std::size_t p = 0; p < num_predictors; ++p) {
+      if (hardened && breakers_[p].open && breakers_[p].open_rounds_left > 0) {
+        --breakers_[p].open_rounds_left;
+        continue;
+      }
+      live_.push_back(p);
+    }
+
+    if (hardened) errors_.assign(live_.size(), std::exception_ptr{});
+    for (std::size_t lp = 0; lp < live_.size(); ++lp) {
+      const std::size_t p = live_[lp];
+      auto& column = columns_[p];
+      obs::ScopedSpan span(tracer_, obs::SpanKind::kScoreBatch,
+                           obs::predictor_track(p), eval_time);
+      auto score_one = [&] {
+        if (p < symptom.size()) {
+          column.resize(contexts_.size());
+          if (optimized) {
+            symptom[p]->score_batch(contexts_, column, batch_scratch_[p]);
+          } else {
+            symptom[p]->score_batch(contexts_, column);
+          }
+        } else {
+          column.resize(sequences_.size());
+          const auto& ep = *event[p - symptom.size()];
+          if (optimized) {
+            ep.score_batch(sequences_, column, batch_scratch_[p]);
+          } else {
+            ep.score_batch(sequences_, column);
+          }
+        }
+        span.set_arg(static_cast<std::int64_t>(column.size()));
+      };
+      if (hardened) {
+        try {
+          score_one();
+        } catch (...) {  // pfm-lint: allow(concurrency) — shard-local
+                         // capture feeding the per-predictor breaker,
+                         // mirroring the lockstep loop
+          errors_[lp] = std::current_exception();
+        }
+      } else {
+        score_one();
+      }
+    }
+
+    // Per-predictor outcome: a throw or any non-finite score is a faulty
+    // tick feeding this shard's breaker; a clean tick closes/heals it.
+    combined_.assign(active_.size(), 0.0);
+    for (std::size_t lp = 0; lp < live_.size(); ++lp) {
+      const std::size_t p = live_[lp];
+      const bool threw = hardened && errors_[lp] != nullptr;
+      bool faulty = threw;
+      if (!threw) {
+        const auto& column = columns_[p];
+        const std::size_t n = column.size();
+        inst.scores_total->inc(n);
+        if (p < symptom.size()) {
+          for (std::size_t c = 0; c < n; ++c) {
+            const double v = column[c];
+            if (hardened && !std::isfinite(v)) {
+              inst.scores_sanitized_total->inc();
+              faulty = true;
+              continue;
+            }
+            combined_[context_owner_[c]] =
+                std::max(combined_[context_owner_[c]], v);
+          }
+        } else {
+          for (std::size_t a = 0; a < n; ++a) {
+            const double v = column[a];
+            if (hardened && !std::isfinite(v)) {
+              inst.scores_sanitized_total->inc();
+              faulty = true;
+              continue;
+            }
+            combined_[a] = std::max(combined_[a], v);
+          }
+        }
+      }
+      if (!hardened) continue;
+      auto& breaker = breakers_[p];
+      if (faulty) {
+        inst.predictor_faults_total->inc();
+        if (breaker.open) {
+          // Half-open probe failed: back to a full cooldown.
+          breaker.open_rounds_left = res.breaker_open_rounds;
+          inst.breaker_trips_total->inc();
+          obs::record_instant(tracer_, obs::SpanKind::kBreakerTrip,
+                              obs::predictor_track(p), eval_time, round);
+        } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
+          breaker.open = true;
+          breaker.open_rounds_left = res.breaker_open_rounds;
+          inst.breaker_trips_total->inc();
+          obs::record_instant(tracer_, obs::SpanKind::kBreakerTrip,
+                              obs::predictor_track(p), eval_time, round);
+        }
+      } else {
+        if (breaker.open) {
+          obs::record_instant(tracer_, obs::SpanKind::kBreakerClose,
+                              obs::predictor_track(p), eval_time, round);
+        }
+        breaker.open = false;
+        breaker.failure_streak = 0;
+      }
+    }
+  }  // evaluate_span
+  inst.evaluate_latency->observe(seconds_since(evaluate_start));
+  if (optimized) {
+    // Footprint accounting mirrors the lockstep loop; the owning
+    // controller reads the per-shard totals after the run (the scratch
+    // gauge is a controller-thread instrument).
+    const std::size_t bytes = scratch_capacity_bytes();
+    if (bytes > scratch_bytes_seen_) {
+      ++scratch_grow_events_;
+      scratch_bytes_seen_ = bytes;
+    }
+  }
+
+  // --- Act: warned nodes run their own countermeasure engines. --------------
+  const auto act_start = WallClock::now();
+  {
+    obs::ScopedSpan act_span(tracer_, obs::SpanKind::kActStage, stage_track_,
+                             eval_time, round);
+    std::int64_t warned = 0;
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      if (combined_[a] < threshold) continue;
+      ++warned;
+      inst.warnings_total->inc();
+      obs::record_instant(tracer_, obs::SpanKind::kWarning,
+                          obs::node_track(base_ + active_[a]),
+                          nodes[base_ + active_[a]]->now(), 0,
+                          static_cast<std::int64_t>(combined_[a] * 1e6));
+    }
+    act_span.set_arg(warned);
+    if (hardened) errors_.assign(active_.size(), std::exception_ptr{});
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      if (combined_[a] < threshold) continue;
+      const std::size_t i = base_ + active_[a];
+      ++(*env_.stats)[i].warnings;
+      auto& engine = (*env_.engines)[i];
+      if (hardened) {
+        try {
+          engine.act(*nodes[i], combined_[a], config.mea, (*env_.stats)[i]);
+        } catch (...) {  // pfm-lint: allow(concurrency) — shard-local
+                         // capture; quarantined right below like the
+                         // lockstep loop's Act stage
+          errors_[a] = std::current_exception();
+        }
+      } else {
+        engine.act(*nodes[i], combined_[a], config.mea, (*env_.stats)[i]);
+      }
+    }
+    if (hardened) {
+      for (std::size_t a = 0; a < active_.size(); ++a) {
+        if (!errors_[a]) continue;
+        inst.node_faults_total->inc();
+        quarantine_local(active_[a], describe(errors_[a]));
+      }
+    }
+  }
+  inst.act_latency->observe(seconds_since(act_start));
+
+  // --- Reschedule survivors per the adaptive policy. ------------------------
+  const SchedulePolicy& policy = config.schedule;
+  for (std::size_t a = 0; a < active_.size(); ++a) {
+    const std::size_t local = active_[a];
+    if (node_state_[local].quarantined) continue;
+    const auto& node = *nodes[base_ + local];
+    if (node.finished() || node.now() >= t) continue;
+    auto& ns = sched_[local];
+    const bool hot = !policy.adaptive || node_is_hot(local, combined_[a]);
+    const std::size_t gap = policy.next_gap(ns.prev_gap, hot);
+    ns.prev_gap = static_cast<std::uint32_t>(gap);
+    ns.pending_gap = static_cast<std::uint32_t>(gap);
+    calendar_.schedule(tick + gap, static_cast<std::uint32_t>(local));
+    ns.scheduled = true;
+  }
+}
+
+std::size_t ShardController::open_breakers() const noexcept {
+  std::size_t open = 0;
+  for (const auto& breaker : breakers_) {
+    if (breaker.open) ++open;
+  }
+  return open;
+}
+
+std::size_t ShardController::quarantined_nodes() const noexcept {
+  std::size_t quarantined = 0;
+  for (const auto& state : node_state_) {
+    if (state.quarantined) ++quarantined;
+  }
+  return quarantined;
+}
+
+std::size_t ShardController::scratch_capacity_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : batch_scratch_) total += s.capacity_bytes();
+  return total;
+}
+
+}  // namespace pfm::runtime

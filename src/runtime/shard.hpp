@@ -1,0 +1,151 @@
+#pragma once
+
+// Per-shard hierarchical controller of the event-driven fleet runtime
+// (DESIGN.md §10). A ShardController owns one contiguous block of the
+// fleet and everything stateful about running it: the block's calendar
+// queue and adaptive sampling state, its quarantine records, its own
+// bank of predictor circuit breakers, and its own BatchScratch arenas.
+// During an epoch a shard is driven by exactly one pool thread and
+// touches only shard-local state plus sharded metric instruments (and
+// the shared read-only predictors), so shards compose without locks:
+// the cross-shard epoch barrier — the pool handshake in
+// FleetController::run_event_driven — is the only synchronization.
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/fleet.hpp"
+#include "runtime/schedule.hpp"
+
+namespace pfm::runtime {
+
+/// What a shard borrows from its owning FleetController: the fleet-wide
+/// component vectors (the shard only ever touches indices inside its
+/// block) and the shared observability handles. All pointers outlive the
+/// shard — the controller owns both sides.
+struct ShardEnv {
+  const FleetConfig* config = nullptr;
+  std::vector<std::unique_ptr<core::ManagedSystem>>* nodes = nullptr;
+  std::vector<core::ActEngine>* engines = nullptr;
+  std::vector<core::MeaStats>* stats = nullptr;
+  const std::vector<std::shared_ptr<const pred::SymptomPredictor>>* symptom =
+      nullptr;
+  const std::vector<std::shared_ptr<const pred::EventPredictor>>* event =
+      nullptr;
+  obs::Observability* obs = nullptr;
+  FleetInstruments inst;
+};
+
+/// One shard of the event-driven fleet: a strictly sequential
+/// Monitor-Evaluate-Act engine over the due-set of each calendar tick.
+/// Dense schedule + one shard + epoch_ticks 1 reproduces the lockstep
+/// loop's sim-time exports byte-for-byte (conformance-pinned); adaptive
+/// schedules visit each node per its own sampling gap.
+class ShardController {
+ public:
+  /// `base`/`count` delimit the shard's block of global node indices;
+  /// `stage_track` is the trace lane of the shard's stage spans
+  /// (obs::kFleetTrack for a single-shard fleet, obs::shard_track(i)
+  /// otherwise).
+  ShardController(ShardEnv env, std::size_t shard_index, std::size_t base,
+                  std::size_t count, std::uint32_t stage_track);
+
+  /// Optional per-shard throughput counters (registered by the owning
+  /// controller only when the fleet has more than one shard, so the
+  /// single-shard metric set stays identical to lockstep's).
+  void set_shard_metrics(obs::Counter* ticks, obs::Counter* node_steps);
+
+  /// Sizes the per-predictor state (breakers, score columns, arenas);
+  /// called before every run — predictors may have been registered since.
+  void resize_predictors(std::size_t num_predictors);
+
+  /// (Re)schedules every runnable, currently unscheduled node of the
+  /// block at the calendar cursor with a fresh dense gap. Called at the
+  /// start of every run_until.
+  void activate(double t);
+
+  /// Nothing scheduled: the shard has no work before its calendar's
+  /// cursor reaches the next activation.
+  bool idle() const noexcept { return calendar_.empty(); }
+
+  /// Drains every calendar tick before `end_tick` (the epoch barrier),
+  /// stepping due nodes toward sim-time `t`. Runs on a pool thread; with
+  /// resilience enabled component faults are absorbed shard-locally,
+  /// otherwise the first fault propagates (fail-fast).
+  void run_epoch(std::uint64_t end_tick, double t);
+
+  std::size_t shard_index() const noexcept { return shard_index_; }
+  std::size_t base() const noexcept { return base_; }
+  std::size_t size() const noexcept { return count_; }
+
+  const FleetNodeState& node_state(std::size_t local) const {
+    return node_state_.at(local);
+  }
+  bool breaker_open(std::size_t p) const {
+    return p < breakers_.size() && breakers_[p].open;
+  }
+  std::size_t open_breakers() const noexcept;
+  std::size_t quarantined_nodes() const noexcept;
+
+  std::size_t scratch_capacity_bytes() const noexcept;
+  std::size_t scratch_grow_events() const noexcept {
+    return scratch_grow_events_;
+  }
+
+ private:
+  /// Per-node adaptive sampling state.
+  struct NodeSchedule {
+    bool scheduled = false;
+    std::uint32_t pending_gap = 1;   ///< ticks the due visit will cover
+    std::uint32_t prev_gap = 1;      ///< adaptive backoff memory
+    std::uint64_t seen_events = 0;   ///< trace sizes at the last visit,
+    std::uint64_t seen_failures = 0; ///< for symptom-delta triggers
+  };
+
+  void process_tick(std::uint64_t tick, double t);
+  void quarantine_local(std::size_t local, const std::string& reason);
+  /// Adaptive hot test of one surviving node: score near the warning
+  /// threshold, an urgent SchedulingHint, or a symptom delta (new error
+  /// events / failures since the last visit) snaps the node dense.
+  bool node_is_hot(std::size_t local, double combined_score);
+
+  ShardEnv env_;
+  std::size_t shard_index_ = 0;
+  std::size_t base_ = 0;
+  std::size_t count_ = 0;
+  std::uint32_t stage_track_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Counter* shard_ticks_total_ = nullptr;       // null when 1 shard
+  obs::Counter* shard_node_steps_total_ = nullptr;  // null when 1 shard
+
+  CalendarQueue calendar_;
+  std::vector<NodeSchedule> sched_;
+  std::vector<FleetNodeState> node_state_;
+  std::vector<PredictorBreaker> breakers_;
+  /// Shard-local round ordinal: the `sub` of this shard's stage spans.
+  /// Matches the global rounds counter for a single-shard fleet on a
+  /// fresh hub — part of the lockstep byte-identity contract.
+  std::uint32_t local_rounds_ = 0;
+
+  // Tick-scratch, reused across ticks so the hot loop stays
+  // allocation-free after warm-up (the shard-local mirror of the
+  // lockstep controller's round scratch).
+  std::vector<std::uint32_t> due_;
+  std::vector<std::size_t> active_;           // local index per due node
+  std::vector<double> pre_step_time_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<pred::SymptomContext> contexts_;
+  std::vector<std::size_t> context_owner_;    // active-list position
+  std::vector<mon::ErrorSequence> sequences_;
+  std::vector<double> combined_;
+  std::vector<std::vector<double>> columns_;  // per-predictor columns
+  std::vector<std::size_t> live_;             // predictors scored this tick
+  std::vector<pred::BatchScratch> batch_scratch_;  // one arena per predictor
+  std::size_t scratch_grow_events_ = 0;
+  std::size_t scratch_bytes_seen_ = 0;
+};
+
+}  // namespace pfm::runtime

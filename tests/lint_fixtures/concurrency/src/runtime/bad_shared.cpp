@@ -19,6 +19,7 @@ int swallow() {
 volatile int g_flag = 0;
 
 // Raw threading primitives outside the pool: a detached std::thread
-// (line 23) and a bare condition_variable member (line 24).
+// (23), a condition_variable member (24), a std::async launch (25).
 void spawn() { std::thread([] { return 1; }).detach(); }
 struct Waiter { std::condition_variable cv; };
+auto sneak_off_pool() { return std::async([] { return 2; }); }

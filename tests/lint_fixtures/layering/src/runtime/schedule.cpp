@@ -1,0 +1,7 @@
+#include "prediction/predictor.hpp"
+
+// Fixture: the scheduler core under its stricter file-prefix contract —
+// src/runtime/schedule.* may include nothing outside runtime/, so the
+// prediction include on line 1 is forbidden here even though the
+// runtime module at large is allowed to depend on prediction.
+int runtime_schedule_fixture() { return 0; }

@@ -1,0 +1,8 @@
+#include "telecom/simulator.hpp"
+#include "prediction/predictor.hpp"
+
+// Fixture: the shard controller's file-prefix contract — shards must
+// stay simulator-agnostic, so the telecom include on line 1 is
+// forbidden for src/runtime/shard.* (while plain runtime files may
+// include telecom); prediction (line 2) stays allowed.
+int runtime_shard_fixture() { return 0; }

@@ -127,8 +127,12 @@ TEST(ObsFleet, GoldenPrometheusExpositionOfASeededRun) {
       "pfm_actions_executed_total 0\n"
       "# TYPE pfm_fleet_breaker_trips_total counter\n"
       "pfm_fleet_breaker_trips_total 0\n"
+      "# TYPE pfm_fleet_epochs_total counter\n"
+      "pfm_fleet_epochs_total 10\n"
       "# TYPE pfm_fleet_node_faults_total counter\n"
       "pfm_fleet_node_faults_total 0\n"
+      "# TYPE pfm_fleet_node_steps_total counter\n"
+      "pfm_fleet_node_steps_total 20\n"
       "# TYPE pfm_fleet_predictor_faults_total counter\n"
       "pfm_fleet_predictor_faults_total 0\n"
       "# TYPE pfm_fleet_quarantines_total counter\n"
@@ -344,6 +348,9 @@ TEST(ObsFleet, TelemetryIsAViewOverTheRegistry) {
   const auto t = fleet.telemetry();
   auto& metrics = hub.metrics();
   EXPECT_EQ(t.rounds, metrics.counter("pfm_fleet_rounds_total").value());
+  EXPECT_EQ(t.epochs, metrics.counter("pfm_fleet_epochs_total").value());
+  EXPECT_EQ(t.node_steps,
+            metrics.counter("pfm_fleet_node_steps_total").value());
   EXPECT_EQ(t.scores_computed,
             metrics.counter("pfm_fleet_scores_total").value());
   EXPECT_EQ(t.warnings_raised,

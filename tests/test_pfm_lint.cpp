@@ -71,6 +71,8 @@ TEST(PfmLint, LayeringRuleFlagsForbiddenIncludesWithFileAndLine) {
                 "src/core/bad_include.cpp:2 forbidden-include",
                 "src/numerics/bad_leaf.hpp:3 forbidden-include",
                 "src/obs/bad_telecom.hpp:2 forbidden-include",
+                "src/runtime/schedule.cpp:1 forbidden-include",
+                "src/runtime/shard.cpp:1 forbidden-include",
                 "src/widgets/unregistered.hpp:1 unknown-module",
             }));
   for (const auto& f : findings) EXPECT_EQ(f.rule, "layering");
@@ -99,6 +101,7 @@ TEST(PfmLint, ConcurrencyRuleFlagsMutableStaticCatchAllVolatileRawThread) {
                 "src/runtime/bad_shared.cpp:19 volatile",
                 "src/runtime/bad_shared.cpp:23 raw-thread",
                 "src/runtime/bad_shared.cpp:24 raw-thread",
+                "src/runtime/bad_shared.cpp:25 raw-thread",
             }));
   for (const auto& f : findings) EXPECT_EQ(f.rule, "concurrency");
 }

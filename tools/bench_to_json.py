@@ -20,7 +20,10 @@ Gates (each exits non-zero on violation):
   - the optimized fleet path must not run >10% slower than the
     reference path, and its reference/optimized speedup must not
     regress >10% against the committed BENCH_fleet.json (the ratio is
-    machine-relative, so the gate is portable across hosts).
+    machine-relative, so the gate is portable across hosts);
+  - the sharded event-driven scheduler (8 shards, 8 threads) must beat
+    the 8-thread lockstep baseline of the shard-scaling arm by >=1.5x
+    wall time over the same fleet and sim horizon.
 
 Usage:
   tools/bench_to_json.py [--build-dir build] [--out-dir .] [--quick]
@@ -46,6 +49,10 @@ OBS_OVERHEAD_BUDGET = 0.05
 # The optimized path may lose at most this fraction against the
 # reference path, and against its own committed speedup.
 PATH_REGRESSION_BUDGET = 0.10
+
+# The event-driven sharded scheduler (8 shards, 8 threads) must cover the
+# same fleet and sim horizon in at most 1/1.5 the lockstep wall time.
+SHARD_SPEEDUP_FLOOR = 1.5
 
 
 def scrape_json_lines(text: str) -> list:
@@ -130,6 +137,48 @@ def check_path_regression(records: list, baseline_records: list) -> None:
             f"{PATH_REGRESSION_BUDGET * 100.0:.0f}% budget)")
 
 
+def shard_speedup(records: list):
+    """8-shard/8-thread event wall vs the 8-thread lockstep wall of the
+    shard-scaling arm, or None if either row is missing. Rows must agree
+    on the fleet size (the bench emits both from the same grid)."""
+    lockstep = None
+    event = None
+    for record in records:
+        if record.get("bench") != "fleet_shard_scaling":
+            continue
+        if record.get("threads") != 8:
+            continue
+        if record.get("mode") == "lockstep":
+            lockstep = record
+        elif record.get("mode") == "event" and record.get("shards") == 8:
+            event = record
+    if lockstep is None or event is None:
+        return None
+    if lockstep.get("nodes") != event.get("nodes"):
+        return None
+    lock_wall = lockstep.get("wall_seconds", 0.0)
+    event_wall = event.get("wall_seconds", 0.0)
+    if lock_wall <= 0.0 or event_wall <= 0.0:
+        return None
+    return lock_wall / event_wall
+
+
+def check_shard_scaling(records: list) -> None:
+    speedup = shard_speedup(records)
+    if speedup is None:
+        raise SystemExit(
+            "bench_fleet_throughput emitted no complete fleet_shard_scaling "
+            "arm (need an 8-thread lockstep row and an 8-shard/8-thread "
+            "event row over the same fleet)")
+    print(f"shard scheduler speedup (lockstep/event, 8 shards, 8 threads): "
+          f"{speedup:.3f}x")
+    if speedup < SHARD_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"sharded event-driven scheduler speedup {speedup:.3f}x is below "
+            f"the {SHARD_SPEEDUP_FLOOR:.1f}x floor against the lockstep "
+            f"baseline")
+
+
 def load_baseline(path: pathlib.Path) -> list:
     if not path.exists():
         return []
@@ -174,6 +223,7 @@ def main() -> None:
 
     fleet_records = collected["BENCH_fleet.json"]
     check_obs_overhead(fleet_records)
+    check_shard_scaling(fleet_records)
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
                      else out_dir / "BENCH_fleet.json")
     check_path_regression(fleet_records, load_baseline(baseline_path))

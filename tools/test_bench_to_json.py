@@ -9,7 +9,10 @@ The interesting properties:
     *before* any BENCH_*.json is written (no partial refresh);
   - the fleet-path regression gate fires on a >10% loss against the
     reference path or against the committed baseline, and skips
-    cleanly when the baseline predates the fleet_path arm.
+    cleanly when the baseline predates the fleet_path arm;
+  - the shard-scaling gate fires when the 8-shard/8-thread event-driven
+    run is not >=1.5x faster than the 8-thread lockstep baseline, and
+    refuses to compare rows from different fleet sizes.
 """
 
 import json
@@ -30,6 +33,16 @@ def path_rows(ref_wall, opt_wall):
          "wall_seconds": ref_wall},
         {"bench": "fleet_path", "path": "optimized", "threads": 8,
          "wall_seconds": opt_wall},
+    ]
+
+
+def shard_rows(lockstep_wall, event_wall, nodes=512, event_nodes=None):
+    return [
+        {"bench": "fleet_shard_scaling", "mode": "lockstep", "nodes": nodes,
+         "shards": 1, "threads": 8, "wall_seconds": lockstep_wall},
+        {"bench": "fleet_shard_scaling", "mode": "event",
+         "nodes": event_nodes if event_nodes is not None else nodes,
+         "shards": 8, "threads": 8, "wall_seconds": event_wall},
     ]
 
 
@@ -82,6 +95,40 @@ class PathGateTest(unittest.TestCase):
         bench_to_json.check_path_regression(fresh, baseline)
 
 
+class ShardGateTest(unittest.TestCase):
+    def test_speedup_is_lockstep_over_event(self):
+        self.assertAlmostEqual(
+            bench_to_json.shard_speedup(shard_rows(3.0, 1.5)), 2.0)
+
+    def test_missing_rows_yield_none_and_fail_the_gate(self):
+        rows = shard_rows(3.0, 1.5)[:1]
+        self.assertIsNone(bench_to_json.shard_speedup(rows))
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_shard_scaling(rows)
+
+    def test_mismatched_fleet_sizes_are_not_comparable(self):
+        rows = shard_rows(3.0, 1.5, nodes=512, event_nodes=100000)
+        self.assertIsNone(bench_to_json.shard_speedup(rows))
+
+    def test_extra_rows_of_other_shapes_are_ignored(self):
+        rows = shard_rows(3.0, 1.5)
+        rows.append({"bench": "fleet_shard_scaling", "mode": "event",
+                     "nodes": 512, "shards": 4, "threads": 8,
+                     "wall_seconds": 0.01})
+        rows.append({"bench": "fleet_shard_scaling", "mode": "event",
+                     "nodes": 512, "shards": 8, "threads": 1,
+                     "wall_seconds": 9.0})
+        self.assertAlmostEqual(bench_to_json.shard_speedup(rows), 2.0)
+
+    def test_speedup_below_floor_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_shard_scaling(shard_rows(1.4, 1.0))
+
+    def test_speedup_at_or_above_floor_passes(self):
+        bench_to_json.check_shard_scaling(shard_rows(1.5, 1.0))
+        bench_to_json.check_shard_scaling(shard_rows(2.0, 1.0))
+
+
 class ObsOverheadTest(unittest.TestCase):
     def test_overhead_above_budget_fails(self):
         with self.assertRaises(SystemExit):
@@ -120,6 +167,7 @@ class MainAtomicityTest(unittest.TestCase):
                         "wall_seconds": 1.2}),
             json.dumps({"bench": "fleet_path", "path": "optimized",
                         "wall_seconds": 1.0}),
+            *(json.dumps(row) for row in shard_rows(3.0, 1.5)),
         ]
 
     def test_missing_binary_exits_nonzero_and_writes_nothing(self):
@@ -159,7 +207,7 @@ class MainAtomicityTest(unittest.TestCase):
             out = tmp / "out"
             self.run_main(tmp / "build", out)
             fleet = json.loads((out / "BENCH_fleet.json").read_text())
-            self.assertEqual(len(fleet), 3)
+            self.assertEqual(len(fleet), 5)
             injection = json.loads((out / "BENCH_injection.json").read_text())
             self.assertEqual(injection[0]["bench"], "injection")
 
