@@ -159,6 +159,10 @@ class ManagedSystem {
   /// Prepares repair for an anticipated failure within `window` seconds
   /// (downtime minimization: warm spare + fresh checkpoint).
   virtual void prepare_for_failure(double window) = 0;
+  /// Graceful-removal hook: the fleet runtime calls this once before a
+  /// planned drain (elastic membership, preventive failover) so the
+  /// system can persist state. The default takes a checkpoint.
+  virtual void prepare_for_drain() { checkpoint(); }
 
   // --- downtime stats -------------------------------------------------------
 

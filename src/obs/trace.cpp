@@ -20,6 +20,11 @@ const char* to_string(SpanKind kind) noexcept {
     case SpanKind::kBreakerClose: return "breaker_close";
     case SpanKind::kQuarantine: return "quarantine";
     case SpanKind::kInjectedFault: return "injected_fault";
+    case SpanKind::kMemberJoin: return "member_join";
+    case SpanKind::kMemberLeave: return "member_leave";
+    case SpanKind::kMemberHandoff: return "member_handoff";
+    case SpanKind::kScaleUp: return "scale_up";
+    case SpanKind::kDrainNode: return "drain_node";
   }
   return "unknown";
 }

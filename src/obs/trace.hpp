@@ -49,6 +49,11 @@ enum class SpanKind : std::uint8_t {
   kBreakerClose = 10,  ///< breaker closed after a successful probe
   kQuarantine = 11,    ///< node quarantined
   kInjectedFault = 12, ///< fault-injection wrapper fired
+  kMemberJoin = 13,    ///< node joined the fleet (sub = incarnation)
+  kMemberLeave = 14,   ///< node left (arg: 0 leave / 1 drain / 2 restart)
+  kMemberHandoff = 15, ///< warm state handoff to a new shard (arg = shard)
+  kScaleUp = 16,       ///< elasticity policy scale-up (sub = count)
+  kDrainNode = 17,     ///< elasticity policy drain decision
 };
 
 const char* to_string(SpanKind kind) noexcept;

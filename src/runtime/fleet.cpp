@@ -57,6 +57,14 @@ FleetController::FleetController(
         "FleetController: more shards than nodes (need at least one node "
         "per shard)");
   }
+  config_.membership.validate();
+  member_active_ = config_.membership.active();
+  live_nodes_ = nodes_.size();
+  if (member_active_) {
+    member_timeline_ = config_.membership.plan.resolve();
+    incarnations_.assign(nodes_.size(), 0);
+    last_combined_.assign(nodes_.size(), 0.0);
+  }
 
   // Observability: use the caller's hub when given (it must have a shard
   // for every pool thread, or two workers would share a slot and race);
@@ -118,6 +126,21 @@ FleetController::FleetController(
   // it out of the include_wall=false exports the conformance suite pins.
   scratch_bytes_gauge_ =
       &metrics.gauge("pfm_fleet_scratch_bytes", obs::Clock::kWall);
+  // Membership counters exist only while membership is active, so an
+  // inactive config's exports stay byte-identical to a membership-free
+  // build (the satellite determinism contract).
+  if (member_active_) {
+    member_joined_total_ =
+        &metrics.counter("pfm_fleet_membership_nodes_joined_total");
+    member_left_total_ =
+        &metrics.counter("pfm_fleet_membership_nodes_left_total");
+    member_handoffs_total_ =
+        &metrics.counter("pfm_fleet_membership_handoffs_total");
+    member_scale_ups_total_ =
+        &metrics.counter("pfm_fleet_membership_scale_ups_total");
+    member_drains_total_ =
+        &metrics.counter("pfm_fleet_membership_drains_total");
+  }
   for (std::size_t i = 0; i < engines_.size(); ++i) {
     engines_[i].set_observability(obs_, obs::node_track(i));
   }
@@ -141,6 +164,9 @@ void FleetController::add_action(
     const std::function<std::unique_ptr<act::Action>()>& factory) {
   if (!factory) throw std::invalid_argument("FleetController: null factory");
   for (auto& engine : engines_) engine.add_action(factory());
+  // Joiners and restarted nodes get the same countermeasure set: the
+  // factory is replayed onto their fresh engines at the barrier.
+  if (member_active_) action_factories_.push_back(factory);
 }
 
 void FleetController::run() {
@@ -213,12 +239,26 @@ void FleetController::run_lockstep(double t) {
   obs::TraceRecorder* tracer = obs_->tracer();
 
   for (;;) {
+    // Membership barrier: churn applies between rounds, on the lockstep
+    // membership clock (rounds started, idle ones included). The clock
+    // advances immediately so the k-th round sees member time k*interval
+    // — the same schedule the event-driven loop derives from its epoch
+    // grid.
+    if (member_active_) {
+      membership_barrier(static_cast<double>(member_ticks_) * interval, t);
+      ++member_ticks_;
+    }
     active.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (node_state_[i].quarantined) continue;
+      if (node_state_[i].quarantined || node_state_[i].departed) continue;
       if (!nodes_[i]->finished() && nodes_[i]->now() < t) active.push_back(i);
     }
-    if (active.empty()) break;
+    if (active.empty()) {
+      // Idle round: nothing runnable now, but a planned change at a later
+      // membership tick may still add or revive work before `t`.
+      if (!member_active_ || !membership_pending(t)) break;
+      continue;
+    }
     inst_.rounds_total->inc();
     // Under lockstep every round is a fleet-wide synchronization point
     // and every active node steps once, so epochs == rounds and
@@ -432,6 +472,13 @@ void FleetController::run_lockstep(double t) {
         breaker.failure_streak = 0;
       }
     }
+    if (member_active_) {
+      // The elasticity policy reads these at the next barrier (drain
+      // signal per node, summed failure mass fleet-wide).
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        last_combined_[active[a]] = combined[a];
+      }
+    }
     }  // evaluate_span
     inst_.evaluate_latency->observe(seconds_since(evaluate_start));
     if (optimized) {
@@ -525,19 +572,43 @@ void FleetController::ensure_shards() {
           &metrics.counter("pfm_shard_node_steps_total" + label));
       metrics.gauge("pfm_shard_nodes" + label)
           .set(static_cast<double>(layout_.size(s)));
+      if (member_active_) {
+        ShardMemberCounters counters;
+        counters.joined =
+            &metrics.counter("pfm_shard_membership_joined_total" + label);
+        counters.left =
+            &metrics.counter("pfm_shard_membership_left_total" + label);
+        counters.handoffs =
+            &metrics.counter("pfm_shard_membership_handoffs_total" + label);
+        shard_member_counters_.push_back(counters);
+      }
     }
     shards_.push_back(std::move(shard));
   }
 }
 
 void FleetController::run_event_driven(double t) {
+  // Membership barriers touch the role-guarded banks (restart resets,
+  // member_state routing); this thread is the controller between the
+  // parallel epoch sections, exactly like the lockstep loop.
+  RoleGuard controller_guard(controller_);
   ensure_shards();
+  const double interval = config_.mea.evaluation_interval;
   const std::size_t num_predictors = symptom_.size() + event_.size();
   for (auto& shard : shards_) {
     shard->resize_predictors(num_predictors);
     shard->activate(t);
   }
   for (;;) {
+    // Membership barrier on the epoch grid: before the k-th epoch the
+    // clock reads epoch_end_tick_ (= k * epoch_ticks) intervals — the
+    // same schedule the lockstep loop derives from its round counter.
+    // Every shard's calendar cursor sits on this shared tick here, which
+    // is what makes the reshard handoff's calendar rebuild exact.
+    if (member_active_) {
+      membership_barrier(
+          static_cast<double>(epoch_end_tick_) * interval, t);
+    }
     bool all_idle = true;
     for (const auto& shard : shards_) {
       if (!shard->idle()) {
@@ -545,7 +616,15 @@ void FleetController::run_event_driven(double t) {
         break;
       }
     }
-    if (all_idle) break;
+    if (all_idle) {
+      if (!member_active_ || !membership_pending(t)) break;
+      // Idle epoch while churn is still due: advance only the membership
+      // clock (no work ran, so the epochs counter — a count of
+      // synchronization points that did work — stays put, matching the
+      // lockstep loop's idle rounds).
+      epoch_end_tick_ += config_.epoch_ticks;
+      continue;
+    }
     // One cross-shard epoch: every shard drains its calendar up to the
     // shared barrier tick in parallel (one pool thread per shard; all
     // state a shard touches is shard-local, so the pool handshake is the
@@ -573,6 +652,325 @@ void FleetController::run_event_driven(double t) {
     scratch_bytes_gauge_->set(
         static_cast<double>(scratch_capacity_bytes()));
   }
+}
+
+bool FleetController::membership_pending(double t) const {
+  return next_member_change_ < member_timeline_.size() &&
+         member_timeline_[next_member_change_].at_time <= t;
+}
+
+void FleetController::membership_barrier(double member_now, double t) {
+  // Planned churn first (the declared scenario), then the closed loop's
+  // own decisions, then — if the structure changed — one reshard with
+  // warm handoff and a reactivation pass that schedules fresh slots.
+  while (next_member_change_ < member_timeline_.size()) {
+    const auto& change = member_timeline_[next_member_change_];
+    if (change.at_time > member_now || change.at_time > t) break;
+    apply_member_change(change, member_now);
+    ++next_member_change_;
+  }
+  evaluate_policy(member_now);
+  if (layout_dirty_) {
+    reshard(member_now);
+    for (auto& shard : shards_) shard->activate(t);
+    layout_dirty_ = false;
+  }
+  nodes_gauge_->set(static_cast<double>(live_nodes_));
+}
+
+void FleetController::apply_member_change(
+    const membership::MemberChange& change, double member_now) {
+  using membership::ChurnKind;
+  if (change.kind == ChurnKind::kJoin) {
+    member_join(member_now, /*policy_driven=*/false);
+    return;
+  }
+  if (change.node >= nodes_.size()) {
+    throw std::out_of_range("MembershipPlan: change targets unknown node " +
+                            std::to_string(change.node));
+  }
+  if (!shards_.empty() && change.node >= layout_.num_nodes) {
+    // The target joined earlier in this same barrier; give it a shard
+    // slot before touching its state.
+    reshard(member_now);
+  }
+  switch (change.kind) {
+    case ChurnKind::kLeave:
+      member_depart(change.node, member_now, /*drain=*/false, 0);
+      break;
+    case ChurnKind::kDrain:
+      member_depart(change.node, member_now, /*drain=*/true, 1);
+      break;
+    case ChurnKind::kRestart:
+      member_restart(change.node, member_now);
+      break;
+    case ChurnKind::kJoin:
+      break;  // handled above
+  }
+}
+
+std::size_t FleetController::member_join(double at_time, bool policy_driven) {
+  const std::size_t slot = nodes_.size();
+  membership::JoinContext ctx;
+  ctx.node = slot;
+  ctx.incarnation = 0;
+  ctx.at_time = at_time;
+  ctx.seed =
+      membership::derive_member_seed(config_.membership.plan.seed, slot, 0);
+  ctx.policy_driven = policy_driven;
+  auto node = config_.membership.factory(ctx);
+  if (!node) {
+    throw std::invalid_argument(
+        "FleetController: membership factory returned a null node");
+  }
+  nodes_.push_back(std::move(node));
+  engines_.emplace_back();
+  auto& engine = engines_.back();
+  for (const auto& f : action_factories_) engine.add_action(f());
+  engine.set_observability(obs_, obs::node_track(slot));
+  stats_.emplace_back();
+  node_state_.emplace_back();
+  incarnations_.push_back(0);
+  last_combined_.push_back(0.0);
+  ++live_nodes_;
+  layout_dirty_ = true;
+  member_joined_total_->inc();
+  obs::record_instant(obs_->tracer(), obs::SpanKind::kMemberJoin,
+                      obs::node_track(slot), at_time, 0,
+                      policy_driven ? 1 : 0);
+  return slot;
+}
+
+void FleetController::member_depart(std::size_t i, double at_time, bool drain,
+                                    std::int64_t leave_arg) {
+  FleetNodeState& state = member_state(i);
+  if (state.departed) {
+    throw std::invalid_argument("FleetController: node " + std::to_string(i) +
+                                " already departed");
+  }
+  if (drain) {
+    member_drains_total_->inc();
+    // Graceful removal: let the system persist state first — unless it
+    // is quarantined (crashed/hung systems get no goodbye call).
+    if (!state.quarantined && !nodes_[i]->finished()) {
+      if (config_.resilience.enabled) {
+        try {
+          nodes_[i]->prepare_for_drain();
+        } catch (...) {  // pfm-lint: allow(concurrency) — barrier-time
+                         // capture; the node is leaving either way, a
+                         // failing goodbye only counts as a node fault
+          inst_.node_faults_total->inc();
+        }
+      } else {
+        nodes_[i]->prepare_for_drain();
+      }
+    }
+  }
+  state.departed = true;
+  state.depart_time = at_time;
+  --live_nodes_;
+  member_left_total_->inc();
+  if (!shard_member_counters_.empty()) {
+    shard_member_counters_[layout_.shard_of(i)].left->inc();
+  }
+  obs::record_instant(obs_->tracer(), obs::SpanKind::kMemberLeave,
+                      obs::node_track(i), at_time,
+                      static_cast<std::uint32_t>(incarnations_[i]),
+                      leave_arg);
+}
+
+void FleetController::member_restart(std::size_t i, double at_time) {
+  FleetNodeState& state = member_state(i);
+  if (state.departed) {
+    throw std::invalid_argument(
+        "FleetController: restart of departed node " + std::to_string(i));
+  }
+  retired_system_stats_ += nodes_[i]->system_stats();
+  const std::size_t incarnation = ++incarnations_[i];
+  membership::JoinContext ctx;
+  ctx.node = i;
+  ctx.incarnation = incarnation;
+  ctx.at_time = at_time;
+  ctx.seed = membership::derive_member_seed(config_.membership.plan.seed, i,
+                                            incarnation);
+  ctx.policy_driven = false;
+  auto fresh = config_.membership.factory(ctx);
+  if (!fresh) {
+    throw std::invalid_argument(
+        "FleetController: membership factory returned a null node");
+  }
+  nodes_[i] = std::move(fresh);
+  engines_[i] = core::ActEngine{};
+  for (const auto& f : action_factories_) engines_[i].add_action(f());
+  engines_[i].set_observability(obs_, obs::node_track(i));
+  // Explicit reset semantics (churn-vs-fault composition): a crashed or
+  // hung incarnation's quarantine record, stall streak and sampling/
+  // backoff state die with it — the fresh incarnation starts clean and
+  // dense. Only MeaStats stays cumulative, so injection decision-stream
+  // ordinals keep rising and never replay.
+  state = FleetNodeState{};
+  if (!shards_.empty()) {
+    const std::size_t s = layout_.shard_of(i);
+    shards_[s]->node_sched_mut(i - layout_.begin(s)) = NodeSchedule{};
+    // Its stale calendar entry is dropped by the barrier's reshard
+    // rebuild (layout_dirty_ below forces one).
+  }
+  last_combined_[i] = 0.0;
+  layout_dirty_ = true;
+  member_left_total_->inc();
+  member_joined_total_->inc();
+  if (!shard_member_counters_.empty()) {
+    const auto& counters = shard_member_counters_[layout_.shard_of(i)];
+    counters.left->inc();
+    counters.joined->inc();
+  }
+  obs::record_instant(obs_->tracer(), obs::SpanKind::kMemberLeave,
+                      obs::node_track(i), at_time,
+                      static_cast<std::uint32_t>(incarnation - 1), 2);
+  obs::record_instant(obs_->tracer(), obs::SpanKind::kMemberJoin,
+                      obs::node_track(i), at_time,
+                      static_cast<std::uint32_t>(incarnation), 0);
+}
+
+void FleetController::evaluate_policy(double member_now) {
+  const membership::ElasticityPolicy& policy = config_.membership.policy;
+  if (!policy.enabled) return;
+  if (policy_cooldown_left_ > 0) {
+    --policy_cooldown_left_;
+    return;
+  }
+  bool acted = false;
+  // Slots joined earlier in this barrier have no scores yet; they are
+  // excluded until the reshard gives them shard state.
+  const std::size_t limit =
+      !shards_.empty() ? layout_.num_nodes : nodes_.size();
+
+  // Drain-and-failover: nodes whose failure probability crossed the
+  // drain threshold leave gracefully; a fresh replacement joins at once.
+  if (policy.drain_score >= 0.0) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      const FleetNodeState& state = member_state(i);
+      if (state.quarantined || state.departed) continue;
+      const double score = member_score(i);
+      if (score < policy.drain_score) continue;
+      obs::record_instant(obs_->tracer(), obs::SpanKind::kDrainNode,
+                          obs::node_track(i), member_now, 0,
+                          static_cast<std::int64_t>(score * 1e6));
+      member_depart(i, member_now, /*drain=*/true, 1);
+      if (policy.failover_replace && policy_joins_ < policy.max_policy_joins) {
+        ++policy_joins_;
+        member_join(member_now, /*policy_driven=*/true);
+      }
+      acted = true;
+    }
+  }
+
+  // Preventive scale-up: the Eq. 8 machinery as a capacity actuator —
+  // when the fleet's summed failure-probability mass crosses the
+  // threshold, add headroom before the failures land.
+  if (policy.scale_up_mass >= 0.0 && policy_joins_ < policy.max_policy_joins) {
+    double mass = 0.0;
+    if (!shards_.empty()) {
+      for (const auto& shard : shards_) mass += shard->score_mass();
+    } else {
+      for (std::size_t i = 0; i < limit; ++i) {
+        if (node_state_[i].quarantined || node_state_[i].departed) continue;
+        mass += last_combined_[i];
+      }
+    }
+    if (mass >= policy.scale_up_mass) {
+      const std::size_t count = std::min(
+          policy.scale_up_nodes, policy.max_policy_joins - policy_joins_);
+      member_scale_ups_total_->inc();
+      obs::record_instant(obs_->tracer(), obs::SpanKind::kScaleUp,
+                          obs::kFleetTrack, member_now,
+                          static_cast<std::uint32_t>(count),
+                          static_cast<std::int64_t>(mass * 1e6));
+      for (std::size_t k = 0; k < count; ++k) {
+        ++policy_joins_;
+        member_join(member_now, /*policy_driven=*/true);
+      }
+      acted = true;
+    }
+  }
+  if (acted) policy_cooldown_left_ = policy.cooldown_epochs;
+}
+
+void FleetController::reshard(double member_now) {
+  if (shards_.empty()) return;  // lockstep keeps global state; nothing to do
+  const core::ShardLayout old_layout = layout_;
+  const core::ShardLayout new_layout(nodes_.size(), config_.num_shards);
+  // Export every slot's shard-owned state while all calendar cursors sit
+  // on the shared barrier tick (run_epoch leaves each cursor at the
+  // epoch end, so pending due ticks are all >= every shard's cursor).
+  std::vector<NodeHandoff> handoff(old_layout.num_nodes);
+  for (std::size_t i = 0; i < old_layout.num_nodes; ++i) {
+    const std::size_t s = old_layout.shard_of(i);
+    handoff[i] = shards_[s]->export_node(i - old_layout.begin(s));
+  }
+  auto& metrics = obs_->metrics();
+  const bool multi = config_.num_shards > 1;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->reshape(new_layout.begin(s), new_layout.size(s));
+    if (multi) {
+      metrics.gauge("pfm_shard_nodes{shard=\"" + std::to_string(s) + "\"}")
+          .set(static_cast<double>(new_layout.size(s)));
+    }
+  }
+  obs::TraceRecorder* tracer = obs_->tracer();
+  for (std::size_t i = 0; i < old_layout.num_nodes; ++i) {
+    const std::size_t s = new_layout.shard_of(i);
+    shards_[s]->import_node(i - new_layout.begin(s), handoff[i]);
+    if (s != old_layout.shard_of(i) && !handoff[i].state.departed) {
+      member_handoffs_total_->inc();
+      if (!shard_member_counters_.empty()) {
+        shard_member_counters_[s].handoffs->inc();
+      }
+      obs::record_instant(tracer, obs::SpanKind::kMemberHandoff,
+                          obs::node_track(i), member_now, 0,
+                          static_cast<std::int64_t>(s));
+    }
+  }
+  // Joined slots enter their shard with fresh state; the barrier's
+  // activate() pass schedules them at the shared cursor.
+  for (std::size_t i = old_layout.num_nodes; i < new_layout.num_nodes; ++i) {
+    if (!shard_member_counters_.empty()) {
+      shard_member_counters_[new_layout.shard_of(i)].joined->inc();
+    }
+  }
+  layout_ = new_layout;
+}
+
+FleetNodeState& FleetController::member_state(std::size_t i) {
+  if (!shards_.empty() && i < layout_.num_nodes) {
+    const std::size_t s = layout_.shard_of(i);
+    return shards_[s]->node_state_mut(i - layout_.begin(s));
+  }
+  return node_state_.at(i);
+}
+
+double FleetController::member_score(std::size_t i) const {
+  if (!shards_.empty() && i < layout_.num_nodes) {
+    const std::size_t s = layout_.shard_of(i);
+    return shards_[s]->node_sched(i - layout_.begin(s)).last_score;
+  }
+  return last_combined_.at(i);
+}
+
+bool FleetController::node_departed(std::size_t i) const {
+  RoleGuard guard(controller_);
+  if (!shards_.empty() && i < layout_.num_nodes) {
+    const std::size_t s = layout_.shard_of(i);
+    return shards_[s]->node_state(i - layout_.begin(s)).departed;
+  }
+  return node_state_.at(i).departed;
+}
+
+std::size_t FleetController::node_incarnation(std::size_t i) const {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("FleetController: bad node index");
+  }
+  return i < incarnations_.size() ? incarnations_[i] : 0;
 }
 
 bool FleetController::node_quarantined(std::size_t i) const {
@@ -619,7 +1017,7 @@ std::size_t FleetController::scratch_grow_events() const noexcept {
 FleetTelemetry FleetController::telemetry() const {
   RoleGuard guard(controller_);
   FleetTelemetry out;
-  out.nodes = nodes_.size();
+  out.nodes = live_nodes_;
   // Counter-valued fields are views over the metrics registry — the same
   // numbers a Prometheus scrape of the hub reports.
   out.rounds = inst_.rounds_total->value();
@@ -647,10 +1045,20 @@ FleetTelemetry FleetController::telemetry() const {
     out.resilience.nodes_quarantined += shard->quarantined_nodes();
     out.resilience.breakers_open += shard->open_breakers();
   }
+  if (member_joined_total_ != nullptr) {
+    out.membership.nodes_joined = member_joined_total_->value();
+    out.membership.nodes_left = member_left_total_->value();
+    out.membership.handoffs = member_handoffs_total_->value();
+    out.membership.scale_ups = member_scale_ups_total_->value();
+    out.membership.drains = member_drains_total_->value();
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out.mea += stats_[i];
     out.system += nodes_[i]->system_stats();
   }
+  // Restarted slots: their previous incarnations' work is accumulated
+  // here so fleet totals never go backwards across a restart.
+  out.system += retired_system_stats_;
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "core/managed_system.hpp"
 #include "core/mea.hpp"
 #include "core/sharding.hpp"
+#include "membership/membership_plan.hpp"
 #include "obs/observability.hpp"
 #include "prediction/predictor.hpp"
 #include "runtime/annotations.hpp"
@@ -89,6 +90,15 @@ struct FleetConfig {
   std::size_t epoch_ticks = 8;
   /// Adaptive sampling policy of the event-driven scheduler.
   SchedulePolicy schedule;
+  /// Elastic membership: a deterministic churn plan (scale-out bursts,
+  /// rolling restarts, zone loss, drain) plus the closed-loop elasticity
+  /// policy, applied at membership barriers — lockstep round starts, or
+  /// event-driven epoch barriers. Inactive (the default) costs nothing:
+  /// no membership metrics are registered and every export stays
+  /// byte-identical to a membership-free build. Note that an active
+  /// config quantizes churn to epoch boundaries, so epoch_ticks becomes
+  /// semantic for churn timing (results stay thread-count invariant).
+  membership::MembershipConfig membership;
   ResilienceConfig resilience;
   /// External observability hub (metrics + tracing + exporters). Must be
   /// sized with shards >= num_threads and not shared between concurrently
@@ -125,6 +135,8 @@ struct ResilienceStats {
 /// below is read back from the controller's obs hub, so a Prometheus
 /// scrape and a telemetry() call can never disagree.
 struct FleetTelemetry {
+  /// Live (non-departed) nodes; equals the fleet size while membership
+  /// is inactive.
   std::size_t nodes = 0;
   /// Evaluation rounds: lockstep fleet rounds, or — event-driven —
   /// calendar ticks processed summed over shards. Kept for continuity;
@@ -143,9 +155,13 @@ struct FleetTelemetry {
   std::size_t warnings_raised = 0;  ///< across the whole fleet
   StageLatency latency;
   ResilienceStats resilience;
+  /// Membership churn counters (views over pfm_fleet_membership_*; all
+  /// zero while membership is inactive).
+  membership::MembershipStats membership;
   core::MeaStats mea;         ///< sum of the per-node MeaStats (includes
                               ///< action retry/abandon counters)
-  core::SystemStats system;   ///< sum of the per-node SystemStats
+  core::SystemStats system;   ///< sum of the per-node SystemStats, plus
+                              ///< the retired stats of replaced systems
 };
 
 /// Per-node loop state beyond the MEA counters. Owned by the lockstep
@@ -155,6 +171,11 @@ struct FleetNodeState {
   std::string reason;
   double quarantine_time = 0.0;
   std::size_t stall_streak = 0;  ///< consecutive no-progress node steps
+  /// Node left the fleet (membership leave/drain). The slot stays — so
+  /// global indices, seed streams and fault-plan targets remain stable —
+  /// but the node is excluded from every stage from depart_time on.
+  bool departed = false;
+  double depart_time = 0.0;
 };
 
 /// Per-predictor circuit breaker (closed -> open -> half-open probe).
@@ -263,6 +284,13 @@ class FleetController {
   bool node_quarantined(std::size_t i) const;
   /// Human-readable cause ("" while not quarantined).
   const std::string& node_quarantine_reason(std::size_t i) const;
+  /// True once membership removed node `i` (leave or drain). The slot —
+  /// and the ManagedSystem behind it, frozen at depart time — remains
+  /// addressable.
+  bool node_departed(std::size_t i) const;
+  /// Current incarnation of slot `i`: 0 for the initial population,
+  /// +1 per membership restart. Always 0 while membership is inactive.
+  std::size_t node_incarnation(std::size_t i) const;
 
   /// True when predictor `p`'s breaker is currently open (predictors are
   /// numbered symptom first, then event, in registration order). Under
@@ -296,6 +324,34 @@ class FleetController {
 
   void run_lockstep(double t);
   void run_event_driven(double t);
+
+  // --- elastic membership (controller thread, barrier-time only) -----------
+  /// A membership change with at_time <= `t` is still waiting to apply.
+  bool membership_pending(double t) const;
+  /// Applies every due planned change at `member_now` (the barrier's
+  /// position on the membership clock), evaluates the elasticity policy,
+  /// and — when the structure changed — reshards and reactivates.
+  void membership_barrier(double member_now, double t)
+      PFM_REQUIRES(controller_);
+  void apply_member_change(const membership::MemberChange& change,
+                           double member_now) PFM_REQUIRES(controller_);
+  /// Appends a fresh slot (seeded via derive_member_seed); returns it.
+  std::size_t member_join(double at_time, bool policy_driven)
+      PFM_REQUIRES(controller_);
+  /// `leave_arg` is the kMemberLeave span payload: 0 leave, 1 drain.
+  void member_depart(std::size_t i, double at_time, bool drain,
+                     std::int64_t leave_arg) PFM_REQUIRES(controller_);
+  void member_restart(std::size_t i, double at_time)
+      PFM_REQUIRES(controller_);
+  void evaluate_policy(double member_now) PFM_REQUIRES(controller_);
+  /// Rebuilds the shard partition over the grown fleet with warm
+  /// per-node handoff (event-driven only; lockstep state is global).
+  void reshard(double member_now) PFM_REQUIRES(controller_);
+  /// The authoritative per-node loop state: shard-owned under the
+  /// event-driven scheduler, the controller's bank under lockstep.
+  FleetNodeState& member_state(std::size_t i) PFM_REQUIRES(controller_);
+  /// Last combined score of node `i` (the policy's drain signal).
+  double member_score(std::size_t i) const PFM_REQUIRES(controller_);
   /// Builds the shard controllers (first event-driven run only): the
   /// layout, per-shard metric handles, and one ShardController per
   /// block. Idempotent afterwards.
@@ -353,6 +409,48 @@ class FleetController {
   core::ShardLayout layout_;
   std::vector<std::unique_ptr<ShardController>> shards_;
   std::uint64_t epoch_end_tick_ = 0;
+
+  // Elastic membership. All of it is controller-thread barrier-time
+  // state; the hot loops only ever read the departed flag through the
+  // same banks that hold quarantine state. member_active_ gates every
+  // membership code path — inactive configs register nothing and change
+  // nothing, preserving byte-identity with membership-free builds.
+  bool member_active_ = false;
+  std::vector<membership::MemberChange> member_timeline_;
+  std::size_t next_member_change_ = 0;
+  /// Membership clock of the lockstep loop: rounds started, including
+  /// idle rounds spent waiting for a future join. The event-driven loop
+  /// uses epoch_end_tick_ instead; both clocks read k ticks before the
+  /// k-th round/epoch, so the two schedulers agree on churn timing when
+  /// epoch_ticks == 1.
+  std::uint64_t member_ticks_ = 0;
+  std::size_t live_nodes_ = 0;
+  std::vector<std::size_t> incarnations_;  // per slot, +1 per restart
+  std::vector<double> last_combined_;      // lockstep drain/mass signal
+  bool layout_dirty_ = false;              // joins/restarts await reshard
+  std::size_t policy_cooldown_left_ = 0;
+  std::size_t policy_joins_ = 0;
+  /// SystemStats of systems replaced by restarts (their successors start
+  /// from zero; telemetry keeps the fleet totals monotone).
+  core::SystemStats retired_system_stats_;
+  /// Action factories replayed onto joiner/restart engines (stored only
+  /// while membership is active).
+  std::vector<std::function<std::unique_ptr<act::Action>()>>
+      action_factories_;
+  obs::Counter* member_joined_total_ = nullptr;
+  obs::Counter* member_left_total_ = nullptr;
+  obs::Counter* member_handoffs_total_ = nullptr;
+  obs::Counter* member_scale_ups_total_ = nullptr;
+  obs::Counter* member_drains_total_ = nullptr;
+  /// Per-shard membership attribution (multi-shard event-driven only),
+  /// pinned to sum to the fleet totals like the pfm_shard_* throughput
+  /// counters.
+  struct ShardMemberCounters {
+    obs::Counter* joined = nullptr;
+    obs::Counter* left = nullptr;
+    obs::Counter* handoffs = nullptr;
+  };
+  std::vector<ShardMemberCounters> shard_member_counters_;
 
   // Controller-thread-only state. Worker lambdas operate on disjoint
   // per-node/per-predictor slots of the vectors above; everything below

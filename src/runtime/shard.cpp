@@ -60,7 +60,10 @@ void ShardController::resize_predictors(std::size_t num_predictors) {
 void ShardController::activate(double t) {
   for (std::size_t local = 0; local < count_; ++local) {
     auto& ns = sched_[local];
-    if (ns.scheduled || node_state_[local].quarantined) continue;
+    if (ns.scheduled || node_state_[local].quarantined ||
+        node_state_[local].departed) {
+      continue;
+    }
     const auto& node = *(*env_.nodes)[base_ + local];
     if (node.finished() || node.now() >= t) continue;
     calendar_.schedule(calendar_.cursor(), static_cast<std::uint32_t>(local));
@@ -69,7 +72,48 @@ void ShardController::activate(double t) {
     ns.prev_gap = 1;
     ns.seen_events = node.trace().events().size();
     ns.seen_failures = node.trace().failures().size();
+    ns.due_tick = calendar_.cursor();
   }
+}
+
+NodeHandoff ShardController::export_node(std::size_t local) const {
+  return NodeHandoff{node_state_.at(local), sched_.at(local)};
+}
+
+void ShardController::reshape(std::size_t base, std::size_t count) {
+  base_ = base;
+  count_ = count;
+  // The calendar empties but keeps its cursor: every shard's cursor sits
+  // on the shared epoch-barrier tick when a reshard runs, so re-imported
+  // due ticks (all >= the barrier) stay inside the ring's window.
+  calendar_.clear();
+  sched_.assign(count, NodeSchedule{});
+  node_state_.assign(count, FleetNodeState{});
+}
+
+void ShardController::import_node(std::size_t local,
+                                  const NodeHandoff& handoff) {
+  node_state_.at(local) = handoff.state;
+  auto& ns = sched_.at(local);
+  ns = handoff.sched;
+  if (ns.scheduled) {
+    // Anything still pending was scheduled beyond the barrier the export
+    // ran at, so due_tick >= cursor(); the max() is defensive.
+    const std::uint64_t tick = std::max(ns.due_tick, calendar_.cursor());
+    calendar_.schedule(tick, static_cast<std::uint32_t>(local));
+    ns.due_tick = tick;
+  }
+}
+
+double ShardController::score_mass() const noexcept {
+  double mass = 0.0;
+  for (std::size_t local = 0; local < count_; ++local) {
+    if (node_state_[local].quarantined || node_state_[local].departed) {
+      continue;
+    }
+    mass += sched_[local].last_score;
+  }
+  return mass;
 }
 
 void ShardController::run_epoch(std::uint64_t end_tick, double t) {
@@ -125,7 +169,8 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
   for (const std::uint32_t local : due_) {
     sched_[local].scheduled = false;
     const auto& node = *nodes[base_ + local];
-    if (node_state_[local].quarantined || node.finished() || node.now() >= t) {
+    if (node_state_[local].quarantined || node_state_[local].departed ||
+        node.finished() || node.now() >= t) {
       continue;
     }
     active_.push_back(local);
@@ -423,6 +468,7 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
   const SchedulePolicy& policy = config.schedule;
   for (std::size_t a = 0; a < active_.size(); ++a) {
     const std::size_t local = active_[a];
+    sched_[local].last_score = combined_[a];
     if (node_state_[local].quarantined) continue;
     const auto& node = *nodes[base_ + local];
     if (node.finished() || node.now() >= t) continue;
@@ -433,6 +479,7 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
     ns.pending_gap = static_cast<std::uint32_t>(gap);
     calendar_.schedule(tick + gap, static_cast<std::uint32_t>(local));
     ns.scheduled = true;
+    ns.due_tick = tick + gap;
   }
 }
 

@@ -39,6 +39,30 @@ struct ShardEnv {
   FleetInstruments inst;
 };
 
+/// Per-node adaptive sampling state. Public (namespace scope) because it
+/// is also the warm-handoff payload of elastic membership: when a
+/// reshard moves a node between shards, its sampling/backoff state
+/// travels with it so the surviving node's schedule — and therefore its
+/// results — are bit-identical to an uninterrupted run.
+struct NodeSchedule {
+  bool scheduled = false;
+  std::uint32_t pending_gap = 1;   ///< ticks the due visit will cover
+  std::uint32_t prev_gap = 1;      ///< adaptive backoff memory
+  std::uint64_t seen_events = 0;   ///< trace sizes at the last visit,
+  std::uint64_t seen_failures = 0; ///< for symptom-delta triggers
+  std::uint64_t due_tick = 0;      ///< calendar tick of the pending visit
+  double last_score = 0.0;         ///< combined score at the last visit
+};
+
+/// Warm-handoff payload of one node slot: everything shard-owned that
+/// must survive an online reshard (quarantine record + sampling state).
+/// Exported at an epoch barrier — when every shard's calendar cursor
+/// sits on the same shared tick — and re-imported into the new owner.
+struct NodeHandoff {
+  FleetNodeState state;
+  NodeSchedule sched;
+};
+
 /// One shard of the event-driven fleet: a strictly sequential
 /// Monitor-Evaluate-Act engine over the due-set of each calendar tick.
 /// Dense schedule + one shard + epoch_ticks 1 reproduces the lockstep
@@ -84,6 +108,33 @@ class ShardController {
   const FleetNodeState& node_state(std::size_t local) const {
     return node_state_.at(local);
   }
+  /// Mutable slot state, for the owning controller's membership barrier
+  /// (restart resets, departed marks). Controller-thread only — shards
+  /// are quiescent at barriers.
+  FleetNodeState& node_state_mut(std::size_t local) {
+    return node_state_.at(local);
+  }
+  const NodeSchedule& node_sched(std::size_t local) const {
+    return sched_.at(local);
+  }
+  NodeSchedule& node_sched_mut(std::size_t local) { return sched_.at(local); }
+
+  /// Elastic membership (controller-thread, epoch barriers only):
+  /// export_node captures one slot's warm-handoff payload; reshape moves
+  /// the shard to a new contiguous block (clearing the calendar but
+  /// keeping its cursor on the shared epoch grid, plus the per-predictor
+  /// breakers/arenas, which stay with the shard); import_node restores a
+  /// payload into the new block, re-inserting pending calendar entries
+  /// at their original due ticks.
+  NodeHandoff export_node(std::size_t local) const;
+  void reshape(std::size_t base, std::size_t count);
+  void import_node(std::size_t local, const NodeHandoff& handoff);
+
+  /// Summed last combined score over live (non-quarantined, non-departed)
+  /// nodes — the shard's contribution to the elasticity policy's
+  /// fleet-level failure-probability mass.
+  double score_mass() const noexcept;
+
   bool breaker_open(std::size_t p) const {
     return p < breakers_.size() && breakers_[p].open;
   }
@@ -96,15 +147,6 @@ class ShardController {
   }
 
  private:
-  /// Per-node adaptive sampling state.
-  struct NodeSchedule {
-    bool scheduled = false;
-    std::uint32_t pending_gap = 1;   ///< ticks the due visit will cover
-    std::uint32_t prev_gap = 1;      ///< adaptive backoff memory
-    std::uint64_t seen_events = 0;   ///< trace sizes at the last visit,
-    std::uint64_t seen_failures = 0; ///< for symptom-delta triggers
-  };
-
   void process_tick(std::uint64_t tick, double t);
   void quarantine_local(std::size_t local, const std::string& reason);
   /// Adaptive hot test of one surviving node: score near the warning

@@ -1,0 +1,7 @@
+#pragma once
+#include "telecom/node.hpp"
+#include "core/mea.hpp"
+
+// Fixture: membership is a plan vocabulary over the ManagedSystem
+// contract — the membership -> telecom include on line 2 is forbidden
+// (churn plans must stay simulator-agnostic); core (line 3) is allowed.

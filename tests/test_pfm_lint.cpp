@@ -69,6 +69,7 @@ TEST(PfmLint, LayeringRuleFlagsForbiddenIncludesWithFileAndLine) {
             (std::vector<std::string>{
                 "src/core/bad_include.cpp:1 forbidden-include",
                 "src/core/bad_include.cpp:2 forbidden-include",
+                "src/membership/bad_dep.hpp:2 forbidden-include",
                 "src/numerics/bad_leaf.hpp:3 forbidden-include",
                 "src/obs/bad_telecom.hpp:2 forbidden-include",
                 "src/runtime/schedule.cpp:1 forbidden-include",

@@ -13,6 +13,7 @@
 
 #include "core/mea.hpp"
 #include "injection/injector.hpp"
+#include "membership/membership_plan.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/scp_system.hpp"
 
@@ -140,6 +141,92 @@ TEST(Resilience, QuarantineKeepsTheFleetRunning) {
   EXPECT_GE(t.resilience.node_faults, 1u);
   // The dead node stops accumulating coverage at its crash instant.
   EXPECT_LT(fleet.node(1).system_stats().simulated, sim_config().duration);
+}
+
+/// Churn-vs-fault composition: a node the FaultPlan crashes (and the
+/// runtime quarantines) is later restarted by the MembershipPlan. The
+/// fresh incarnation must NOT resurrect the dead incarnation's state —
+/// no stale quarantine record, a clean reason, and real forward
+/// progress — while the fleet's cumulative accounting keeps the old
+/// incarnation's history.
+TEST(Resilience, MembershipRestartClearsQuarantineInsteadOfResurrectingIt) {
+  const std::size_t kNodes = 4;
+  inj::FaultPlan plan;
+  plan.nodes[1].crash_at = 3600.0;
+  inj::FaultInjector injector(plan);
+
+  runtime::FleetConfig cfg;
+  cfg.mea.warning_threshold = 0.72;
+  cfg.membership.plan.restart_node(7200.0, 1);
+  // The replacement incarnation is NOT fault-wrapped: having crashed
+  // once is a property of the dead incarnation, not of the slot.
+  cfg.membership.factory = [](const membership::JoinContext& ctx) {
+    telecom::SimConfig joiner = sim_config();
+    joiner.seed = ctx.seed;
+    return std::make_unique<runtime::ScpManagedSystem>(joiner);
+  };
+  runtime::FleetController fleet(
+      injector.wrap_fleet(runtime::make_scp_fleet(sim_config(), kNodes)), cfg);
+  fleet.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+  fleet.add_action([] {
+    return std::make_unique<act::StateCleanupAction>(0.70);
+  });
+
+  EXPECT_NO_THROW(fleet.run());
+
+  // The crash really happened before the restart...
+  const auto t = fleet.telemetry();
+  EXPECT_GE(t.resilience.node_faults, 1u);
+  EXPECT_EQ(t.membership.nodes_left, 1u);
+  EXPECT_EQ(t.membership.nodes_joined, 1u);
+  // ...yet no stale quarantine survives the restart.
+  EXPECT_FALSE(fleet.node_quarantined(1));
+  EXPECT_TRUE(fleet.node_quarantine_reason(1).empty());
+  EXPECT_EQ(t.resilience.nodes_quarantined, 0u);
+  EXPECT_EQ(fleet.node_incarnation(1), 1u);
+  EXPECT_FALSE(fleet.node_departed(1));
+  // The fresh incarnation starts over on its own clock and — unlike its
+  // crashed predecessor — runs all the way to its horizon.
+  EXPECT_DOUBLE_EQ(fleet.node(1).system_stats().simulated,
+                   sim_config().duration);
+  // Fleet totals stay cumulative across incarnations: four nodes at
+  // full coverage PLUS the crashed incarnation's partial history.
+  EXPECT_GT(t.system.simulated, 4.0 * sim_config().duration);
+}
+
+/// The flip side: a restarted slot is re-armed, not immunized. If the
+/// replacement is fault-wrapped under the same crash spec, the fresh
+/// incarnation crashes on its own clock and is quarantined again — with
+/// its own fresh decision stream, not a replay of the first crash.
+TEST(Resilience, RestartedNodeCanBeQuarantinedAgainByItsOwnFaults) {
+  inj::FaultPlan plan;
+  plan.nodes[1].crash_at = 3600.0;
+  inj::FaultInjector injector(plan);
+
+  runtime::FleetConfig cfg;
+  cfg.mea.warning_threshold = 0.72;
+  cfg.membership.plan.restart_node(7200.0, 1);
+  cfg.membership.factory = [&injector](const membership::JoinContext& ctx) {
+    telecom::SimConfig joiner = sim_config();
+    joiner.seed = ctx.seed;
+    return injector.wrap_node(
+        ctx.node, std::make_unique<runtime::ScpManagedSystem>(joiner));
+  };
+  runtime::FleetController fleet(
+      injector.wrap_fleet(runtime::make_scp_fleet(sim_config(), 4)), cfg);
+  fleet.add_symptom_predictor(
+      std::make_shared<PressurePredictor>(pressure_index()));
+
+  EXPECT_NO_THROW(fleet.run());
+
+  EXPECT_TRUE(fleet.node_quarantined(1));
+  EXPECT_NE(fleet.node_quarantine_reason(1).find("crashed"),
+            std::string::npos);
+  EXPECT_EQ(fleet.node_incarnation(1), 1u);
+  const auto t = fleet.telemetry();
+  EXPECT_EQ(t.resilience.nodes_quarantined, 1u);
+  EXPECT_GE(t.resilience.node_faults, 2u) << "both incarnations crashed";
 }
 
 TEST(Resilience, DisabledResilienceFailsFast) {

@@ -5,10 +5,13 @@ The bench binaries print one ``{"bench": ...}`` object per configuration
 amid their human-readable tables. This script runs
 
   - ``bench_fleet_throughput``  ->  BENCH_fleet.json
+  - ``bench_fleet_churn``       ->  BENCH_fleet.json (merged)
   - ``bench_fault_injection``   ->  BENCH_injection.json
 
-scrapes those lines, and writes each file as a JSON array, so dashboards
-and regression checks can consume bench results without parsing tables.
+scrapes those lines, and writes each file as a JSON array (benches
+sharing an output file contribute to one merged array, in bench order),
+so dashboards and regression checks can consume bench results without
+parsing tables.
 
 All benches are run and validated before any output file is touched:
 a missing binary, a failing bench, or a bench that emits no JSON lines
@@ -23,7 +26,10 @@ Gates (each exits non-zero on violation):
     machine-relative, so the gate is portable across hosts);
   - the sharded event-driven scheduler (8 shards, 8 threads) must beat
     the 8-thread lockstep baseline of the shard-scaling arm by >=1.5x
-    wall time over the same fleet and sim horizon.
+    wall time over the same fleet and sim horizon;
+  - an armed-but-idle elastic membership config must cost < 5% wall
+    time against the inactive default on a churn-free run (the
+    fleet_churn_overhead arm of bench_fleet_churn).
 
 Usage:
   tools/bench_to_json.py [--build-dir build] [--out-dir .] [--quick]
@@ -37,14 +43,19 @@ import sys
 
 BENCHES = {
     "bench_fleet_throughput": "BENCH_fleet.json",
+    "bench_fleet_churn": "BENCH_fleet.json",
     "bench_fault_injection": "BENCH_injection.json",
 }
 
 # Benches that understand the --quick trim flag.
-QUICK_AWARE = {"bench_fleet_throughput"}
+QUICK_AWARE = {"bench_fleet_throughput", "bench_fleet_churn"}
 
 # Acceptance budget for the fleet_obs_overhead arm (fraction, not %).
 OBS_OVERHEAD_BUDGET = 0.05
+
+# Acceptance budget for the fleet_churn_overhead arm: elasticity that
+# never fires may cost at most this fraction on a churn-free run.
+CHURN_OVERHEAD_BUDGET = 0.05
 
 # The optimized path may lose at most this fraction against the
 # reference path, and against its own committed speedup.
@@ -95,6 +106,30 @@ def check_obs_overhead(records: list) -> None:
             raise SystemExit(
                 f"observability overhead {overhead * 100.0:.2f}% exceeds "
                 f"the {OBS_OVERHEAD_BUDGET * 100.0:.0f}% budget")
+
+
+def check_churn_overhead(records: list) -> None:
+    seen = False
+    for record in records:
+        if record.get("bench") != "fleet_churn_overhead":
+            continue
+        seen = True
+        overhead = record.get("overhead_pct", 0.0) / 100.0
+        joins = record.get("policy_joins", 0)
+        print(f"elastic membership overhead (armed-but-idle vs off): "
+              f"{overhead * 100.0:+.2f}% ({joins} policy joins)")
+        if joins != 0:
+            raise SystemExit(
+                "the armed-but-idle churn overhead arm performed "
+                f"{joins} policy joins — the ratio is not an overhead "
+                "measurement")
+        if overhead > CHURN_OVERHEAD_BUDGET:
+            raise SystemExit(
+                f"elastic membership overhead {overhead * 100.0:.2f}% "
+                f"exceeds the {CHURN_OVERHEAD_BUDGET * 100.0:.0f}% budget")
+    if not seen:
+        raise SystemExit(
+            "bench_fleet_churn emitted no fleet_churn_overhead row")
 
 
 def path_speedup(records: list):
@@ -219,11 +254,14 @@ def main() -> None:
         records = run_bench(bench_dir / name, args.quick)
         if not records:
             raise SystemExit(f"{name} produced no JSON lines")
-        collected[out_name] = records
+        # Benches sharing an output file merge into one array, in
+        # BENCHES order — never clobber an earlier bench's records.
+        collected.setdefault(out_name, []).extend(records)
 
     fleet_records = collected["BENCH_fleet.json"]
     check_obs_overhead(fleet_records)
     check_shard_scaling(fleet_records)
+    check_churn_overhead(fleet_records)
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
                      else out_dir / "BENCH_fleet.json")
     check_path_regression(fleet_records, load_baseline(baseline_path))

@@ -275,8 +275,14 @@ void emit(std::vector<Finding>* findings, const SourceFile& file,
 //   numerics  is a leaf;
 //   injection wraps the public contracts (core/prediction/actions) only,
 //             so fault decorators can never reach around the interfaces;
+//   membership describes churn plans and elasticity policy against the
+//             ManagedSystem contract alone (core/numerics) — like
+//             injection it is a plan vocabulary, never an engine, so it
+//             must not see telecom/, runtime/ or obs/;
 //   runtime   may bind everything except injection (fault plans stay a
-//             caller concern, never a runtime dependency);
+//             caller concern, never a runtime dependency) — membership
+//             is allowed: churn plans are executed by the fleet loop
+//             itself, unlike fault plans which wrap it from outside;
 //   obs       sits just above numerics: instrumented layers (core,
 //             injection, runtime) may include it, but it must never
 //             reach back into what it observes — an obs -> telecom (or
@@ -293,9 +299,10 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"actions", {"core", "numerics"}},
       {"core", {"actions", "monitoring", "numerics", "obs", "prediction"}},
       {"injection", {"actions", "core", "obs", "prediction"}},
+      {"membership", {"core", "numerics"}},
       {"runtime",
-       {"actions", "core", "eval", "monitoring", "numerics", "obs",
-        "prediction", "telecom"}},
+       {"actions", "core", "eval", "membership", "monitoring", "numerics",
+        "obs", "prediction", "telecom"}},
   };
   return kPolicy;
 }

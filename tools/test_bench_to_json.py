@@ -12,7 +12,13 @@ The interesting properties:
     cleanly when the baseline predates the fleet_path arm;
   - the shard-scaling gate fires when the 8-shard/8-thread event-driven
     run is not >=1.5x faster than the 8-thread lockstep baseline, and
-    refuses to compare rows from different fleet sizes.
+    refuses to compare rows from different fleet sizes;
+  - the churn-overhead gate fires when the armed-but-idle elastic
+    membership arm costs >5%, when its policy fired (the ratio is then
+    not an overhead measurement), or when the arm's row is missing;
+  - benches sharing an output file (bench_fleet_throughput and
+    bench_fleet_churn both feed BENCH_fleet.json) merge into one array
+    in bench order, never clobbering each other.
 """
 
 import json
@@ -140,6 +146,38 @@ class ObsOverheadTest(unittest.TestCase):
             [{"bench": "fleet_obs_overhead", "overhead_pct": 1.2}])
 
 
+def churn_overhead_row(overhead_pct, policy_joins=0):
+    return {"bench": "fleet_churn_overhead", "nodes": 16,
+            "baseline_seconds": 1.0,
+            "observed_seconds": 1.0 + overhead_pct / 100.0,
+            "overhead_pct": overhead_pct, "policy_joins": policy_joins}
+
+
+class ChurnGateTest(unittest.TestCase):
+    def test_overhead_within_budget_passes(self):
+        bench_to_json.check_churn_overhead([churn_overhead_row(1.7)])
+
+    def test_negative_overhead_passes(self):
+        bench_to_json.check_churn_overhead([churn_overhead_row(-2.4)])
+
+    def test_overhead_above_budget_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_churn_overhead([churn_overhead_row(6.3)])
+
+    def test_policy_that_fired_invalidates_the_measurement(self):
+        # Even a cheap run is rejected when the "idle" policy joined
+        # nodes: the two arms no longer did the same work.
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_churn_overhead(
+                [churn_overhead_row(0.1, policy_joins=2)])
+
+    def test_missing_overhead_row_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_churn_overhead(
+                [{"bench": "fleet_churn", "mode": "static",
+                  "wall_seconds": 1.0}])
+
+
 class MainAtomicityTest(unittest.TestCase):
     """main() must not write any BENCH_*.json until everything passed."""
 
@@ -170,6 +208,13 @@ class MainAtomicityTest(unittest.TestCase):
             *(json.dumps(row) for row in shard_rows(3.0, 1.5)),
         ]
 
+    def good_churn_lines(self):
+        return [
+            json.dumps({"bench": "fleet_churn", "mode": "static",
+                        "churn_events_per_day": 4.0, "wall_seconds": 1.0}),
+            json.dumps(churn_overhead_row(1.0)),
+        ]
+
     def test_missing_binary_exits_nonzero_and_writes_nothing(self):
         with tempfile.TemporaryDirectory() as tmp:
             tmp = pathlib.Path(tmp)
@@ -186,12 +231,14 @@ class MainAtomicityTest(unittest.TestCase):
             bench_dir.mkdir(parents=True)
             self.fake_bench(bench_dir, "bench_fleet_throughput",
                             self.good_fleet_lines())
+            self.fake_bench(bench_dir, "bench_fleet_churn",
+                            self.good_churn_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             ["no json here"])
             out = tmp / "out"
             with self.assertRaises(SystemExit):
                 self.run_main(tmp / "build", out)
-            # The fleet bench succeeded, but its output must not have
+            # The fleet benches succeeded, but their output must not have
             # been committed when the injection bench produced nothing.
             self.assertFalse((out / "BENCH_fleet.json").exists())
 
@@ -202,12 +249,19 @@ class MainAtomicityTest(unittest.TestCase):
             bench_dir.mkdir(parents=True)
             self.fake_bench(bench_dir, "bench_fleet_throughput",
                             self.good_fleet_lines())
+            self.fake_bench(bench_dir, "bench_fleet_churn",
+                            self.good_churn_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             [json.dumps({"bench": "injection", "arm": "x"})])
             out = tmp / "out"
             self.run_main(tmp / "build", out)
             fleet = json.loads((out / "BENCH_fleet.json").read_text())
-            self.assertEqual(len(fleet), 5)
+            # Both fleet benches merged into one array, in BENCHES order:
+            # the throughput rows first, then the churn rows.
+            self.assertEqual(len(fleet), 7)
+            self.assertEqual(fleet[0]["bench"], "fleet_throughput")
+            self.assertEqual(fleet[5]["bench"], "fleet_churn")
+            self.assertEqual(fleet[6]["bench"], "fleet_churn_overhead")
             injection = json.loads((out / "BENCH_injection.json").read_text())
             self.assertEqual(injection[0]["bench"], "injection")
 
@@ -218,6 +272,8 @@ class MainAtomicityTest(unittest.TestCase):
             bench_dir.mkdir(parents=True)
             self.fake_bench(bench_dir, "bench_fleet_throughput",
                             self.good_fleet_lines())  # 1.2x speedup
+            self.fake_bench(bench_dir, "bench_fleet_churn",
+                            self.good_churn_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             [json.dumps({"bench": "injection"})])
             committed = tmp / "BENCH_fleet.json"
