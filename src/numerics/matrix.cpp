@@ -165,8 +165,19 @@ double dot(std::span<const double> a, std::span<const double> b) {
   return s;
 }
 
+namespace {
+
+// axpy is inside the batched scorers' hot closure (pfm-analyze
+// hotpath); the length check stays inline, the throw does not.
+// pfm-cold
+[[noreturn]] void throw_axpy_length() {
+  throw std::invalid_argument("axpy: length");
+}
+
+}  // namespace
+
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  if (x.size() != y.size()) throw std::invalid_argument("axpy: length");
+  if (x.size() != y.size()) throw_axpy_length();
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 

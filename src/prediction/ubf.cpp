@@ -627,13 +627,34 @@ void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
   }
 }
 
+namespace {
+
+// Out-of-line slow paths keep the batched scorer's body free of throw
+// statements (pfm-analyze hotpath); the messages match the reference
+// 2-arg path exactly so conformance errors stay byte-identical.
+// pfm-cold
+[[noreturn]] void throw_batch_size_mismatch() {
+  throw std::invalid_argument("score_batch: contexts/out size mismatch");
+}
+// pfm-cold
+[[noreturn]] void throw_not_trained() {
+  throw std::logic_error("UbfPredictor: not trained");
+}
+// pfm-cold
+[[noreturn]] void throw_empty_context() {
+  throw std::invalid_argument("UbfPredictor: empty context");
+}
+
+}  // namespace
+
+// pfm-hot
 void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
                                std::span<double> out,
                                BatchScratch& scratch) const {
   if (contexts.size() != out.size()) {
-    throw std::invalid_argument("score_batch: contexts/out size mismatch");
+    throw_batch_size_mismatch();
   }
-  if (!trained_) throw std::logic_error("UbfPredictor: not trained");
+  if (!trained_) throw_not_trained();
   const std::size_t batch = contexts.size();
   if (batch == 0) return;
   const std::size_t dim = selected_.size();
@@ -645,7 +666,7 @@ void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
   for (std::size_t c = 0; c < batch; ++c) {
     const auto& ctx = contexts[c];
     if (ctx.history.empty()) {
-      throw std::invalid_argument("UbfPredictor: empty context");
+      throw_empty_context();
     }
     const auto& current = ctx.history.back();
     const double t0 = current.time - config_.windows.data_window;

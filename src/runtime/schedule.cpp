@@ -4,17 +4,30 @@
 
 namespace pfm::runtime {
 
+namespace {
+
+// Out-of-line slow path so the hot schedule() body stays throw-free
+// (pfm-analyze hotpath: a throw would otherwise sit on every insert).
+// pfm-cold
+[[noreturn]] void throw_outside_ring_window() {
+  throw std::logic_error("CalendarQueue: tick outside the ring window");
+}
+
+}  // namespace
+
 CalendarQueue::CalendarQueue(std::size_t num_slots)
     : buckets_(num_slots > 0 ? num_slots : 1) {}
 
+// pfm-hot
 void CalendarQueue::schedule(std::uint64_t tick, std::uint32_t item) {
   if (tick < cursor_ || tick - cursor_ >= buckets_.size()) {
-    throw std::logic_error("CalendarQueue: tick outside the ring window");
+    throw_outside_ring_window();
   }
   buckets_[tick % buckets_.size()].push_back(item);
   ++scheduled_;
 }
 
+// pfm-hot
 bool CalendarQueue::pop_due(std::uint64_t end_tick, std::uint64_t& tick,
                             std::vector<std::uint32_t>& due) {
   due.clear();

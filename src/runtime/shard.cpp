@@ -16,6 +16,9 @@ double seconds_since(WallClock::time_point start) {
   return std::chrono::duration<double>(WallClock::now() - start).count();
 }
 
+// Fault-path helpers: quarantine descriptions are built off the tick
+// hot path (pfm-analyze hotpath), so the string work lives here.
+// pfm-cold
 std::string describe(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
@@ -25,6 +28,12 @@ std::string describe(const std::exception_ptr& error) {
                    // captured exception_ptr; nothing is swallowed here
     return "unknown error";
   }
+}
+
+// pfm-cold
+std::string stall_reason(std::size_t streak) {
+  return "stalled: no monitor progress for " + std::to_string(streak) +
+         " rounds";
 }
 
 }  // namespace
@@ -116,11 +125,13 @@ double ShardController::score_mass() const noexcept {
   return mass;
 }
 
+// pfm-hot
 void ShardController::run_epoch(std::uint64_t end_tick, double t) {
   std::uint64_t tick = 0;
   while (calendar_.pop_due(end_tick, tick, due_)) process_tick(tick, t);
 }
 
+// pfm-cold
 void ShardController::quarantine_local(std::size_t local,
                                        const std::string& reason) {
   auto& state = node_state_[local];
@@ -150,6 +161,7 @@ bool ShardController::node_is_hot(std::size_t local, double combined_score) {
   return node.scheduling_hint().urgency >= config.schedule.hot_urgency;
 }
 
+// pfm-hot
 void ShardController::process_tick(std::uint64_t tick, double t) {
   const FleetConfig& config = *env_.config;
   const double interval = config.mea.evaluation_interval;
@@ -235,10 +247,8 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
           // node accrues its streak at its own visits.
           inst.stall_detections_total->inc();
           if (++node_state_[local].stall_streak >= res.max_stall_rounds) {
-            quarantine_local(
-                local, "stalled: no monitor progress for " +
-                           std::to_string(node_state_[local].stall_streak) +
-                           " rounds");
+            quarantine_local(local,
+                             stall_reason(node_state_[local].stall_streak));
           }
         } else {
           node_state_[local].stall_streak = 0;

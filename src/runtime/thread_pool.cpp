@@ -41,6 +41,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+// pfm-hot
 void ThreadPool::run_indices() {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +54,7 @@ void ThreadPool::run_indices() {
   }
 }
 
+// pfm-hot
 void ThreadPool::run_shards(std::size_t first_shard) {
   const std::size_t shards = workers_.size() + 1;
   for (std::size_t k = 0; k < shards; ++k) {

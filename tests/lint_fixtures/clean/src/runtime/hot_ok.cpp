@@ -1,0 +1,21 @@
+// A hot path done right: caller-owned scratch, a pfm-cold slow path
+// bounding the closure, and no allocation in the closure itself.
+#include <vector>
+
+namespace pfm::runtime {
+
+// pfm-cold
+[[noreturn]] void fail_fast() { throw 1; }
+
+void advance(std::vector<double>& scratch) {
+  scratch.clear();
+  scratch.push_back(1.0);
+}
+
+// pfm-hot
+void tick(std::vector<double>& scratch, bool ok) {
+  if (!ok) fail_fast();
+  advance(scratch);
+}
+
+}  // namespace pfm::runtime

@@ -1,0 +1,35 @@
+// hotpath fixture: one annotated entry point, a two-hop helper
+// chain, and a pfm-cold slow path bounding the closure.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pfm::runtime {
+
+void helper_b() {
+  std::vector<int> scratch{1, 2, 3};
+  (void)scratch;
+}
+
+void helper_a() {
+  std::printf("advance\n");
+  helper_b();
+}
+
+// pfm-cold
+void cold_handler() {
+  std::string reason = "slow path";
+  throw reason;
+}
+
+// pfm-hot
+void tick(std::mutex& mu, bool fail) {
+  std::string label("round");
+  std::lock_guard<std::mutex> hold(mu);
+  if (fail) cold_handler();
+  if (!fail) throw 42;
+  helper_a();
+}
+
+}  // namespace pfm::runtime

@@ -1,0 +1,17 @@
+// lexer fixture: backslash-spliced comments and prefixed raw strings
+// must stay comments/strings; exactly one real violation remains.
+namespace pfm::core {
+
+// a spliced comment swallows the next physical line \
+volatile int hidden = 0;
+
+const char* r1 = R"(volatile rand() system_clock)";
+const char* r2 = u8R"x(catch (...) mutable static)x";
+const char* r3 = LR"(std::thread worker;)";
+
+void poll() {
+  volatile int real_flag = 0;
+  (void)real_flag;
+}
+
+}  // namespace pfm::core

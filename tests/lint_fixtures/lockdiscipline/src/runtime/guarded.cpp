@@ -1,0 +1,35 @@
+// lockdiscipline fixture: guarded accesses with and without the lock,
+// a double acquisition, and an analysis-exempt reader.
+#include "runtime/guarded.hpp"
+
+namespace pfm::runtime {
+
+void GuardedCounter::bump() {
+  MutexLock lock(mu_);
+  ++count_;
+}
+
+std::size_t GuardedCounter::read_unlocked() const {
+  return count_;
+}
+
+std::size_t GuardedCounter::read_locked() const {
+  MutexLock lock(mu_);
+  return count_;
+}
+
+void GuardedCounter::bump_locked_caller() {
+  ++count_;
+}
+
+void GuardedCounter::double_lock() {
+  MutexLock outer(mu_);
+  MutexLock inner(mu_);
+  ++count_;
+}
+
+std::size_t GuardedCounter::read_exempt() const PFM_NO_THREAD_SAFETY_ANALYSIS {
+  return count_;
+}
+
+}  // namespace pfm::runtime

@@ -1,0 +1,24 @@
+// lockdiscipline fixture: a PFM_GUARDED_BY field, its capability, and
+// annotated accessors (the prototypes carry attributes for the
+// out-of-line definitions).
+#pragma once
+
+#include <cstddef>
+
+namespace pfm::runtime {
+
+class GuardedCounter {
+ public:
+  void bump();
+  std::size_t read_unlocked() const;
+  std::size_t read_locked() const;
+  void bump_locked_caller() PFM_REQUIRES(mu_);
+  void double_lock();
+  std::size_t read_exempt() const PFM_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  mutable Mutex mu_;
+  std::size_t count_ PFM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pfm::runtime

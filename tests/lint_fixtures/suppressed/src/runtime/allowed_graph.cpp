@@ -1,0 +1,22 @@
+// The graph-aware families honor the same suppression comments: inline
+// allow, allow on the preceding line, and allow-file (next file over).
+#include <chrono>
+#include <string>
+
+namespace pfm::runtime {
+
+using WallClock = std::chrono::steady_clock;
+
+// pfm-hot
+void tick() {
+  std::string label("round");  // pfm-lint: allow(hotpath) — setup label
+  // pfm-lint: allow(hotpath) — slow path pinned by a fixture
+  throw 1;
+}
+
+void flush(Tracer* tracer) {
+  const double wall = WallClock::now().time_since_epoch().count();
+  record_instant(tracer, wall);  // pfm-lint: allow(walltaint) — fixture
+}
+
+}  // namespace pfm::runtime

@@ -1,0 +1,14 @@
+// lockdiscipline suppression: allow-file disables the rule here.
+// pfm-lint: allow-file(lockdiscipline)
+namespace pfm::runtime {
+
+class Tally {
+ public:
+  int read() const { return count_; }
+
+ private:
+  mutable Mutex mu_;
+  int count_ PFM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pfm::runtime

@@ -1,0 +1,40 @@
+// walltaint fixture: wall-clock-derived values flowing into sim-time
+// instruments and trace emission; the kWall histogram is exempt.
+#include <chrono>
+
+namespace pfm::obs {
+
+using WallClock = std::chrono::steady_clock;
+
+struct WallTaintRecorder {
+  void configure(Registry& registry) {
+    rounds_gauge_ = registry.gauge("rounds");
+    wall_hist_ = registry.histogram("latency_seconds");
+    sim_hist_ = registry.histogram("rounds_per_epoch", Clock::kSim);
+  }
+
+  double wall_seconds() const {
+    const auto start = WallClock::now();
+    return std::chrono::duration<double>(WallClock::now() - start).count();
+  }
+
+  void flush(double sim_now) {
+    const double elapsed = wall_seconds();
+    rounds_gauge_->set(elapsed);
+    wall_hist_->observe(elapsed);
+    sim_hist_->observe(elapsed);
+    record_instant(tracer_, elapsed);
+    double boundary = sim_now;
+    boundary = elapsed;
+    span_.set_sim_end(boundary);
+    rounds_gauge_->set(sim_now);
+  }
+
+  Gauge* rounds_gauge_ = nullptr;
+  Histogram* wall_hist_ = nullptr;
+  Histogram* sim_hist_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  Span span_;
+};
+
+}  // namespace pfm::obs

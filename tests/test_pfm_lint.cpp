@@ -1,17 +1,21 @@
-// pfm-lint's own contract: a clean tree passes, each rule catches its
-// seeded fixture violation at the exact file:line, suppression comments
-// are honored, and — the actual gate — the repository's real src/ and
-// tests/ trees are finding-free. The CLI's exit-code protocol (0 clean,
-// 1 findings, 2 usage error) is pinned through the installed binary.
+// pfm-analyze's own contract: a clean tree passes, each rule family —
+// lexical and graph-aware — catches its seeded fixture violation at the
+// exact file:line, suppression comments are honored, and — the actual
+// gate — the repository's real src/ and tests/ trees are finding-free.
+// The CLI's exit-code protocol (0 clean, 1 findings, 2 usage error or
+// busted runtime budget) is pinned through the installed binary.
 
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -51,12 +55,15 @@ int run_cli(const std::string& args) {
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
-TEST(PfmLint, KnownRulesAreTheThreeInvariantFamilies) {
+TEST(PfmLint, KnownRulesAreTheSixFamilies) {
   const auto& rules = pfm::lint::known_rules();
-  ASSERT_EQ(rules.size(), 3u);
+  ASSERT_EQ(rules.size(), 6u);
   EXPECT_EQ(rules[0], "layering");
   EXPECT_EQ(rules[1], "determinism");
   EXPECT_EQ(rules[2], "concurrency");
+  EXPECT_EQ(rules[3], "hotpath");
+  EXPECT_EQ(rules[4], "walltaint");
+  EXPECT_EQ(rules[5], "lockdiscipline");
 }
 
 TEST(PfmLint, CleanFixtureTreeHasNoFindings) {
@@ -107,6 +114,60 @@ TEST(PfmLint, ConcurrencyRuleFlagsMutableStaticCatchAllVolatileRawThread) {
   for (const auto& f : findings) EXPECT_EQ(f.rule, "concurrency");
 }
 
+TEST(PfmLint, HotpathRuleFlagsClosureViolationsAtExactLines) {
+  const auto findings = run_on(fixture("hotpath"), {"hotpath"});
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/runtime/hot_paths.cpp:11 allocation",
+                "src/runtime/hot_paths.cpp:16 stream-io",
+                "src/runtime/hot_paths.cpp:28 allocation",
+                "src/runtime/hot_paths.cpp:29 mutex",
+                "src/runtime/hot_paths.cpp:31 throw",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "hotpath");
+  // The two-hop transitive finding names the seed and the path into it;
+  // the pfm-cold slow path (and everything it calls) is rightly absent.
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find(
+                "reached from pfm-hot 'tick' via 'helper_a' (2 calls deep)"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(PfmLint, WalltaintRuleTracksWallValuesIntoSimExports) {
+  const auto findings = run_on(fixture("walltaint"), {"walltaint"});
+  // Line 24 (the kWall histogram) is rightly absent; line 29 is tainted
+  // only through the `boundary = elapsed` assignment chain.
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/obs/wall_taint.cpp:23 wall-into-sim-metric",
+                "src/obs/wall_taint.cpp:25 wall-into-sim-metric",
+                "src/obs/wall_taint.cpp:26 wall-into-sim-trace",
+                "src/obs/wall_taint.cpp:29 wall-into-sim-trace",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "walltaint");
+}
+
+TEST(PfmLint, LockDisciplineChecksGuardedFieldsAndReacquisition) {
+  const auto findings = run_on(fixture("lockdiscipline"), {"lockdiscipline"});
+  // The locked reader, the PFM_REQUIRES caller, and the exempt reader
+  // are all clean; only the bare read and the re-acquisition remain.
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{
+                "src/runtime/guarded.cpp:13 guarded-access",
+                "src/runtime/guarded.cpp:27 double-acquire",
+            }));
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "lockdiscipline");
+}
+
+TEST(PfmLint, LexerHandlesSplicedCommentsAndPrefixedRawStrings) {
+  // The spliced `//` comment swallows a `volatile`, and the u8R/LR raw
+  // strings hide a zoo of banned tokens; only the real one survives.
+  const auto findings = run_on(fixture("lexer"));
+  EXPECT_EQ(keys(findings),
+            (std::vector<std::string>{"src/core/spliced.cpp:13 volatile"}));
+}
+
 TEST(PfmLint, SuppressionCommentsAreHonored) {
   // Same violation shapes as the bad fixtures — inline allow, allow on
   // the preceding line, and allow-file — all silenced.
@@ -147,6 +208,35 @@ TEST(PfmLint, CliExitCodesDistinguishCleanFindingsAndUsage) {
   EXPECT_EQ(run_cli("--list-rules"), 0);
   EXPECT_EQ(run_cli("--rule nonsense --root " + repo_root().string()), 2);
   EXPECT_EQ(run_cli("--bogus-flag"), 2);
+}
+
+TEST(PfmLint, SarifOutputCarriesRulesResultsAndLocations) {
+  const auto findings = run_on(fixture("lockdiscipline"), {"lockdiscipline"});
+  const std::string sarif = pfm::lint::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"pfm-analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"lockdiscipline/guarded-access\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/runtime/guarded.cpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 13"), std::string::npos);
+  // No findings still yields a valid document.
+  EXPECT_NE(pfm::lint::to_sarif({}).find("\"results\": []"),
+            std::string::npos);
+}
+
+TEST(PfmLint, CliSarifFormatAndRuntimeBudget) {
+  // SARIF goes to stdout; findings still drive the exit code.
+  EXPECT_EQ(run_cli("--format=sarif --root " + fixture("hotpath").string()),
+            1);
+  EXPECT_EQ(run_cli("--format sarif --root " + fixture("clean").string()), 0);
+  EXPECT_EQ(run_cli("--format riff --root " + fixture("clean").string()), 2);
+  // A generous budget changes nothing; a zero budget always trips (the
+  // test hook for the CI runtime-budget gate).
+  EXPECT_EQ(run_cli("--verbose --jobs 2 --budget-ms 600000 --root " +
+                    fixture("clean").string()),
+            0);
+  EXPECT_EQ(run_cli("--budget-ms 0 --root " + fixture("clean").string()), 2);
 }
 
 }  // namespace

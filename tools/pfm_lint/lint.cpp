@@ -1,267 +1,22 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
 #include <cstring>
-#include <fstream>
 #include <map>
+#include <mutex>
 #include <regex>
 #include <set>
-#include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
+
+#include "model.hpp"
+#include "source.hpp"
 
 namespace pfm::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source model: one file, split into lines, with comments and string
-// literals blanked out (replaced by spaces so columns survive) and the
-// pfm-lint suppression directives extracted from the comment text.
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  std::string rel_path;                     // "src/core/mea.cpp"
-  std::vector<std::string> code;            // stripped, index 0 == line 1
-  std::vector<std::string> raw;             // verbatim lines (for includes,
-                                            // whose targets are string
-                                            // literals and thus blanked in
-                                            // the code view)
-  std::vector<std::set<std::string>> allow; // per-line suppressed rules
-  std::set<std::string> allow_file;         // file-wide suppressed rules
-
-  bool in_src() const { return rel_path.rfind("src/", 0) == 0; }
-
-  bool suppressed(std::size_t line, const std::string& rule) const {
-    if (allow_file.count(rule) || allow_file.count("*")) return true;
-    if (line == 0 || line > allow.size()) return false;
-    const auto& set = allow[line - 1];
-    return set.count(rule) != 0 || set.count("*") != 0;
-  }
-};
-
-// Parses "pfm-lint: allow(rule, rule)" / "pfm-lint: allow-file(rule)"
-// out of one comment's text. Returns true when a directive was found.
-bool parse_directive(const std::string& comment, std::set<std::string>* line_rules,
-                     std::set<std::string>* file_rules) {
-  static const std::regex kDirective(
-      R"(pfm-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
-  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kDirective);
-  bool found = false;
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    found = true;
-    std::set<std::string>* target =
-        (*it)[1].str() == "allow" ? line_rules : file_rules;
-    std::stringstream names((*it)[2].str());
-    std::string name;
-    while (std::getline(names, name, ',')) {
-      const auto first = name.find_first_not_of(" \t");
-      if (first == std::string::npos) continue;
-      const auto last = name.find_last_not_of(" \t");
-      target->insert(name.substr(first, last - first + 1));
-    }
-  }
-  return found;
-}
-
-// Lexes the raw text: comments and string/char literals become spaces in
-// the code view; comment text is scanned for suppression directives.
-// Handles //, /* */, "...", '...', and R"delim(...)delim". A directive on
-// a line whose code view is blank also covers the following line.
-SourceFile load_source(const std::filesystem::path& path,
-                       std::string rel_path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("pfm-lint: cannot read " + rel_path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
-
-  SourceFile out;
-  out.rel_path = std::move(rel_path);
-
-  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
-  State state = State::Code;
-  std::string code_line;
-  std::string comment_line;  // comment text seen on the current line
-  std::string raw_delim;     // for R"delim( ... )delim"
-
-  std::string raw_line;
-  auto flush_line = [&] {
-    std::set<std::string> line_rules;
-    parse_directive(comment_line, &line_rules, &out.allow_file);
-    out.code.push_back(code_line);
-    out.raw.push_back(raw_line);
-    out.allow.push_back(std::move(line_rules));
-    code_line.clear();
-    raw_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::LineComment) state = State::Code;
-      flush_line();
-      continue;
-    }
-    raw_line += c;
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (code_line.empty() ||
-                    (!std::isalnum(static_cast<unsigned char>(code_line.back())) &&
-                     code_line.back() != '_'))) {
-          // Raw string literal: find the delimiter up to the '('.
-          const std::size_t paren = text.find('(', i + 2);
-          const std::size_t newline = text.find('\n', i);
-          if (paren == std::string::npos || newline < paren) {
-            code_line += c;  // malformed; treat as plain code
-          } else {
-            raw_delim = ")" + text.substr(i + 2, paren - (i + 2)) + "\"";
-            state = State::RawString;
-            code_line += std::string(paren - i + 1, ' ');
-            i = paren;  // consumed through '('
-          }
-        } else if (c == '"') {
-          state = State::String;
-          code_line += ' ';
-        } else if (c == '\'') {
-          state = State::Char;
-          code_line += ' ';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::LineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::BlockComment:
-        comment_line += c;
-        code_line += ' ';
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          code_line += ' ';
-          comment_line.pop_back();
-          ++i;
-        }
-        break;
-      case State::String:
-        code_line += ' ';
-        if (c == '\\' && next != '\0' && next != '\n') {
-          code_line += ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-        }
-        break;
-      case State::Char:
-        code_line += ' ';
-        if (c == '\\' && next != '\0') {
-          code_line += ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-        }
-        break;
-      case State::RawString:
-        code_line += ' ';
-        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          code_line += std::string(raw_delim.size() - 1, ' ');
-          i += raw_delim.size() - 1;
-          state = State::Code;
-        }
-        break;
-    }
-  }
-  flush_line();  // last line (also handles files without trailing \n)
-
-  // A directive on an otherwise-blank line covers the next line too.
-  for (std::size_t l = 0; l + 1 < out.allow.size(); ++l) {
-    const bool blank = out.code[l].find_first_not_of(" \t\r") ==
-                       std::string::npos;
-    if (blank && !out.allow[l].empty()) {
-      out.allow[l + 1].insert(out.allow[l].begin(), out.allow[l].end());
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Shared lexical helpers
-// ---------------------------------------------------------------------------
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// True when code[pos..pos+token) is `token` with identifier boundaries.
-bool token_at(const std::string& code, std::size_t pos,
-              const std::string& token) {
-  if (code.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && is_ident(code[pos - 1])) return false;
-  const std::size_t end = pos + token.size();
-  return end >= code.size() || !is_ident(code[end]);
-}
-
-// Finds the first template argument of the angle list opening at
-// code[open] == '<'. Returns the trimmed argument text, or "" when the
-// list does not close on this line (multi-line declarations are out of
-// lexical reach — documented limitation).
-std::string first_template_arg(const std::string& code, std::size_t open) {
-  int depth = 0;
-  std::size_t start = open + 1;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '<') {
-      ++depth;
-    } else if (c == '>') {
-      --depth;
-      if (depth == 0) {
-        std::string arg = code.substr(start, i - start);
-        const auto first = arg.find_first_not_of(" \t");
-        if (first == std::string::npos) return "";
-        const auto last = arg.find_last_not_of(" \t");
-        return arg.substr(first, last - first + 1);
-      }
-    } else if (c == ',' && depth == 1) {
-      std::string arg = code.substr(start, i - start);
-      const auto first = arg.find_first_not_of(" \t");
-      if (first == std::string::npos) return "";
-      const auto last = arg.find_last_not_of(" \t");
-      return arg.substr(first, last - first + 1);
-    }
-  }
-  return "";
-}
-
-// Position just past the matching '>' of the list at code[open] == '<',
-// or npos when it does not close on this line.
-std::size_t past_angle_list(const std::string& code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == '<') ++depth;
-    if (code[i] == '>' && --depth == 0) return i + 1;
-  }
-  return std::string::npos;
-}
-
-void emit(std::vector<Finding>* findings, const SourceFile& file,
-          std::size_t line, const std::string& rule, const std::string& check,
-          std::string message) {
-  if (file.suppressed(line, rule)) return;
-  findings->push_back({rule, check, file.rel_path, line, std::move(message)});
-}
 
 // ---------------------------------------------------------------------------
 // Rule: layering
@@ -596,13 +351,23 @@ void rule_concurrency(const SourceFile& file, std::vector<Finding>* findings) {
 // Driver
 // ---------------------------------------------------------------------------
 
-using RuleFn = void (*)(const SourceFile&, std::vector<Finding>*);
+using FileRuleFn = void (*)(const SourceFile&, std::vector<Finding>*);
+using GraphRuleFn = void (*)(const ProjectModel&, std::vector<Finding>*);
 
-const std::vector<std::pair<std::string, RuleFn>>& rule_table() {
-  static const std::vector<std::pair<std::string, RuleFn>> kRules = {
-      {"layering", &rule_layering},
-      {"determinism", &rule_determinism},
-      {"concurrency", &rule_concurrency},
+struct RuleEntry {
+  std::string name;
+  FileRuleFn file_rule = nullptr;    // exactly one of the two is set
+  GraphRuleFn graph_rule = nullptr;
+};
+
+const std::vector<RuleEntry>& rule_table() {
+  static const std::vector<RuleEntry> kRules = {
+      {"layering", &rule_layering, nullptr},
+      {"determinism", &rule_determinism, nullptr},
+      {"concurrency", &rule_concurrency, nullptr},
+      {"hotpath", nullptr, &rule_hotpath},
+      {"walltaint", nullptr, &rule_walltaint},
+      {"lockdiscipline", nullptr, &rule_lockdiscipline},
   };
   return kRules;
 }
@@ -612,42 +377,67 @@ bool has_source_extension(const std::filesystem::path& path) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 const std::vector<std::string>& known_rules() {
   static const std::vector<std::string> kNames = [] {
     std::vector<std::string> names;
-    for (const auto& [name, fn] : rule_table()) names.push_back(name);
+    for (const auto& entry : rule_table()) names.push_back(entry.name);
     return names;
   }();
   return kNames;
 }
 
 std::vector<Finding> run(const Options& options) {
-  namespace fs = std::filesystem;
+  RunStats stats;
+  return run(options, &stats);
+}
 
-  std::vector<RuleFn> selected;
+std::vector<Finding> run(const Options& options, RunStats* stats) {
+  namespace fs = std::filesystem;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<FileRuleFn> file_rules;
+  std::vector<GraphRuleFn> graph_rules;
   const auto& table = rule_table();
+  auto select = [&](const RuleEntry& entry) {
+    if (entry.file_rule) file_rules.push_back(entry.file_rule);
+    if (entry.graph_rule) graph_rules.push_back(entry.graph_rule);
+  };
   if (options.rules.empty()) {
-    for (const auto& [name, fn] : table) selected.push_back(fn);
+    for (const auto& entry : table) select(entry);
   } else {
     for (const auto& wanted : options.rules) {
-      const auto it =
-          std::find_if(table.begin(), table.end(),
-                       [&](const auto& entry) { return entry.first == wanted; });
+      const auto it = std::find_if(
+          table.begin(), table.end(),
+          [&](const RuleEntry& entry) { return entry.name == wanted; });
       if (it == table.end()) {
-        throw std::runtime_error("pfm-lint: unknown rule '" + wanted + "'");
+        throw std::runtime_error("pfm-analyze: unknown rule '" + wanted + "'");
       }
-      selected.push_back(it->second);
+      select(*it);
     }
   }
 
   if (!fs::is_directory(options.root)) {
-    throw std::runtime_error("pfm-lint: root is not a directory: " +
+    throw std::runtime_error("pfm-analyze: root is not a directory: " +
                              options.root.string());
   }
 
-  std::vector<Finding> findings;
+  // Collect the file list first (sorted, so worker partitioning and
+  // output are deterministic), then lex + run per-file rules in
+  // parallel. Rules are pure functions of one file; workers only merge
+  // results at the join.
+  struct Job {
+    fs::path path;
+    std::string rel;
+  };
+  std::vector<Job> jobs_list;
   for (const char* subtree : {"src", "tests"}) {
     const fs::path base = options.root / subtree;
     if (!fs::is_directory(base)) continue;
@@ -663,18 +453,87 @@ std::vector<Finding> run(const Options& options) {
         continue;
       }
       if (!it->is_regular_file() || !has_source_extension(path)) continue;
-      const std::string rel =
-          fs::relative(path, options.root).generic_string();
-      const SourceFile source = load_source(path, rel);
-      for (RuleFn rule : selected) rule(source, &findings);
+      jobs_list.push_back(
+          {path, fs::relative(path, options.root).generic_string()});
     }
   }
+  std::sort(jobs_list.begin(), jobs_list.end(),
+            [](const Job& a, const Job& b) { return a.rel < b.rel; });
+
+  std::size_t workers = options.jobs;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = std::min({workers, jobs_list.size(), std::size_t{16}});
+  if (workers == 0) workers = 1;
+
+  std::vector<std::shared_ptr<const SourceFile>> sources(jobs_list.size());
+  std::vector<std::vector<Finding>> worker_findings(workers);
+  std::vector<std::string> worker_errors(workers);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (std::size_t i = w; i < jobs_list.size(); i += workers) {
+            auto source =
+                load_source_cached(jobs_list[i].path, jobs_list[i].rel);
+            for (FileRuleFn rule : file_rules) {
+              rule(*source, &worker_findings[w]);
+            }
+            sources[i] = std::move(source);
+          }
+        } catch (const std::exception& e) {
+          worker_errors[w] = e.what();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (const auto& err : worker_errors) {
+    if (!err.empty()) throw std::runtime_error(err);
+  }
+
+  std::vector<Finding> findings;
+  for (auto& wf : worker_findings) {
+    findings.insert(findings.end(), std::make_move_iterator(wf.begin()),
+                    std::make_move_iterator(wf.end()));
+  }
+  stats->files = jobs_list.size();
+  stats->jobs = workers;
+  stats->load_ms = ms_since(t0);
+
+  // Graph rules see the src/ views of the tree (fixture trees keep
+  // their seeded code under <fixture>/src/ for the same reason).
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!graph_rules.empty()) {
+    std::vector<std::shared_ptr<const SourceFile>> src_files;
+    for (const auto& source : sources) {
+      if (source && source->in_src()) src_files.push_back(source);
+    }
+    const ProjectModel model = build_model(std::move(src_files));
+    stats->functions = model.functions.size();
+    for (const auto& fn : model.functions) {
+      stats->call_edges += fn.calls.size();
+    }
+    for (GraphRuleFn rule : graph_rules) rule(model, &findings);
+  }
+  stats->graph_ms = ms_since(t1);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.check, a.message) <
                      std::tie(b.file, b.line, b.check, b.message);
             });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule && a.check == b.check &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  stats->total_ms = ms_since(t0);
   return findings;
 }
 

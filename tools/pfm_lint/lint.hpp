@@ -1,23 +1,40 @@
 #pragma once
 
-// pfm-lint: the project's own static-analysis pass. It walks src/ and
-// tests/, strips comments and string literals, and enforces the three
-// invariant families the runtime's guarantees rest on:
+// pfm-analyze: the project's own static-analysis pass (formerly
+// pfm-lint; the library name and suppression directives are unchanged).
+// It walks src/ and tests/, lexes every file into a comment/string-free
+// code view, parses function scopes into a per-file symbol table plus an
+// intra-project call graph, and enforces six invariant families:
 //
+// Lexical (per file):
 //   layering     — the module dependency policy (core is telecom- and
 //                  runtime-free, numerics is a leaf, injection only wraps
-//                  public contracts). The allowed-dependency matrix below
-//                  is the single source of truth; tests assert against it.
+//                  public contracts). The allowed-dependency matrix in
+//                  lint.cpp is the single source of truth.
 //   determinism  — no wall-clock or platform randomness in results:
 //                  rand()/srand(), std::random_device and
 //                  std::chrono::system_clock are banned, containers must
 //                  not be keyed by object addresses, and unordered
-//                  containers must not be iterated in src/ (iteration
-//                  order would leak into reduces). Seeded splitmix64
-//                  streams (numerics/rng.hpp) are the only RNG.
+//                  containers must not be iterated in src/.
 //   concurrency  — no mutable static state, no `volatile` as a
 //                  synchronization primitive, and no `catch (...)`
 //                  outside the ThreadPool's per-task capture sites.
+//
+// Graph-aware (whole project, see DESIGN.md §7):
+//   hotpath        — functions annotated `// pfm-hot` are closed
+//                    transitively over the call graph; every reachable
+//                    function is checked for heap allocation, throw,
+//                    mutex acquisition and stream I/O. `// pfm-cold`
+//                    marks a slow path the closure must not enter.
+//   walltaint      — values derived from wall clocks
+//                    (std::chrono::steady_clock & aliases) are traced
+//                    through assignments and call returns; flowing into
+//                    a sim-clocked metric instrument or sim-time trace
+//                    emission is a finding.
+//   lockdiscipline — PFM_GUARDED_BY fields cross-checked against actual
+//                    lock scopes per function: guarded access outside
+//                    any lock, and double-acquisition. Mirrors (and
+//                    covers GCC builds for) Clang -Wthread-safety.
 //
 // Diagnostics are per-line and suppressible in place:
 //
@@ -28,11 +45,13 @@
 // for the whole file. Every suppression is grep-able, so exceptions to
 // the invariants stay visible in review.
 //
-// The pass is deliberately lexical (no LLVM dependency): it trades
-// soundness-in-the-limit for a zero-cost gate every PR runs under.
-// clang-tidy and -Wthread-safety cover the semantic end of the spectrum
-// (see DESIGN.md "Correctness tooling").
+// The pass is deliberately LLVM-free: it trades soundness-in-the-limit
+// for a gate fast enough (< 2 s full-tree, parallel scan + cached code
+// views) that every PR runs it. clang-tidy and -Wthread-safety cover
+// the semantic end of the spectrum (see DESIGN.md "Correctness
+// tooling").
 
+#include <cstddef>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -58,6 +77,20 @@ struct Options {
   /// Directory names skipped during the walk. Defaults to the lint's
   /// own test fixtures, which contain violations on purpose.
   std::vector<std::string> exclude_dirs = {"lint_fixtures"};
+  /// Worker threads for the file scan; 0 means hardware concurrency.
+  std::size_t jobs = 0;
+};
+
+/// Phase timings and scan counters, filled by run() for --verbose and
+/// the CI runtime-budget step.
+struct RunStats {
+  std::size_t files = 0;
+  std::size_t functions = 0;   ///< function definitions parsed (src/)
+  std::size_t call_edges = 0;  ///< resolved intra-project call edges
+  std::size_t jobs = 0;        ///< worker threads actually used
+  double load_ms = 0;          ///< lex + per-file rules (parallel phase)
+  double graph_ms = 0;         ///< model build + graph rules
+  double total_ms = 0;
 };
 
 /// The rule names `Options::rules` accepts, in diagnostic order.
@@ -67,6 +100,9 @@ const std::vector<std::string>& known_rules();
 /// then line, then check. Throws std::runtime_error on an unknown rule
 /// name or an unreadable root.
 std::vector<Finding> run(const Options& options);
+
+/// As above, additionally reporting scan statistics.
+std::vector<Finding> run(const Options& options, RunStats* stats);
 
 /// "src/core/mea.cpp:12: [determinism/banned-token] message" — the
 /// format both the CLI and test failure output use.

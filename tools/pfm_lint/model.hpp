@@ -1,0 +1,91 @@
+#pragma once
+
+// pfm-analyze semantic layer: a lightweight function/scope parser over
+// the lexed code views. It recovers, per translation unit, the function
+// definitions (with namespace/class context, header and body extents,
+// pfm-hot / pfm-cold markers and PFM_* thread-safety attributes), the
+// project-wide PFM_GUARDED_BY field map, the metrics-instrument clock
+// map, and a name-resolved intra-project call graph.
+//
+// Parsing is brace-structural, not grammatical: it tracks scopes by
+// classifying the "pending header" (code accumulated since the last
+// ';', '{' or '}') whenever a '{' opens. That is enough to attribute
+// every body line to a function and to link receiver-less calls
+// (`f(...)`, `ns::f(...)`, `Class::f(...)`, `this->f(...)`). Calls
+// through an object (`x.f()`, `p->f()`) are dynamic-dispatch boundaries
+// the graph deliberately does not cross — see DESIGN.md §7.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "source.hpp"
+
+namespace pfm::lint {
+
+struct FunctionDef {
+  const SourceFile* file = nullptr;
+  std::string name;        // "score_batch"
+  std::string class_name;  // "UbfPredictor"; "" for free functions
+  std::string display;     // "UbfPredictor::score_batch"
+  std::size_t header_line = 0;      // 1-based first line of the header
+  std::size_t body_open_line = 0;   // line holding the opening '{'
+  std::size_t body_open_col = 0;    // column just past that '{'
+  std::size_t body_close_line = 0;  // line holding the matching '}'
+  std::size_t body_close_col = 0;   // column of that '}'
+  bool hot = false;                 // seeded by "// pfm-hot"
+  bool cold = false;                // closure boundary, "// pfm-cold"
+  bool lock_exempt = false;         // PFM_NO_THREAD_SAFETY_ANALYSIS /
+                                    // PFM_ACQUIRE / PFM_RELEASE
+  bool is_ctor_dtor = false;
+  std::set<std::string> required_caps;  // PFM_REQUIRES(...) arguments
+  std::vector<std::size_t> calls;       // indices into ProjectModel::functions
+};
+
+struct InstrumentClock {
+  bool sim = false;      // registered against obs sim time
+  std::size_t line = 0;  // registration site (diagnostics)
+  std::string file;
+};
+
+struct ProjectModel {
+  // Keeps the lexed views alive for the FunctionDef::file pointers.
+  std::vector<std::shared_ptr<const SourceFile>> files;
+  std::vector<FunctionDef> functions;
+  // function name -> indices into `functions` (definitions only).
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  // class -> (field -> capability) from PFM_GUARDED_BY declarations.
+  std::map<std::string, std::map<std::string, std::string>> guarded;
+  // metric-instrument variable name (last path component of the LHS at
+  // the registration site) -> which clock it was registered under.
+  std::map<std::string, InstrumentClock> instruments;
+  // file rel_path -> wall-clock type aliases declared in that file
+  // (e.g. "WallClock" for `using WallClock = std::chrono::steady_clock`).
+  std::map<std::string, std::set<std::string>> wall_aliases;
+};
+
+/// Builds the model over the given files (callers pass the src/ views;
+/// tests and fixtures under a tree's src/ are modeled the same way).
+ProjectModel build_model(std::vector<std::shared_ptr<const SourceFile>> files);
+
+/// Invokes `fn(line_no, segment, col_offset)` for every code-view line
+/// of the function body, clipped to the body's braces. `col_offset` is
+/// the column in the original line where `segment` begins (findings need
+/// original line numbers; columns matter only within the segment).
+void for_each_body_line(
+    const FunctionDef& def,
+    const std::function<void(std::size_t, const std::string&)>& fn);
+
+// The three graph-aware rule families (rule names: "hotpath",
+// "walltaint", "lockdiscipline").
+void rule_hotpath(const ProjectModel& model, std::vector<Finding>* findings);
+void rule_walltaint(const ProjectModel& model, std::vector<Finding>* findings);
+void rule_lockdiscipline(const ProjectModel& model,
+                         std::vector<Finding>* findings);
+
+}  // namespace pfm::lint

@@ -1,0 +1,100 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace pfm::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Rule metadata: one entry per distinct "family/check" id, in sorted
+  // order; results reference rules by index.
+  std::map<std::string, std::size_t> rule_index;
+  for (const auto& f : findings) {
+    rule_index.emplace(f.rule + "/" + f.check, 0);
+  }
+  std::size_t next = 0;
+  for (auto& [id, index] : rule_index) index = next++;
+
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"pfm-analyze\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const auto& [id, index] : rule_index) {
+    (void)index;
+    out << (first ? "\n" : ",\n")
+        << "            {\"id\": \"" << json_escape(id)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(id)
+        << "\"}}";
+    first = false;
+  }
+  out << (rule_index.empty() ? "]\n" : "\n          ]\n")
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const auto& f : findings) {
+    const std::string id = f.rule + "/" + f.check;
+    out << (first ? "\n" : ",\n")
+        << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(id) << "\",\n"
+        << "          \"ruleIndex\": " << rule_index[id] << ",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": " << f.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+    first = false;
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n")
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace pfm::lint

@@ -1,0 +1,19 @@
+#pragma once
+
+// SARIF 2.1.0 serialization of pfm-analyze findings, the interchange
+// format GitHub code scanning ingests (`--format=sarif` in the CLI,
+// uploaded by lint.yml). One run, one result per finding, rule ids of
+// the form "family/check".
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace pfm::lint {
+
+/// Serializes findings as a SARIF 2.1.0 document (UTF-8, trailing
+/// newline). Deterministic for a given findings vector.
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace pfm::lint

@@ -1,0 +1,97 @@
+#pragma once
+
+// pfm-analyze lexing layer: loads one translation unit into a per-line
+// "code view" (comments and string/char literals blanked to spaces so
+// columns survive), extracts the pfm-lint suppression directives and the
+// pfm-hot / pfm-cold hot-path markers from comment text, and exposes the
+// small lexical helpers every rule shares.
+//
+// The lexer is deliberately line-synchronous: every newline in the input
+// produces exactly one entry in `code`/`raw`/`allow`/`marks`, whatever
+// state (block comment, raw string, spliced line comment) the lexer is
+// in — so a finding's line number can never desync from the editor's.
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace pfm::lint {
+
+struct SourceFile {
+  // Per-line marker bits parsed from comment text.
+  static constexpr unsigned char kHot = 1;   // "pfm-hot"
+  static constexpr unsigned char kCold = 2;  // "pfm-cold"
+
+  std::string rel_path;                      // "src/core/mea.cpp"
+  std::vector<std::string> code;             // stripped, index 0 == line 1
+  std::vector<std::string> raw;              // verbatim lines (for includes,
+                                             // whose targets are string
+                                             // literals and thus blanked in
+                                             // the code view)
+  std::vector<std::set<std::string>> allow;  // per-line suppressed rules
+  std::set<std::string> allow_file;          // file-wide suppressed rules
+  std::vector<unsigned char> marks;          // per-line kHot/kCold bits
+
+  bool in_src() const { return rel_path.rfind("src/", 0) == 0; }
+
+  bool suppressed(std::size_t line, const std::string& rule) const {
+    if (allow_file.count(rule) || allow_file.count("*")) return true;
+    if (line == 0 || line > allow.size()) return false;
+    const auto& set = allow[line - 1];
+    return set.count(rule) != 0 || set.count("*") != 0;
+  }
+
+  // True when any line in [first, last] (1-based, inclusive) carries the
+  // marker bit. Out-of-range ends are clamped.
+  bool marked(std::size_t first, std::size_t last, unsigned char bit) const {
+    if (first == 0) first = 1;
+    if (last > marks.size()) last = marks.size();
+    for (std::size_t l = first; l <= last; ++l) {
+      if (marks[l - 1] & bit) return true;
+    }
+    return false;
+  }
+};
+
+/// Lexes `path` into a SourceFile. Throws std::runtime_error when the
+/// file cannot be read.
+SourceFile load_source(const std::filesystem::path& path,
+                       std::string rel_path);
+
+/// Cache-aware load: reuses a previously lexed view when the file's
+/// (size, mtime) is unchanged. Thread-safe; the analyzer scans files in
+/// parallel and the test suite runs many trees in one process.
+std::shared_ptr<const SourceFile> load_source_cached(
+    const std::filesystem::path& path, std::string rel_path);
+
+// ---------------------------------------------------------------------------
+// Shared lexical helpers (operate on one line of the code view)
+// ---------------------------------------------------------------------------
+
+inline bool is_ident(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// True when code[pos..pos+token) is `token` with identifier boundaries.
+bool token_at(const std::string& code, std::size_t pos,
+              const std::string& token);
+
+/// First template argument of the angle list opening at code[open] ==
+/// '<' (trimmed), or "" when the list does not close on this line.
+std::string first_template_arg(const std::string& code, std::size_t open);
+
+/// Position just past the matching '>' of the list at code[open] == '<',
+/// or npos when it does not close on this line.
+std::size_t past_angle_list(const std::string& code, std::size_t open);
+
+/// Suppression-aware append of one finding.
+void emit(std::vector<Finding>* findings, const SourceFile& file,
+          std::size_t line, const std::string& rule, const std::string& check,
+          std::string message);
+
+}  // namespace pfm::lint
