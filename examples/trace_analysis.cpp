@@ -2,8 +2,10 @@
 // trace format, reload it (as an operator would with real field data),
 // summarize it, ask the diagnosis component who is to blame while a
 // fault is still only a precursor — then run a closed MEA loop with the
-// observability hub attached and export its stage spans as a Chrome
-// trace-event file (loadable at ui.perfetto.dev).
+// observability hub, the online quality scoreboard and the flight
+// recorder attached, export its stage spans as a Chrome trace-event
+// file (loadable at ui.perfetto.dev), and print the live Eq. 8
+// self-assessment plus the post-mortem the crashed node left behind.
 //
 //   $ ./examples/trace_analysis [output.csv] [mea_trace.json]
 
@@ -12,6 +14,7 @@
 #include <memory>
 
 #include "core/diagnosis.hpp"
+#include "injection/injector.hpp"
 #include "monitoring/io.hpp"
 #include "numerics/stats.hpp"
 #include "obs/export.hpp"
@@ -126,7 +129,16 @@ int main(int argc, char** argv) {
   obs::ObservabilityConfig ocfg;
   ocfg.shards = 2;                // controller + 1 pool worker
   ocfg.trace_capacity = 1 << 16;  // ample for half a day of rounds
+  ocfg.flight_capacity = 32;      // per-node flight recorder ring
   obs::Observability hub(ocfg);
+
+  // One scripted crash so the flight recorder has a story to tell: the
+  // quarantine of node 1 dumps its last 32 events as a post-mortem.
+  inj::FaultPlan plan;
+  plan.seed = 1234;
+  plan.nodes[1].crash_at = 10800.0;
+  inj::FaultInjector injector(plan);
+  injector.set_observability(&hub);
 
   telecom::SimConfig loop_cfg = cfg;
   loop_cfg.duration = 0.5 * 86400.0;
@@ -134,11 +146,13 @@ int main(int argc, char** argv) {
   fleet_cfg.mea.warning_threshold = 0.72;
   fleet_cfg.mea.action_cooldown = 600.0;
   fleet_cfg.num_threads = 2;
+  fleet_cfg.quality.enabled = true;  // the live Sect. 3.3 scoreboard
   fleet_cfg.obs = &hub;
   auto nodes = runtime::make_scp_fleet(loop_cfg, 4);
   const auto pressure_idx =
       *nodes.front()->trace().schema().index("mem_pressure_max");
-  runtime::FleetController fleet(std::move(nodes), fleet_cfg);
+  runtime::FleetController fleet(injector.wrap_fleet(std::move(nodes)),
+                                 fleet_cfg);
   fleet.add_symptom_predictor(
       std::make_shared<PressurePredictor>(pressure_idx));
   fleet.add_action(
@@ -173,5 +187,40 @@ int main(int argc, char** argv) {
     ++printed;
   }
   std::printf("  ...\n");
+
+  // The online quality scoreboard (DESIGN.md §12): the combined lane's
+  // live Sect. 3.3 quality and the Eq. 8 self-assessment — what the
+  // Fig. 9 model predicts availability should be given the quality the
+  // predictor is demonstrating, next to what the fleet measured.
+  std::printf("\nquality scoreboard (combined lane + Eq. 8 gauges):\n");
+  pos = 0;
+  while (pos < scrape.size()) {
+    const std::size_t eol = scrape.find('\n', pos);
+    const std::string line = scrape.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.compare(0, 12, "pfm_quality_") != 0) continue;
+    if (line.find("availability") == std::string::npos &&
+        line.find("{predictor=\"combined\"}") == std::string::npos) {
+      continue;
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+
+  // The crashed node's post-mortem: the flight recorder dumped its last
+  // events (scores, warnings, actions, the injected fault) when the
+  // fleet quarantined it.
+  std::printf("\nflight-recorder post-mortem (first dump):\n");
+  const std::string dumps = hub.flight()->post_mortems_text();
+  printed = 0;
+  pos = 0;
+  while (printed < 10 && pos < dumps.size()) {
+    const std::size_t eol = dumps.find('\n', pos);
+    const std::string line = dumps.substr(pos, eol - pos);
+    if (printed > 0 && line.compare(0, 14, "{\"postmortem\":") == 0) break;
+    std::printf("  %s\n", line.c_str());
+    pos = eol + 1;
+    ++printed;
+  }
+  if (pos < dumps.size()) std::printf("  ...\n");
   return 0;
 }

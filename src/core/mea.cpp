@@ -30,6 +30,11 @@ void ActEngine::set_observability(obs::Observability* hub,
   abandoned_total_ = &metrics.counter("pfm_actions_abandoned_total");
 }
 
+void ActEngine::set_flight(obs::FlightRecorder* flight, std::size_t node) {
+  flight_ = flight;
+  flight_node_ = node;
+}
+
 bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
                             double score, const MeaConfig& config,
                             MeaStats& stats) {
@@ -42,6 +47,13 @@ bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
       obs::record_instant(tracer_, obs::SpanKind::kActionRetry, track_,
                           system.now(), static_cast<std::uint32_t>(attempt),
                           static_cast<std::int64_t>(k));
+      if (flight_ != nullptr) {
+        flight_->record_node(
+            flight_node_,
+            obs::FlightEvent{system.now(), obs::FlightEventKind::kActionRetry,
+                             static_cast<std::uint32_t>(attempt),
+                             static_cast<std::int64_t>(k), score});
+      }
     }
     try {
       obs::ScopedSpan span(tracer_, obs::SpanKind::kActionExecute, track_,
@@ -52,6 +64,13 @@ bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
       abandoned_streak_[k] = 0;
       backoff_until_[k] = -1e18;
       if (executed_total_ != nullptr) executed_total_->inc();
+      if (flight_ != nullptr) {
+        flight_->record_node(
+            flight_node_,
+            obs::FlightEvent{system.now(), obs::FlightEventKind::kAction,
+                             static_cast<std::uint32_t>(attempt),
+                             static_cast<std::int64_t>(k), score});
+      }
       return true;
     } catch (const std::exception&) {
       ++stats.action_faults;
@@ -63,6 +82,12 @@ bool ActEngine::try_execute(act::Action& action, ManagedSystem& system,
   // time, doubling per consecutive abandoned execution.
   ++stats.actions_abandoned;
   if (abandoned_total_ != nullptr) abandoned_total_->inc();
+  if (flight_ != nullptr) {
+    flight_->record_node(
+        flight_node_,
+        obs::FlightEvent{system.now(), obs::FlightEventKind::kActionAbandoned,
+                         0, static_cast<std::int64_t>(k), score});
+  }
   const double backoff =
       std::min(config.retry.backoff_initial *
                    std::exp2(static_cast<double>(abandoned_streak_[k])),

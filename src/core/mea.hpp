@@ -122,6 +122,12 @@ class ActEngine {
   /// hot-path operation. Null detaches.
   void set_observability(obs::Observability* hub, std::uint32_t track);
 
+  /// Attaches the engine to the flight recorder's scope of `node`:
+  /// executions, retries and abandonments land in the node's ring so a
+  /// post-mortem shows what the Act stage did right before an incident.
+  /// Null detaches.
+  void set_flight(obs::FlightRecorder* flight, std::size_t node);
+
  private:
   /// Runs one action under the retry policy; true on success.
   bool try_execute(act::Action& action, ManagedSystem& system, double score,
@@ -129,6 +135,8 @@ class ActEngine {
 
   obs::TraceRecorder* tracer_ = nullptr;
   std::uint32_t track_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::size_t flight_node_ = 0;
   obs::Counter* executed_total_ = nullptr;
   obs::Counter* faults_total_ = nullptr;
   obs::Counter* retries_total_ = nullptr;

@@ -1,5 +1,6 @@
 #include "ctmc/pfm_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,6 +26,25 @@ void PredictionQuality::validate() const {
           "PredictionQuality: recall must be in [0,1]");
   require(false_positive_rate >= 0.0 && false_positive_rate < 1.0,
           "PredictionQuality: fpr must be in [0,1)");
+}
+
+PredictionQuality clamped_quality(double precision, double recall,
+                                  double false_positive_rate, double eps) {
+  require(eps > 0.0 && eps < 0.5, "clamped_quality: eps must be in (0,0.5)");
+  PredictionQuality q;  // the degenerate perfect-predictor point
+  if (std::isfinite(precision) && std::isfinite(recall) &&
+      std::isfinite(false_positive_rate)) {
+    q.precision = std::min(std::max(precision, eps), 1.0);
+    q.recall = std::min(std::max(recall, 0.0), 1.0);
+    q.false_positive_rate =
+        std::min(std::max(false_positive_rate, 0.0), 1.0 - eps);
+    // precision < 1 implies false positives exist; fpr == 0 would make
+    // PfmRates::derive reject the pair as contradictory.
+    if (q.false_positive_rate <= 0.0 && q.precision < 1.0) {
+      q.false_positive_rate = eps;
+    }
+  }
+  return q;
 }
 
 void PfmModelParams::validate() const {

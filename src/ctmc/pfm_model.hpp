@@ -23,6 +23,18 @@ struct PredictionQuality {
   void validate() const;
 };
 
+/// Clamps raw measured quality (e.g. a windowed online contingency
+/// table, which can legitimately report precision 0 or fpr at one of
+/// the boundaries the rate derivation excludes) into the open domain
+/// PfmRates::derive accepts: precision into [eps, 1], recall into
+/// [0, 1], fpr into [0, 1 - eps], and fpr lifted to eps whenever
+/// precision < 1 demands a positive false-positive rate. Non-finite
+/// inputs fall back to the degenerate perfect-predictor point
+/// (1, 1, 0). The result always satisfies PredictionQuality::validate.
+PredictionQuality clamped_quality(double precision, double recall,
+                                  double false_positive_rate,
+                                  double eps = 1e-6);
+
 /// All parameters of the Fig. 9 availability model.
 ///
 /// The timing constants (MTTF, MTTR, action time) are not published in the

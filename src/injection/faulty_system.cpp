@@ -19,8 +19,10 @@ FaultyManagedSystem::FaultyManagedSystem(
   if (!inner_) {
     throw std::invalid_argument("FaultyManagedSystem: null inner system");
   }
+  node_index_ = node_index;
   if (hub != nullptr) {
     tracer_ = hub->tracer();
+    flight_ = hub->flight();
     track_ = obs::node_track(node_index);
     auto& metrics = hub->metrics();
     crash_counter_ =
@@ -55,6 +57,13 @@ void FaultyManagedSystem::step_to(double t) {
     obs::record_instant(tracer_, obs::SpanKind::kInjectedFault, track_,
                         inner_->now(), 0,
                         static_cast<std::int64_t>(FaultCode::kNodeCrash));
+    if (flight_ != nullptr) {
+      flight_->record_node(
+          node_index_,
+          obs::FlightEvent{inner_->now(), obs::FlightEventKind::kInjectedFault,
+                           0, static_cast<std::int64_t>(FaultCode::kNodeCrash),
+                           0.0});
+    }
     throw_if_crashed();
   }
   if (spec_.hang_at >= 0.0 && inner_->now() >= spec_.hang_at &&
@@ -65,6 +74,13 @@ void FaultyManagedSystem::step_to(double t) {
     obs::record_instant(tracer_, obs::SpanKind::kInjectedFault, track_,
                         inner_->now(), 0,
                         static_cast<std::int64_t>(FaultCode::kNodeHang));
+    if (flight_ != nullptr) {
+      flight_->record_node(
+          node_index_,
+          obs::FlightEvent{inner_->now(), obs::FlightEventKind::kInjectedFault,
+                           0, static_cast<std::int64_t>(FaultCode::kNodeHang),
+                           0.0});
+    }
     return;  // liveness fault: the call returns but time stands still
   }
   inner_->step_to(t);

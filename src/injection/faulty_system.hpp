@@ -82,6 +82,8 @@ class FaultyManagedSystem final : public core::ManagedSystem {
 
   obs::TraceRecorder* tracer_ = nullptr;
   std::uint32_t track_ = 0;
+  obs::FlightRecorder* flight_ = nullptr;
+  std::size_t node_index_ = 0;
   obs::Counter* crash_counter_ = nullptr;
   obs::Counter* hang_counter_ = nullptr;
   obs::Counter* drop_counter_ = nullptr;

@@ -1,0 +1,170 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "obs/export.hpp"
+
+namespace pfm::obs {
+
+const char* to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kScore: return "score";
+    case FlightEventKind::kWarning: return "warning";
+    case FlightEventKind::kAction: return "action";
+    case FlightEventKind::kActionRetry: return "action_retry";
+    case FlightEventKind::kActionAbandoned: return "action_abandoned";
+    case FlightEventKind::kInjectedFault: return "injected_fault";
+    case FlightEventKind::kBreakerTrip: return "breaker_trip";
+    case FlightEventKind::kBreakerClose: return "breaker_close";
+    case FlightEventKind::kQuarantine: return "quarantine";
+    case FlightEventKind::kMemberJoin: return "member_join";
+    case FlightEventKind::kMemberLeave: return "member_leave";
+    case FlightEventKind::kMemberDrain: return "member_drain";
+    case FlightEventKind::kMemberRestart: return "member_restart";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity) {}
+
+void FlightRecorder::ensure_nodes(std::size_t count) {
+  if (!enabled() || count <= nodes_.size()) return;
+  nodes_.resize(count);
+  for (auto& scope : nodes_) {
+    if (scope.ring.size() < capacity_) scope.ring.resize(capacity_);
+  }
+}
+
+void FlightRecorder::ensure_lanes(std::size_t count, std::size_t stride) {
+  if (!enabled()) return;
+  lane_stride_ = stride;
+  if (count <= lanes_.size()) return;
+  lanes_.resize(count);
+  for (auto& scope : lanes_) {
+    if (scope.ring.size() < capacity_) scope.ring.resize(capacity_);
+  }
+}
+
+// pfm-hot
+void FlightRecorder::record(Scope& scope, const FlightEvent& event) noexcept {
+  scope.ring[static_cast<std::size_t>(scope.total % capacity_)] = event;
+  ++scope.total;
+}
+
+// pfm-hot
+void FlightRecorder::record_node(std::size_t node,
+                                 const FlightEvent& event) noexcept {
+  if (node >= nodes_.size()) return;
+  record(nodes_[node], event);
+}
+
+// pfm-hot
+void FlightRecorder::record_lane(std::size_t lane,
+                                 const FlightEvent& event) noexcept {
+  if (lane >= lanes_.size()) return;
+  record(lanes_[lane], event);
+}
+
+// pfm-cold
+void FlightRecorder::dump(Scope& scope, const char* family, std::size_t id,
+                          const char* reason, double time) {
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(scope.total, capacity_);
+  const std::uint64_t dropped = scope.total - retained;
+  std::string out = "{\"postmortem\":\"";
+  out += family;
+  out += "\",\"id\":" + std::to_string(id);
+  if (family[0] == 'p' && lane_stride_ > 0) {
+    out += ",\"shard\":" + std::to_string(id / lane_stride_);
+    out += ",\"predictor\":" + std::to_string(id % lane_stride_);
+  }
+  out += ",\"reason\":\"";
+  out += reason;
+  out += "\",\"time\":" + format_double(time);
+  out += ",\"events\":" + std::to_string(retained);
+  out += ",\"dropped\":" + std::to_string(dropped);
+  out += "}\n";
+  const std::uint64_t oldest = scope.total >= capacity_
+                                   ? scope.total % capacity_
+                                   : 0;
+  for (std::uint64_t i = 0; i < retained; ++i) {
+    const FlightEvent& e =
+        scope.ring[static_cast<std::size_t>((oldest + i) % capacity_)];
+    out += "{\"t\":" + format_double(e.time);
+    out += ",\"kind\":\"";
+    out += to_string(e.kind);
+    out += "\",\"sub\":" + std::to_string(e.sub);
+    out += ",\"arg\":" + std::to_string(e.arg);
+    out += ",\"value\":" + format_double(e.value);
+    out += "}\n";
+  }
+  scope.dumps.push_back(std::move(out));
+  scope.dump_times.push_back(time);
+}
+
+// pfm-cold
+void FlightRecorder::dump_node(std::size_t node, const char* reason,
+                               double time) {
+  if (node >= nodes_.size()) return;
+  dump(nodes_[node], "node", node, reason, time);
+}
+
+// pfm-cold
+void FlightRecorder::dump_lane(std::size_t lane, const char* reason,
+                               double time) {
+  if (lane >= lanes_.size()) return;
+  dump(lanes_[lane], "predictor", lane, reason, time);
+}
+
+std::size_t FlightRecorder::dump_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& scope : nodes_) count += scope.dumps.size();
+  for (const auto& scope : lanes_) count += scope.dumps.size();
+  return count;
+}
+
+std::string FlightRecorder::post_mortems_text() const {
+  // (time, family, id, seq) sort key — family 0 = node, 1 = predictor.
+  struct Key {
+    double time;
+    int family;
+    std::size_t id;
+    std::size_t seq;
+    const std::string* text;
+  };
+  std::vector<Key> keys;
+  keys.reserve(dump_count());
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const auto& scope = nodes_[id];
+    for (std::size_t seq = 0; seq < scope.dumps.size(); ++seq) {
+      keys.push_back({scope.dump_times[seq], 0, id, seq, &scope.dumps[seq]});
+    }
+  }
+  for (std::size_t id = 0; id < lanes_.size(); ++id) {
+    const auto& scope = lanes_[id];
+    for (std::size_t seq = 0; seq < scope.dumps.size(); ++seq) {
+      keys.push_back({scope.dump_times[seq], 1, id, seq, &scope.dumps[seq]});
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    return std::tie(a.time, a.family, a.id, a.seq) <
+           std::tie(b.time, b.family, b.id, b.seq);
+  });
+  std::string out;
+  for (const auto& key : keys) out += *key.text;
+  return out;
+}
+
+void FlightRecorder::clear_dumps() {
+  for (auto& scope : nodes_) {
+    scope.dumps.clear();
+    scope.dump_times.clear();
+  }
+  for (auto& scope : lanes_) {
+    scope.dumps.clear();
+    scope.dump_times.clear();
+  }
+}
+
+}  // namespace pfm::obs

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -19,13 +20,16 @@ struct ObservabilityConfig {
   /// Span ring capacity per shard; 0 disables tracing entirely (metrics
   /// stay live).
   std::size_t trace_capacity = 0;
+  /// Flight-recorder ring capacity per scope; 0 disables post-mortems.
+  std::size_t flight_capacity = 0;
 };
 
 class Observability {
  public:
   explicit Observability(const ObservabilityConfig& config = {})
       : metrics_(config.shards),
-        trace_(config.shards, config.trace_capacity) {}
+        trace_(config.shards, config.trace_capacity),
+        flight_(config.flight_capacity) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
@@ -42,11 +46,21 @@ class Observability {
     return trace_.enabled() ? &trace_ : nullptr;
   }
 
+  /// The flight recorder, null when post-mortems are off — same
+  /// pointer-or-null idiom as tracer().
+  FlightRecorder* flight() noexcept {
+    return flight_.enabled() ? &flight_ : nullptr;
+  }
+  const FlightRecorder* flight() const noexcept {
+    return flight_.enabled() ? &flight_ : nullptr;
+  }
+
   std::size_t shards() const noexcept { return metrics_.shards(); }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  FlightRecorder flight_;
 };
 
 }  // namespace pfm::obs

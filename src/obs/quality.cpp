@@ -1,0 +1,380 @@
+#include "obs/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfm::obs {
+
+namespace {
+
+// pfm-cold [[noreturn]] helpers keep throws off the hot closure.
+// pfm-cold
+[[noreturn]] void fail(const char* message) {
+  throw std::invalid_argument(message);
+}
+
+// Half-open failure lookup mirroring MonitoringDataset::failure_within:
+// true iff a failure time lies in [t_begin, t_end).
+// pfm-hot
+bool failure_within(std::span<const double> failures, double t_begin,
+                    double t_end) noexcept {
+  const auto it = std::lower_bound(failures.begin(), failures.end(), t_begin);
+  return it != failures.end() && *it < t_end;
+}
+
+std::string lane_suffix(const std::string& label) {
+  return "{predictor=\"" + label + "\"}";
+}
+
+std::string padded_bin(std::size_t bin) {
+  std::string s = std::to_string(bin);
+  if (s.size() < 2) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+void QualityConfig::validate() const {
+  if (!(lead_time >= 0.0) || !(prediction_window > 0.0)) {
+    fail("QualityConfig: lead_time >= 0 and prediction_window > 0 required");
+  }
+  if (!std::isfinite(warning_threshold)) {
+    fail("QualityConfig: warning_threshold must be finite");
+  }
+  if (pending_capacity == 0) {
+    fail("QualityConfig: pending_capacity must be positive");
+  }
+  if (outcome_window == 0) {
+    fail("QualityConfig: outcome_window must be positive");
+  }
+  if (score_bins == 0 || score_bins > 99) {
+    fail("QualityConfig: score_bins must be in [1, 99]");
+  }
+}
+
+double ConfusionCounts::precision() const noexcept {
+  const std::uint64_t warned = true_positives + false_positives;
+  if (warned == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(warned);
+}
+
+double ConfusionCounts::recall() const noexcept {
+  const std::uint64_t failures = true_positives + false_negatives;
+  if (failures == 0) return 1.0;
+  return static_cast<double>(true_positives) / static_cast<double>(failures);
+}
+
+double ConfusionCounts::false_positive_rate() const noexcept {
+  const std::uint64_t negatives = false_positives + true_negatives;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(false_positives) /
+         static_cast<double>(negatives);
+}
+
+double ConfusionCounts::f_measure() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  if (p + r <= 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+QualityTracker::QualityTracker(const QualityConfig& config,
+                               MetricsRegistry* registry)
+    : config_(config), registry_(registry) {
+  config_.validate();
+  if (registry_ == nullptr) {
+    fail("QualityTracker: null metrics registry");
+  }
+  observed_ = &registry_->counter("pfm_quality_observed_total");
+  resolved_ = &registry_->counter("pfm_quality_resolved_total");
+  evicted_ = &registry_->counter("pfm_quality_evicted_total");
+  pending_gauge_ = &registry_->gauge("pfm_quality_pending_instants");
+}
+
+void QualityTracker::set_predictors(std::span<const std::string> labels) {
+  std::vector<std::string> lanes;
+  lanes.reserve(labels.size() + 1);
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    std::string label = labels[p];
+    const bool clash =
+        label == "combined" ||
+        std::find(lanes.begin(), lanes.end(), label) != lanes.end();
+    if (clash) label += "#" + std::to_string(p);
+    lanes.push_back(std::move(label));
+  }
+  lanes.emplace_back("combined");
+  if (lanes == labels_) return;
+
+  // Lane set changed: existing pending instants can no longer be scored
+  // against the new lane layout — drop them honestly.
+  for (std::size_t n = 0; n < node_count_; ++n) drop_pending(n);
+  labels_ = std::move(lanes);
+  static constexpr const char* kOutcomeLabel[4] = {"tp", "fp", "tn", "fn"};
+  inst_.clear();
+  inst_.resize(labels_.size());
+  for (std::size_t lane = 0; lane < labels_.size(); ++lane) {
+    auto& li = inst_[lane];
+    const std::string& label = labels_[lane];
+    for (std::size_t code = 0; code < 4; ++code) {
+      li.outcomes[code] = &registry_->counter(
+          "pfm_quality_outcomes_total{predictor=\"" + label +
+          "\",outcome=\"" + kOutcomeLabel[code] + "\"}");
+    }
+    li.pos_bins.resize(config_.score_bins);
+    li.neg_bins.resize(config_.score_bins);
+    for (std::size_t bin = 0; bin < config_.score_bins; ++bin) {
+      li.pos_bins[bin] = &registry_->counter(
+          "pfm_quality_scores_total{predictor=\"" + label +
+          "\",label=\"pos\",bin=\"" + padded_bin(bin) + "\"}");
+      li.neg_bins[bin] = &registry_->counter(
+          "pfm_quality_scores_total{predictor=\"" + label +
+          "\",label=\"neg\",bin=\"" + padded_bin(bin) + "\"}");
+    }
+    li.precision =
+        &registry_->gauge("pfm_quality_precision" + lane_suffix(label));
+    li.recall = &registry_->gauge("pfm_quality_recall" + lane_suffix(label));
+    li.f_measure =
+        &registry_->gauge("pfm_quality_f_measure" + lane_suffix(label));
+    li.fpr = &registry_->gauge("pfm_quality_fpr" + lane_suffix(label));
+    li.auc = &registry_->gauge("pfm_quality_auc" + lane_suffix(label));
+  }
+  // The flat per-node layout strides by the lane count; rebuild it.
+  const std::size_t nodes = node_count_;
+  node_count_ = 0;
+  pend_time_.clear();
+  pend_scores_.clear();
+  pend_head_.clear();
+  pend_size_.clear();
+  cum_.clear();
+  win_.clear();
+  ring_.clear();
+  ring_len_.clear();
+  ensure_nodes(nodes);
+}
+
+void QualityTracker::ensure_nodes(std::size_t count) {
+  if (labels_.empty()) {
+    fail("QualityTracker: set_predictors must precede ensure_nodes");
+  }
+  if (count <= node_count_) return;
+  const std::size_t lanes = labels_.size();
+  pend_time_.resize(count * config_.pending_capacity, 0.0);
+  pend_scores_.resize(count * config_.pending_capacity * lanes, 0.0);
+  pend_head_.resize(count, 0);
+  pend_size_.resize(count, 0);
+  cum_.resize(count * lanes * 4, 0);
+  win_.resize(count * lanes * 4, 0);
+  ring_.resize(count * lanes * config_.outcome_window, 0);
+  ring_len_.resize(count * lanes, 0);
+  node_count_ = count;
+}
+
+void QualityTracker::drop_pending(std::size_t node) noexcept {
+  const std::uint64_t held = pend_size_[node];
+  if (held > 0) evicted_->inc(held);
+  pend_head_[node] = 0;
+  pend_size_[node] = 0;
+}
+
+void QualityTracker::reset_node(std::size_t node) {
+  if (node >= node_count_) return;
+  drop_pending(node);
+  const std::size_t lanes = labels_.size();
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t c = cell(node, lane);
+    for (std::size_t code = 0; code < 4; ++code) win_[c * 4 + code] = 0;
+    ring_len_[c] = 0;
+  }
+}
+
+// pfm-hot
+void QualityTracker::observe(std::size_t node, double time,
+                             const double* lane_scores) noexcept {
+  const std::size_t cap = config_.pending_capacity;
+  const std::size_t lanes = labels_.size();
+  std::size_t& head = pend_head_[node];
+  std::size_t& size = pend_size_[node];
+  if (size == cap) {
+    // Full: evict the oldest still-unresolved instant deterministically.
+    evicted_->inc();
+    if (++head == cap) head = 0;
+    --size;
+  }
+  std::size_t slot = head + size;
+  if (slot >= cap) slot -= cap;
+  pend_time_[node * cap + slot] = time;
+  double* row = &pend_scores_[(node * cap + slot) * lanes];
+  for (std::size_t lane = 0; lane < lanes; ++lane) row[lane] = lane_scores[lane];
+  ++size;
+  observed_->inc();
+}
+
+// pfm-hot
+void QualityTracker::tally(std::size_t node, std::size_t lane,
+                           std::uint8_t code, double score) noexcept {
+  const std::size_t c = cell(node, lane);
+  ++cum_[c * 4 + code];
+  inst_[lane].outcomes[code]->inc();
+
+  // Sliding window: the ring evicts the oldest outcome once full.
+  const std::size_t window = config_.outcome_window;
+  std::uint8_t* ring = &ring_[c * window];
+  std::uint64_t& len = ring_len_[c];
+  const std::size_t pos = static_cast<std::size_t>(len % window);
+  if (len >= window) --win_[c * 4 + ring[pos]];
+  ring[pos] = code;
+  ++win_[c * 4 + code];
+  ++len;
+
+  // Streaming threshold sweep: bin the score by ground-truth label.
+  const bool positive = code == kTp || code == kFn;
+  std::size_t bin = 0;
+  if (score >= 1.0) {
+    bin = config_.score_bins - 1;
+  } else if (score > 0.0) {
+    bin = static_cast<std::size_t>(score *
+                                   static_cast<double>(config_.score_bins));
+    if (bin >= config_.score_bins) bin = config_.score_bins - 1;
+  }
+  (positive ? inst_[lane].pos_bins[bin] : inst_[lane].neg_bins[bin])->inc();
+}
+
+// pfm-hot
+void QualityTracker::resolve(std::size_t node, double now,
+                             std::span<const double> failures) noexcept {
+  const std::size_t cap = config_.pending_capacity;
+  const std::size_t lanes = labels_.size();
+  std::size_t& head = pend_head_[node];
+  std::size_t& size = pend_size_[node];
+  while (size > 0) {
+    const double t = pend_time_[node * cap + head];
+    const double w_end = t + config_.lead_time + config_.prediction_window;
+    if (w_end > now) break;  // window still open — later instants too
+    const double w_begin =
+        config_.count_early_failures ? t : t + config_.lead_time;
+    const bool label = failure_within(failures, w_begin, w_end);
+    const double* row = &pend_scores_[(node * cap + head) * lanes];
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const double s = row[lane];
+      if (std::isnan(s)) continue;  // lane did not score this instant
+      const bool warn = s >= config_.warning_threshold;
+      const std::uint8_t code =
+          label ? (warn ? kTp : kFn) : (warn ? kFp : kTn);
+      tally(node, lane, code, s);
+    }
+    resolved_->inc();
+    if (++head == cap) head = 0;
+    --size;
+  }
+}
+
+ConfusionCounts QualityTracker::from_array(
+    const std::uint64_t* c) const noexcept {
+  ConfusionCounts out;
+  out.true_positives = c[kTp];
+  out.false_positives = c[kFp];
+  out.true_negatives = c[kTn];
+  out.false_negatives = c[kFn];
+  return out;
+}
+
+ConfusionCounts QualityTracker::node_cumulative(std::size_t node,
+                                                std::size_t lane) const {
+  return from_array(&cum_[cell(node, lane) * 4]);
+}
+
+ConfusionCounts QualityTracker::node_windowed(std::size_t node,
+                                              std::size_t lane) const {
+  const std::uint32_t* w = &win_[cell(node, lane) * 4];
+  ConfusionCounts out;
+  out.true_positives = w[kTp];
+  out.false_positives = w[kFp];
+  out.true_negatives = w[kTn];
+  out.false_negatives = w[kFn];
+  return out;
+}
+
+ConfusionCounts QualityTracker::windowed_nodes(std::size_t lane,
+                                               std::size_t begin,
+                                               std::size_t count) const {
+  ConfusionCounts out;
+  const std::size_t end = std::min(begin + count, node_count_);
+  for (std::size_t node = begin; node < end; ++node) {
+    const ConfusionCounts c = node_windowed(node, lane);
+    out.true_positives += c.true_positives;
+    out.false_positives += c.false_positives;
+    out.true_negatives += c.true_negatives;
+    out.false_negatives += c.false_negatives;
+  }
+  return out;
+}
+
+ConfusionCounts QualityTracker::cumulative(std::size_t lane) const {
+  ConfusionCounts out;
+  for (std::size_t node = 0; node < node_count_; ++node) {
+    const ConfusionCounts c = node_cumulative(node, lane);
+    out.true_positives += c.true_positives;
+    out.false_positives += c.false_positives;
+    out.true_negatives += c.true_negatives;
+    out.false_negatives += c.false_negatives;
+  }
+  return out;
+}
+
+ConfusionCounts QualityTracker::windowed(std::size_t lane) const {
+  return windowed_nodes(lane, 0, node_count_);
+}
+
+std::uint64_t QualityTracker::pending_total() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t node = 0; node < node_count_; ++node) {
+    total += pend_size_[node];
+  }
+  return total;
+}
+
+double QualityTracker::auc_estimate(std::size_t lane) const {
+  const auto& li = inst_[lane];
+  std::uint64_t positives = 0;
+  std::uint64_t negatives = 0;
+  for (std::size_t bin = 0; bin < config_.score_bins; ++bin) {
+    positives += li.pos_bins[bin]->value();
+    negatives += li.neg_bins[bin]->value();
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  // Sweep thresholds from high to low: each bin boundary contributes a
+  // (fpr, tpr) point; trapezoidal area between consecutive points.
+  double auc = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  for (std::size_t b = config_.score_bins; b-- > 0;) {
+    tp += li.pos_bins[b]->value();
+    fp += li.neg_bins[b]->value();
+    const double tpr =
+        static_cast<double>(tp) / static_cast<double>(positives);
+    const double fpr =
+        static_cast<double>(fp) / static_cast<double>(negatives);
+    auc += (fpr - prev_fpr) * (tpr + prev_tpr) * 0.5;
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  return auc;
+}
+
+void QualityTracker::refresh_gauges() {
+  for (std::size_t lane = 0; lane < labels_.size(); ++lane) {
+    const ConfusionCounts w = windowed(lane);
+    auto& li = inst_[lane];
+    li.precision->set(w.precision());
+    li.recall->set(w.recall());
+    li.f_measure->set(w.f_measure());
+    li.fpr->set(w.false_positive_rate());
+    li.auc->set(auc_estimate(lane));
+  }
+  pending_gauge_->set(static_cast<double>(pending_total()));
+}
+
+}  // namespace pfm::obs

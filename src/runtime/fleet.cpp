@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "runtime/shard.hpp"
@@ -204,6 +205,89 @@ void FleetController::quarantine(std::size_t node_index,
   inst_.quarantines_total->inc();
   obs::record_instant(obs_->tracer(), obs::SpanKind::kQuarantine,
                       obs::node_track(node_index), state.quarantine_time);
+  if (flight_ != nullptr) {
+    flight_->record_node(
+        node_index,
+        obs::FlightEvent{state.quarantine_time,
+                         obs::FlightEventKind::kQuarantine, 0, 0, 0.0});
+    flight_->dump_node(node_index, "quarantine", state.quarantine_time);
+  }
+}
+
+void FleetController::ensure_observers_ready() {
+  const std::size_t num_predictors = symptom_.size() + event_.size();
+  flight_ = obs_->flight();
+  if (flight_ != nullptr) {
+    flight_->ensure_nodes(nodes_.size());
+    // One predictor lane bank per shard (per-shard breakers trip
+    // independently); the lockstep loop uses bank 0.
+    const std::size_t lane_shards = shards_.empty() ? 1 : shards_.size();
+    flight_->ensure_lanes(lane_shards * num_predictors, num_predictors);
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+      engines_[i].set_flight(flight_, i);
+    }
+  }
+  if (!config_.quality.enabled) return;
+  if (!quality_) {
+    obs::QualityConfig qc;
+    qc.lead_time = config_.mea.windows.lead_time;
+    qc.prediction_window = config_.mea.windows.prediction_window;
+    qc.count_early_failures = config_.quality.count_early_failures;
+    qc.warning_threshold = config_.mea.warning_threshold;
+    qc.pending_capacity = config_.quality.pending_capacity;
+    qc.outcome_window = config_.quality.outcome_window;
+    qc.score_bins = config_.quality.score_bins;
+    quality_ = std::make_unique<obs::QualityTracker>(qc, &obs_->metrics());
+    auto& metrics = obs_->metrics();
+    model_availability_gauge_ =
+        &metrics.gauge("pfm_quality_model_availability");
+    measured_availability_gauge_ =
+        &metrics.gauge("pfm_quality_measured_availability");
+    availability_drift_gauge_ =
+        &metrics.gauge("pfm_quality_availability_drift");
+  }
+  // Predictors may have been registered since the last run; a lane-set
+  // change resets per-node tracker state, a matching one is a no-op.
+  std::vector<std::string> labels;
+  labels.reserve(num_predictors);
+  for (const auto& p : symptom_) labels.push_back(p->name());
+  for (const auto& p : event_) labels.push_back(p->name());
+  quality_->set_predictors(labels);
+  quality_->ensure_nodes(nodes_.size());
+  quality_row_.assign(quality_->lanes(), 0.0);
+}
+
+void FleetController::refresh_quality_gauges() {
+  if (quality_ == nullptr) return;
+  quality_->refresh_gauges();
+  // Eq. 2 measured interval availability over the whole fleet (current
+  // systems plus the retired incarnations of restarted slots).
+  core::SystemStats sys = retired_system_stats_;
+  for (const auto& node : nodes_) sys += node->system_stats();
+  const double measured = sys.availability();
+  // Eq. 8 model availability, driven by the live windowed quality of the
+  // combined lane — the self-assessed counterpart of `measured`.
+  const std::size_t lane = quality_->combined_lane();
+  auto model_of = [&](const obs::ConfusionCounts& counts) {
+    ctmc::PfmModelParams params = config_.quality.model;
+    params.quality = ctmc::clamped_quality(
+        counts.precision(), counts.recall(), counts.false_positive_rate());
+    return ctmc::PfmAvailabilityModel(params).availability_closed_form();
+  };
+  const double model = model_of(quality_->windowed(lane));
+  model_availability_gauge_->set(model);
+  measured_availability_gauge_->set(measured);
+  availability_drift_gauge_->set(model - measured);
+  if (shards_.size() > 1) {
+    auto& metrics = obs_->metrics();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      metrics
+          .gauge("pfm_quality_model_availability{shard=\"" +
+                 std::to_string(s) + "\"}")
+          .set(model_of(quality_->windowed_nodes(lane, layout_.begin(s),
+                                                 layout_.size(s))));
+    }
+  }
 }
 
 void FleetController::run_lockstep(double t) {
@@ -223,6 +307,7 @@ void FleetController::run_lockstep(double t) {
   columns_.resize(num_predictors);
   batch_scratch_.resize(num_predictors);
   const bool optimized = config_.path == FleetPath::kOptimized;
+  ensure_observers_ready();
 
   // The round scratch lives in members (reused across rounds and calls);
   // the aliases keep the loop body readable.
@@ -331,6 +416,15 @@ void FleetController::run_lockstep(double t) {
     }
     inst_.monitor_latency->observe(seconds_since(monitor_start));
     if (active.empty()) continue;
+
+    // Quality: each surviving node's clock just advanced, so pending
+    // evaluation instants whose prediction window closed are resolved
+    // against the node's ground-truth failure log (Sect. 3.3 matching).
+    if (quality_ != nullptr) {
+      for (const std::size_t i : active) {
+        quality_->resolve(i, nodes_[i]->now(), nodes_[i]->trace().failures());
+      }
+    }
 
     // --- Evaluate: one score_batch call per predictor over the fleet. -------
     const auto evaluate_start = Clock::now();
@@ -449,24 +543,44 @@ void FleetController::run_lockstep(double t) {
       auto& breaker = breakers_[p];
       if (faulty) {
         inst_.predictor_faults_total->inc();
+        bool tripped = false;
         if (breaker.open) {
           // Half-open probe failed: back to a full cooldown.
           breaker.open_rounds_left = res.breaker_open_rounds;
           inst_.breaker_trips_total->inc();
           obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
+          tripped = true;
         } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
           breaker.open = true;
           breaker.open_rounds_left = res.breaker_open_rounds;
           inst_.breaker_trips_total->inc();
           obs::record_instant(tracer, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
+          tripped = true;
+        }
+        if (tripped && flight_ != nullptr) {
+          // A trip is an incident: the lane's ring (ending in the trip
+          // itself) becomes a post-mortem.
+          flight_->record_lane(
+              p, obs::FlightEvent{eval_time,
+                                  obs::FlightEventKind::kBreakerTrip, round,
+                                  static_cast<std::int64_t>(
+                                      breaker.failure_streak),
+                                  0.0});
+          flight_->dump_lane(p, "breaker", eval_time);
         }
       } else {
         if (breaker.open) {
           // A successful half-open probe closes the breaker.
           obs::record_instant(tracer, obs::SpanKind::kBreakerClose,
                               obs::predictor_track(p), eval_time, round);
+          if (flight_ != nullptr) {
+            flight_->record_lane(
+                p, obs::FlightEvent{eval_time,
+                                    obs::FlightEventKind::kBreakerClose,
+                                    round, 0, 0.0});
+          }
         }
         breaker.open = false;
         breaker.failure_streak = 0;
@@ -477,6 +591,49 @@ void FleetController::run_lockstep(double t) {
       // signal per node, summed failure mass fleet-wide).
       for (std::size_t a = 0; a < active.size(); ++a) {
         last_combined_[active[a]] = combined[a];
+      }
+    }
+    if (flight_ != nullptr) {
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t i = active[a];
+        flight_->record_node(
+            i, obs::FlightEvent{nodes_[i]->now(),
+                                obs::FlightEventKind::kScore, 0, 0,
+                                combined[a]});
+      }
+    }
+    // Quality: record this round's evaluation instants. Per-predictor
+    // lanes get their own column value (NaN when the predictor sat out —
+    // open breaker, a throw, or a sanitized non-finite score); the
+    // trailing combined lane gets the max-reduced score the warning
+    // decision actually thresholds.
+    if (quality_ != nullptr) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      scored_.assign(num_predictors, 0);
+      for (std::size_t lp = 0; lp < live.size(); ++lp) {
+        if (!hardened || errors[lp] == nullptr) scored_[live[lp]] = 1;
+      }
+      ctx_of_active_.assign(active.size(), -1);
+      for (std::size_t c = 0; c < context_owner.size(); ++c) {
+        ctx_of_active_[context_owner[c]] = static_cast<std::ptrdiff_t>(c);
+      }
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        const std::size_t i = active[a];
+        for (std::size_t p = 0; p < num_predictors; ++p) {
+          double v = nan;
+          if (scored_[p] != 0) {
+            if (p < symptom_.size()) {
+              const std::ptrdiff_t c = ctx_of_active_[a];
+              if (c >= 0) v = columns[p][static_cast<std::size_t>(c)];
+            } else {
+              v = columns[p][a];
+            }
+            if (!std::isfinite(v)) v = nan;
+          }
+          quality_row_[p] = v;
+        }
+        quality_row_[num_predictors] = combined[a];
+        quality_->observe(i, nodes_[i]->now(), quality_row_.data());
       }
     }
     }  // evaluate_span
@@ -506,6 +663,14 @@ void FleetController::run_lockstep(double t) {
                             obs::node_track(active[a]),
                             nodes_[active[a]]->now(), 0,
                             static_cast<std::int64_t>(combined[a] * 1e6));
+        if (flight_ != nullptr) {
+          flight_->record_node(
+              active[a],
+              obs::FlightEvent{nodes_[active[a]]->now(),
+                               obs::FlightEventKind::kWarning, 0,
+                               static_cast<std::int64_t>(combined[a] * 1e6),
+                               combined[a]});
+        }
       }
       act_span.set_arg(warned);
       auto act_node = [&](std::size_t a) {
@@ -540,6 +705,7 @@ void FleetController::run_lockstep(double t) {
     if (breaker.open) ++open;
   }
   breakers_open_gauge_->set(static_cast<double>(open));
+  refresh_quality_gauges();
 }
 
 void FleetController::ensure_shards() {
@@ -593,10 +759,15 @@ void FleetController::run_event_driven(double t) {
   // parallel epoch sections, exactly like the lockstep loop.
   RoleGuard controller_guard(controller_);
   ensure_shards();
+  ensure_observers_ready();
   const double interval = config_.mea.evaluation_interval;
   const std::size_t num_predictors = symptom_.size() + event_.size();
   for (auto& shard : shards_) {
     shard->resize_predictors(num_predictors);
+    // Each shard records breaker incidents into its own flight lane bank
+    // (per-shard breakers trip independently).
+    shard->set_quality(quality_.get(), flight_,
+                       shard->shard_index() * num_predictors);
     shard->activate(t);
   }
   for (;;) {
@@ -652,6 +823,7 @@ void FleetController::run_event_driven(double t) {
     scratch_bytes_gauge_->set(
         static_cast<double>(scratch_capacity_bytes()));
   }
+  refresh_quality_gauges();
 }
 
 bool FleetController::membership_pending(double t) const {
@@ -728,6 +900,14 @@ std::size_t FleetController::member_join(double at_time, bool policy_driven) {
   auto& engine = engines_.back();
   for (const auto& f : action_factories_) engine.add_action(f());
   engine.set_observability(obs_, obs::node_track(slot));
+  if (quality_ != nullptr) quality_->ensure_nodes(slot + 1);
+  if (flight_ != nullptr) {
+    flight_->ensure_nodes(slot + 1);
+    engine.set_flight(flight_, slot);
+    flight_->record_node(
+        slot, obs::FlightEvent{at_time, obs::FlightEventKind::kMemberJoin, 0,
+                               policy_driven ? 1 : 0, 0.0});
+  }
   stats_.emplace_back();
   node_state_.emplace_back();
   incarnations_.push_back(0);
@@ -777,6 +957,17 @@ void FleetController::member_depart(std::size_t i, double at_time, bool drain,
                       obs::node_track(i), at_time,
                       static_cast<std::uint32_t>(incarnations_[i]),
                       leave_arg);
+  if (flight_ != nullptr) {
+    flight_->record_node(
+        i, obs::FlightEvent{at_time,
+                            drain ? obs::FlightEventKind::kMemberDrain
+                                  : obs::FlightEventKind::kMemberLeave,
+                            static_cast<std::uint32_t>(incarnations_[i]),
+                            leave_arg, 0.0});
+    // A drain is a farewell worth keeping: dump the departing node's
+    // recent history as its post-mortem.
+    if (drain) flight_->dump_node(i, "drain", at_time);
+  }
 }
 
 void FleetController::member_restart(std::size_t i, double at_time) {
@@ -803,6 +994,16 @@ void FleetController::member_restart(std::size_t i, double at_time) {
   engines_[i] = core::ActEngine{};
   for (const auto& f : action_factories_) engines_[i].add_action(f());
   engines_[i].set_observability(obs_, obs::node_track(i));
+  // The fresh incarnation starts with a clean quality window (cumulative
+  // tallies persist, like the retired-stats ledger) and a flight ring
+  // that keeps recording across the restart boundary.
+  if (quality_ != nullptr) quality_->reset_node(i);
+  if (flight_ != nullptr) {
+    engines_[i].set_flight(flight_, i);
+    flight_->record_node(
+        i, obs::FlightEvent{at_time, obs::FlightEventKind::kMemberRestart,
+                            static_cast<std::uint32_t>(incarnation), 0, 0.0});
+  }
   // Explicit reset semantics (churn-vs-fault composition): a crashed or
   // hung incarnation's quarantine record, stall streak and sampling/
   // backoff state die with it — the fresh incarnation starts clean and

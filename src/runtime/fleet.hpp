@@ -9,8 +9,10 @@
 #include "core/managed_system.hpp"
 #include "core/mea.hpp"
 #include "core/sharding.hpp"
+#include "ctmc/pfm_model.hpp"
 #include "membership/membership_plan.hpp"
 #include "obs/observability.hpp"
+#include "obs/quality.hpp"
 #include "prediction/predictor.hpp"
 #include "runtime/annotations.hpp"
 #include "runtime/schedule.hpp"
@@ -35,6 +37,32 @@ struct ResilienceConfig {
   std::size_t breaker_trip_failures = 3;
   /// Rounds a tripped predictor sits out before a half-open probe round.
   std::size_t breaker_open_rounds = 8;
+};
+
+/// Online prediction-quality scoreboard (DESIGN.md §12): a fleet-wide
+/// obs::QualityTracker matching live warnings against ground-truth
+/// failures (the Sect. 3.3 rule), plus a live Eq. 8 availability
+/// estimate driven by the windowed combined-lane quality. Inactive (the
+/// default) costs nothing: no quality instruments are registered and
+/// every export stays byte-identical to a quality-free build. The
+/// window geometry and warning threshold come from the owning
+/// FleetConfig's MeaConfig — a single source of truth, so the online
+/// counts reproduce the offline evaluation exactly.
+struct FleetQualityConfig {
+  bool enabled = false;
+  /// Count a failure earlier than lead_time ahead as a true positive
+  /// (must match EvalOptions::count_early_failures for cross-checks).
+  bool count_early_failures = true;
+  /// Pending-instant ring per node (see QualityConfig).
+  std::size_t pending_capacity = 64;
+  /// Sliding outcome window per (node, lane) behind the live gauges.
+  std::size_t outcome_window = 128;
+  /// Score-distribution bins per lane (streaming PR curve / AUC).
+  std::size_t score_bins = 20;
+  /// Eq. 8 CTMC parameters; the `quality` field is overwritten at each
+  /// refresh with the live windowed (precision, recall, fpr) estimate,
+  /// clamped off the degenerate boundaries via ctmc::clamped_quality.
+  ctmc::PfmModelParams model;
 };
 
 /// Execution path of the fleet loop's hot stages. Both paths compute the
@@ -100,6 +128,9 @@ struct FleetConfig {
   /// semantic for churn timing (results stay thread-count invariant).
   membership::MembershipConfig membership;
   ResilienceConfig resilience;
+  /// Online prediction-quality scoreboard + live Eq. 8 availability
+  /// estimation (see FleetQualityConfig). Off by default.
+  FleetQualityConfig quality;
   /// External observability hub (metrics + tracing + exporters). Must be
   /// sized with shards >= num_threads and not shared between concurrently
   /// running controllers. nullptr = the controller keeps a private
@@ -317,6 +348,12 @@ class FleetController {
   const obs::Observability& observability() const noexcept { return *obs_; }
   obs::Observability& observability() noexcept { return *obs_; }
 
+  /// The online quality tracker, or nullptr while FleetQualityConfig is
+  /// disabled (or before the first run built it). Read between runs only.
+  const obs::QualityTracker* quality_tracker() const noexcept {
+    return quality_.get();
+  }
+
  private:
   void quarantine(std::size_t node_index, const std::string& reason)
       PFM_REQUIRES(controller_);
@@ -356,6 +393,17 @@ class FleetController {
   /// layout, per-shard metric handles, and one ShardController per
   /// block. Idempotent afterwards.
   void ensure_shards();
+
+  /// Arms the quality tracker and flight recorder for a run: builds the
+  /// tracker on first use (FleetQualityConfig enabled), re-declares the
+  /// predictor lanes (predictors may have been registered since the last
+  /// run), sizes per-node scopes and attaches the Act engines to the
+  /// flight recorder. Controller thread, before any parallel section.
+  void ensure_observers_ready();
+  /// Recomputes the scoreboard gauges and the Eq. 8 / Eq. 2 availability
+  /// pair (model, measured, drift; per-shard model estimates under a
+  /// multi-shard event-driven fleet) when a run settles.
+  void refresh_quality_gauges();
 
   std::vector<std::unique_ptr<core::ManagedSystem>> nodes_;
   FleetConfig config_;
@@ -400,6 +448,21 @@ class FleetController {
   obs::Gauge* quarantined_gauge_ = nullptr;
   obs::Gauge* breakers_open_gauge_ = nullptr;
   obs::Gauge* scratch_bytes_gauge_ = nullptr;
+
+  // Online quality scoreboard + flight recorder (both off by default:
+  // quality_ stays null unless FleetQualityConfig::enabled, flight_
+  // stays null unless the hub was built with flight_capacity > 0 — so a
+  // disabled config registers nothing and exports stay byte-identical).
+  // The tracker's hot entry points are owning-thread operations like
+  // SystemStats; everything else is controller-thread barrier-time.
+  std::unique_ptr<obs::QualityTracker> quality_;
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::Gauge* model_availability_gauge_ = nullptr;
+  obs::Gauge* measured_availability_gauge_ = nullptr;
+  obs::Gauge* availability_drift_gauge_ = nullptr;
+  std::vector<double> quality_row_;           // lanes() scores, combined last
+  std::vector<std::ptrdiff_t> ctx_of_active_; // active pos -> context index
+  std::vector<std::uint8_t> scored_;          // predictor produced a column
 
   // Event-driven path: the shard partition and one controller per
   // block, built lazily on the first event-driven run. Shards own their

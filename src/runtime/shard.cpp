@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "obs/trace.hpp"
 
@@ -64,6 +65,17 @@ void ShardController::resize_predictors(std::size_t num_predictors) {
   breakers_.resize(num_predictors);
   columns_.resize(num_predictors);
   batch_scratch_.resize(num_predictors);
+}
+
+void ShardController::set_quality(obs::QualityTracker* quality,
+                                  obs::FlightRecorder* flight,
+                                  std::size_t lane_base) {
+  quality_ = quality;
+  flight_ = flight;
+  flight_lane_base_ = lane_base;
+  // Sized here (after resize_predictors) so the tick hot loop never
+  // grows it.
+  quality_row_.assign(breakers_.size() + 1, 0.0);
 }
 
 void ShardController::activate(double t) {
@@ -142,6 +154,13 @@ void ShardController::quarantine_local(std::size_t local,
   env_.inst.quarantines_total->inc();
   obs::record_instant(tracer_, obs::SpanKind::kQuarantine,
                       obs::node_track(base_ + local), state.quarantine_time);
+  if (flight_ != nullptr) {
+    flight_->record_node(
+        base_ + local,
+        obs::FlightEvent{state.quarantine_time,
+                         obs::FlightEventKind::kQuarantine, 0, 0, 0.0});
+    flight_->dump_node(base_ + local, "quarantine", state.quarantine_time);
+  }
 }
 
 bool ShardController::node_is_hot(std::size_t local, double combined_score) {
@@ -270,6 +289,17 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
   inst.monitor_latency->observe(seconds_since(monitor_start));
   if (active_.empty()) return;
 
+  // Quality: each surviving node's clock just advanced, so pending
+  // evaluation instants whose prediction window closed are resolved
+  // against the node's ground-truth failure log (per-node clocks keep
+  // this shard-count invariant).
+  if (quality_ != nullptr) {
+    for (const std::size_t local : active_) {
+      const std::size_t i = base_ + local;
+      quality_->resolve(i, nodes[i]->now(), nodes[i]->trace().failures());
+    }
+  }
+
   // --- Evaluate: batch-score this tick's due set. ---------------------------
   const auto evaluate_start = WallClock::now();
   double eval_time = nodes[base_ + active_[0]]->now();
@@ -395,26 +425,88 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
       auto& breaker = breakers_[p];
       if (faulty) {
         inst.predictor_faults_total->inc();
+        bool tripped = false;
         if (breaker.open) {
           // Half-open probe failed: back to a full cooldown.
           breaker.open_rounds_left = res.breaker_open_rounds;
           inst.breaker_trips_total->inc();
           obs::record_instant(tracer_, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
+          tripped = true;
         } else if (++breaker.failure_streak >= res.breaker_trip_failures) {
           breaker.open = true;
           breaker.open_rounds_left = res.breaker_open_rounds;
           inst.breaker_trips_total->inc();
           obs::record_instant(tracer_, obs::SpanKind::kBreakerTrip,
                               obs::predictor_track(p), eval_time, round);
+          tripped = true;
+        }
+        if (tripped && flight_ != nullptr) {
+          // A trip is an incident: the shard's lane ring (ending in the
+          // trip itself) becomes a post-mortem.
+          flight_->record_lane(
+              flight_lane_base_ + p,
+              obs::FlightEvent{eval_time, obs::FlightEventKind::kBreakerTrip,
+                               round,
+                               static_cast<std::int64_t>(
+                                   breaker.failure_streak),
+                               0.0});
+          flight_->dump_lane(flight_lane_base_ + p, "breaker", eval_time);
         }
       } else {
         if (breaker.open) {
           obs::record_instant(tracer_, obs::SpanKind::kBreakerClose,
                               obs::predictor_track(p), eval_time, round);
+          if (flight_ != nullptr) {
+            flight_->record_lane(
+                flight_lane_base_ + p,
+                obs::FlightEvent{eval_time,
+                                 obs::FlightEventKind::kBreakerClose, round,
+                                 0, 0.0});
+          }
         }
         breaker.open = false;
         breaker.failure_streak = 0;
+      }
+    }
+    if (flight_ != nullptr) {
+      for (std::size_t a = 0; a < active_.size(); ++a) {
+        const std::size_t i = base_ + active_[a];
+        flight_->record_node(
+            i, obs::FlightEvent{nodes[i]->now(), obs::FlightEventKind::kScore,
+                                0, 0, combined_[a]});
+      }
+    }
+    // Quality: record this tick's evaluation instants (per-predictor
+    // lanes NaN when the predictor sat out; the combined lane carries
+    // the thresholded max-reduce). Mirrors the lockstep loop exactly.
+    if (quality_ != nullptr) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      scored_.assign(num_predictors, 0);
+      for (std::size_t lp = 0; lp < live_.size(); ++lp) {
+        if (!hardened || errors_[lp] == nullptr) scored_[live_[lp]] = 1;
+      }
+      ctx_of_active_.assign(active_.size(), -1);
+      for (std::size_t c = 0; c < context_owner_.size(); ++c) {
+        ctx_of_active_[context_owner_[c]] = static_cast<std::ptrdiff_t>(c);
+      }
+      for (std::size_t a = 0; a < active_.size(); ++a) {
+        const std::size_t i = base_ + active_[a];
+        for (std::size_t p = 0; p < num_predictors; ++p) {
+          double v = nan;
+          if (scored_[p] != 0) {
+            if (p < symptom.size()) {
+              const std::ptrdiff_t c = ctx_of_active_[a];
+              if (c >= 0) v = columns_[p][static_cast<std::size_t>(c)];
+            } else {
+              v = columns_[p][a];
+            }
+            if (!std::isfinite(v)) v = nan;
+          }
+          quality_row_[p] = v;
+        }
+        quality_row_[num_predictors] = combined_[a];
+        quality_->observe(i, nodes[i]->now(), quality_row_.data());
       }
     }
   }  // evaluate_span
@@ -444,6 +536,14 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
                           obs::node_track(base_ + active_[a]),
                           nodes[base_ + active_[a]]->now(), 0,
                           static_cast<std::int64_t>(combined_[a] * 1e6));
+      if (flight_ != nullptr) {
+        flight_->record_node(
+            base_ + active_[a],
+            obs::FlightEvent{nodes[base_ + active_[a]]->now(),
+                             obs::FlightEventKind::kWarning, 0,
+                             static_cast<std::int64_t>(combined_[a] * 1e6),
+                             combined_[a]});
+      }
     }
     act_span.set_arg(warned);
     if (hardened) errors_.assign(active_.size(), std::exception_ptr{});

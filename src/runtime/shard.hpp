@@ -86,6 +86,14 @@ class ShardController {
   /// called before every run — predictors may have been registered since.
   void resize_predictors(std::size_t num_predictors);
 
+  /// Attaches the fleet's online quality tracker and flight recorder
+  /// (either may be null = off). `lane_base` is this shard's first flight
+  /// predictor lane (shard_index * num_predictors — per-shard breakers
+  /// get per-shard lane banks). Called by the owning controller before
+  /// every run, after resize_predictors.
+  void set_quality(obs::QualityTracker* quality, obs::FlightRecorder* flight,
+                   std::size_t lane_base);
+
   /// (Re)schedules every runnable, currently unscheduled node of the
   /// block at the calendar cursor with a fresh dense gap. Called at the
   /// start of every run_until.
@@ -162,6 +170,9 @@ class ShardController {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::Counter* shard_ticks_total_ = nullptr;       // null when 1 shard
   obs::Counter* shard_node_steps_total_ = nullptr;  // null when 1 shard
+  obs::QualityTracker* quality_ = nullptr;          // null = quality off
+  obs::FlightRecorder* flight_ = nullptr;           // null = recorder off
+  std::size_t flight_lane_base_ = 0;
 
   CalendarQueue calendar_;
   std::vector<NodeSchedule> sched_;
@@ -186,6 +197,9 @@ class ShardController {
   std::vector<std::vector<double>> columns_;  // per-predictor columns
   std::vector<std::size_t> live_;             // predictors scored this tick
   std::vector<pred::BatchScratch> batch_scratch_;  // one arena per predictor
+  std::vector<double> quality_row_;           // lane scores, combined last
+  std::vector<std::ptrdiff_t> ctx_of_active_; // active pos -> context index
+  std::vector<std::uint8_t> scored_;          // predictor produced a column
   std::size_t scratch_grow_events_ = 0;
   std::size_t scratch_bytes_seen_ = 0;
 };

@@ -1,0 +1,39 @@
+// walltaint fixture: wall-clock scrape cost leaking into the online
+// quality scoreboard's sim-time gauges and trace; the kWall gauge is
+// exempt.
+#include <chrono>
+
+namespace pfm::obs {
+
+using QualityClock = std::chrono::steady_clock;
+
+struct QualityTaintScoreboard {
+  void configure(Registry& registry) {
+    precision_gauge_ = registry.gauge("pfm_quality_precision");
+    drift_gauge_ = registry.gauge("pfm_quality_availability_drift");
+    scrape_gauge_ = registry.gauge("pfm_quality_scrape_seconds", Clock::kWall);
+  }
+
+  double scrape_seconds() const {
+    const auto begin = QualityClock::now();
+    return std::chrono::duration<double>(QualityClock::now() - begin).count();
+  }
+
+  void refresh(double windowed_precision, double model_availability) {
+    const double cost = scrape_seconds();
+    precision_gauge_->set(cost);
+    scrape_gauge_->set(cost);
+    double drift = model_availability;
+    drift = cost;
+    drift_gauge_->set(drift);
+    record_instant(tracer_, cost);
+    precision_gauge_->set(windowed_precision);
+  }
+
+  Gauge* precision_gauge_ = nullptr;
+  Gauge* drift_gauge_ = nullptr;
+  Gauge* scrape_gauge_ = nullptr;
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace pfm::obs

@@ -136,10 +136,15 @@ TEST(PfmLint, HotpathRuleFlagsClosureViolationsAtExactLines) {
 
 TEST(PfmLint, WalltaintRuleTracksWallValuesIntoSimExports) {
   const auto findings = run_on(fixture("walltaint"), {"walltaint"});
-  // Line 24 (the kWall histogram) is rightly absent; line 29 is tainted
-  // only through the `boundary = elapsed` assignment chain.
+  // quality_taint: line 25 (the kWall gauge) is rightly absent, line 28
+  // is tainted only through the `drift = cost` assignment chain.
+  // wall_taint: line 24 (the kWall histogram) is rightly absent, line 29
+  // only through the `boundary = elapsed` chain.
   EXPECT_EQ(keys(findings),
             (std::vector<std::string>{
+                "src/obs/quality_taint.cpp:24 wall-into-sim-metric",
+                "src/obs/quality_taint.cpp:28 wall-into-sim-metric",
+                "src/obs/quality_taint.cpp:29 wall-into-sim-trace",
                 "src/obs/wall_taint.cpp:23 wall-into-sim-metric",
                 "src/obs/wall_taint.cpp:25 wall-into-sim-metric",
                 "src/obs/wall_taint.cpp:26 wall-into-sim-trace",

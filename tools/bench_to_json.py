@@ -6,6 +6,7 @@ amid their human-readable tables. This script runs
 
   - ``bench_fleet_throughput``  ->  BENCH_fleet.json
   - ``bench_fleet_churn``       ->  BENCH_fleet.json (merged)
+  - ``bench_fleet_quality``     ->  BENCH_fleet.json (merged)
   - ``bench_fault_injection``   ->  BENCH_injection.json
 
 scrapes those lines, and writes each file as a JSON array (benches
@@ -29,7 +30,11 @@ Gates (each exits non-zero on violation):
     wall time over the same fleet and sim horizon;
   - an armed-but-idle elastic membership config must cost < 5% wall
     time against the inactive default on a churn-free run (the
-    fleet_churn_overhead arm of bench_fleet_churn).
+    fleet_churn_overhead arm of bench_fleet_churn);
+  - the online quality scoreboard + flight recorder must cost < 5%
+    wall time against the quality-free default on the same fleet (the
+    fleet_quality_overhead arm of bench_fleet_quality), and must have
+    resolved at least one instant for the ratio to mean anything.
 
 Usage:
   tools/bench_to_json.py [--build-dir build] [--out-dir .] [--quick]
@@ -44,11 +49,13 @@ import sys
 BENCHES = {
     "bench_fleet_throughput": "BENCH_fleet.json",
     "bench_fleet_churn": "BENCH_fleet.json",
+    "bench_fleet_quality": "BENCH_fleet.json",
     "bench_fault_injection": "BENCH_injection.json",
 }
 
 # Benches that understand the --quick trim flag.
-QUICK_AWARE = {"bench_fleet_throughput", "bench_fleet_churn"}
+QUICK_AWARE = {"bench_fleet_throughput", "bench_fleet_churn",
+               "bench_fleet_quality"}
 
 # Acceptance budget for the fleet_obs_overhead arm (fraction, not %).
 OBS_OVERHEAD_BUDGET = 0.05
@@ -56,6 +63,10 @@ OBS_OVERHEAD_BUDGET = 0.05
 # Acceptance budget for the fleet_churn_overhead arm: elasticity that
 # never fires may cost at most this fraction on a churn-free run.
 CHURN_OVERHEAD_BUDGET = 0.05
+
+# Acceptance budget for the fleet_quality_overhead arm: the online
+# scoreboard + flight recorder against the quality-free default.
+QUALITY_OVERHEAD_BUDGET = 0.05
 
 # The optimized path may lose at most this fraction against the
 # reference path, and against its own committed speedup.
@@ -130,6 +141,30 @@ def check_churn_overhead(records: list) -> None:
     if not seen:
         raise SystemExit(
             "bench_fleet_churn emitted no fleet_churn_overhead row")
+
+
+def check_quality_overhead(records: list) -> None:
+    seen = False
+    for record in records:
+        if record.get("bench") != "fleet_quality_overhead":
+            continue
+        seen = True
+        overhead = record.get("overhead_pct", 0.0) / 100.0
+        resolved = record.get("instants_resolved", 0)
+        print(f"quality scoreboard overhead (on vs off): "
+              f"{overhead * 100.0:+.2f}% ({resolved} instants resolved)")
+        if resolved <= 0:
+            raise SystemExit(
+                "the quality overhead arm resolved no instants — the "
+                "scoreboard did no work, so the ratio is not an overhead "
+                "measurement")
+        if overhead > QUALITY_OVERHEAD_BUDGET:
+            raise SystemExit(
+                f"quality scoreboard overhead {overhead * 100.0:.2f}% "
+                f"exceeds the {QUALITY_OVERHEAD_BUDGET * 100.0:.0f}% budget")
+    if not seen:
+        raise SystemExit(
+            "bench_fleet_quality emitted no fleet_quality_overhead row")
 
 
 def path_speedup(records: list):
@@ -262,6 +297,7 @@ def main() -> None:
     check_obs_overhead(fleet_records)
     check_shard_scaling(fleet_records)
     check_churn_overhead(fleet_records)
+    check_quality_overhead(fleet_records)
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
                      else out_dir / "BENCH_fleet.json")
     check_path_regression(fleet_records, load_baseline(baseline_path))

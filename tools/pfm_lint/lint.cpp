@@ -37,7 +37,10 @@ namespace {
 //   runtime   may bind everything except injection (fault plans stay a
 //             caller concern, never a runtime dependency) — membership
 //             is allowed: churn plans are executed by the fleet loop
-//             itself, unlike fault plans which wrap it from outside;
+//             itself, unlike fault plans which wrap it from outside, and
+//             ctmc is allowed since PR 9: the fleet feeds its live
+//             windowed prediction quality into the Eq. 8 availability
+//             model (the self-assessment loop of DESIGN.md §12);
 //   obs       sits just above numerics: instrumented layers (core,
 //             injection, runtime) may include it, but it must never
 //             reach back into what it observes — an obs -> telecom (or
@@ -56,8 +59,8 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"injection", {"actions", "core", "obs", "prediction"}},
       {"membership", {"core", "numerics"}},
       {"runtime",
-       {"actions", "core", "eval", "membership", "monitoring", "numerics",
-        "obs", "prediction", "telecom"}},
+       {"actions", "core", "ctmc", "eval", "membership", "monitoring",
+        "numerics", "obs", "prediction", "telecom"}},
   };
   return kPolicy;
 }
@@ -86,8 +89,9 @@ void rule_layering(const SourceFile& file, std::vector<Finding>* findings) {
   // is pure sequential data-structure code — standard library only, so
   // the determinism argument never depends on what a calendar tick may
   // reach; the shard controller (runtime/shard.*) may bind everything
-  // runtime may EXCEPT telecom/ — shards schedule any ManagedSystem and
-  // must stay simulator-agnostic.
+  // runtime may EXCEPT telecom/ and ctmc/ — shards schedule any
+  // ManagedSystem and must stay simulator-agnostic, and the Eq. 8 model
+  // feed is the owning controller's job, not a shard's.
   static const std::map<std::string, std::set<std::string>> kFileOverrides = {
       {"src/runtime/schedule.", {}},
       {"src/runtime/shard.",

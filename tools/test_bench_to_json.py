@@ -16,9 +16,12 @@ The interesting properties:
   - the churn-overhead gate fires when the armed-but-idle elastic
     membership arm costs >5%, when its policy fired (the ratio is then
     not an overhead measurement), or when the arm's row is missing;
-  - benches sharing an output file (bench_fleet_throughput and
-    bench_fleet_churn both feed BENCH_fleet.json) merge into one array
-    in bench order, never clobbering each other.
+  - the quality-overhead gate fires when the online scoreboard arm
+    costs >5%, when it resolved no instants (the ratio is then not an
+    overhead measurement), or when the arm's row is missing;
+  - benches sharing an output file (the three fleet benches all feed
+    BENCH_fleet.json) merge into one array in bench order, never
+    clobbering each other.
 """
 
 import json
@@ -153,6 +156,38 @@ def churn_overhead_row(overhead_pct, policy_joins=0):
             "overhead_pct": overhead_pct, "policy_joins": policy_joins}
 
 
+def quality_overhead_row(overhead_pct, instants_resolved=4000):
+    return {"bench": "fleet_quality_overhead", "nodes": 16,
+            "baseline_seconds": 1.0,
+            "observed_seconds": 1.0 + overhead_pct / 100.0,
+            "overhead_pct": overhead_pct,
+            "instants_resolved": instants_resolved}
+
+
+class QualityGateTest(unittest.TestCase):
+    def test_overhead_within_budget_passes(self):
+        bench_to_json.check_quality_overhead([quality_overhead_row(1.3)])
+
+    def test_negative_overhead_passes(self):
+        bench_to_json.check_quality_overhead([quality_overhead_row(-0.8)])
+
+    def test_overhead_above_budget_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_quality_overhead([quality_overhead_row(5.9)])
+
+    def test_idle_scoreboard_invalidates_the_measurement(self):
+        # Even a cheap run is rejected when the scoreboard resolved no
+        # instants: the observed arm did none of the work being costed.
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_quality_overhead(
+                [quality_overhead_row(0.1, instants_resolved=0)])
+
+    def test_missing_overhead_row_fails(self):
+        with self.assertRaises(SystemExit):
+            bench_to_json.check_quality_overhead(
+                [{"bench": "fleet_quality", "precision": 1.0}])
+
+
 class ChurnGateTest(unittest.TestCase):
     def test_overhead_within_budget_passes(self):
         bench_to_json.check_churn_overhead([churn_overhead_row(1.7)])
@@ -215,6 +250,14 @@ class MainAtomicityTest(unittest.TestCase):
             json.dumps(churn_overhead_row(1.0)),
         ]
 
+    def good_quality_lines(self):
+        return [
+            json.dumps({"bench": "fleet_quality", "nodes": 16,
+                        "precision": 0.9, "recall": 0.8,
+                        "model_availability": 0.999}),
+            json.dumps(quality_overhead_row(1.0)),
+        ]
+
     def test_missing_binary_exits_nonzero_and_writes_nothing(self):
         with tempfile.TemporaryDirectory() as tmp:
             tmp = pathlib.Path(tmp)
@@ -233,6 +276,8 @@ class MainAtomicityTest(unittest.TestCase):
                             self.good_fleet_lines())
             self.fake_bench(bench_dir, "bench_fleet_churn",
                             self.good_churn_lines())
+            self.fake_bench(bench_dir, "bench_fleet_quality",
+                            self.good_quality_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             ["no json here"])
             out = tmp / "out"
@@ -251,17 +296,21 @@ class MainAtomicityTest(unittest.TestCase):
                             self.good_fleet_lines())
             self.fake_bench(bench_dir, "bench_fleet_churn",
                             self.good_churn_lines())
+            self.fake_bench(bench_dir, "bench_fleet_quality",
+                            self.good_quality_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             [json.dumps({"bench": "injection", "arm": "x"})])
             out = tmp / "out"
             self.run_main(tmp / "build", out)
             fleet = json.loads((out / "BENCH_fleet.json").read_text())
-            # Both fleet benches merged into one array, in BENCHES order:
-            # the throughput rows first, then the churn rows.
-            self.assertEqual(len(fleet), 7)
+            # All three fleet benches merged into one array, in BENCHES
+            # order: throughput rows, then churn, then quality.
+            self.assertEqual(len(fleet), 9)
             self.assertEqual(fleet[0]["bench"], "fleet_throughput")
             self.assertEqual(fleet[5]["bench"], "fleet_churn")
             self.assertEqual(fleet[6]["bench"], "fleet_churn_overhead")
+            self.assertEqual(fleet[7]["bench"], "fleet_quality")
+            self.assertEqual(fleet[8]["bench"], "fleet_quality_overhead")
             injection = json.loads((out / "BENCH_injection.json").read_text())
             self.assertEqual(injection[0]["bench"], "injection")
 
@@ -274,6 +323,8 @@ class MainAtomicityTest(unittest.TestCase):
                             self.good_fleet_lines())  # 1.2x speedup
             self.fake_bench(bench_dir, "bench_fleet_churn",
                             self.good_churn_lines())
+            self.fake_bench(bench_dir, "bench_fleet_quality",
+                            self.good_quality_lines())
             self.fake_bench(bench_dir, "bench_fault_injection",
                             [json.dumps({"bench": "injection"})])
             committed = tmp / "BENCH_fleet.json"
