@@ -17,8 +17,13 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "monitoring/types.hpp"
+#include "numerics/rng.hpp"
+#include "numerics/simd.hpp"
 #include "obs/observability.hpp"
 #include "prediction/baselines.hpp"
+#include "prediction/frozen.hpp"
+#include "prediction/kernels.hpp"
 #include "runtime/fleet.hpp"
 #include "runtime/scp_system.hpp"
 
@@ -379,7 +384,8 @@ void print_path_comparison(const TrainedBaselines& preds) {
     runtime::FleetTelemetry telemetry;
   };
   Arm arms[] = {{runtime::FleetPath::kReference, "reference", 0.0, {}},
-                {runtime::FleetPath::kOptimized, "optimized", 0.0, {}}};
+                {runtime::FleetPath::kOptimized, "optimized", 0.0, {}},
+                {runtime::FleetPath::kSimd, "simd", 0.0, {}}};
   for (auto& arm : arms) {
     for (int rep = 0; rep < reps; ++rep) {
       double wall = 0.0;
@@ -410,19 +416,192 @@ void print_path_comparison(const TrainedBaselines& preds) {
         .emit();
   }
   const Arm& ref = arms[0];
-  const Arm& opt = arms[1];
-  if (ref.telemetry.rounds != opt.telemetry.rounds ||
-      ref.telemetry.warnings_raised != opt.telemetry.warnings_raised ||
-      ref.telemetry.mea.total_actions() != opt.telemetry.mea.total_actions() ||
-      ref.telemetry.system.availability() !=
-          opt.telemetry.system.availability()) {
-    std::fprintf(stderr,
-                 "FATAL: optimized and reference paths diverged — the paths "
-                 "must differ in wall time only\n");
-    std::exit(1);
+  for (const Arm& arm : arms) {
+    if (ref.telemetry.rounds != arm.telemetry.rounds ||
+        ref.telemetry.warnings_raised != arm.telemetry.warnings_raised ||
+        ref.telemetry.mea.total_actions() !=
+            arm.telemetry.mea.total_actions() ||
+        ref.telemetry.system.availability() !=
+            arm.telemetry.system.availability()) {
+      std::fprintf(stderr,
+                   "FATAL: the %s path diverged from the reference path — "
+                   "the paths must differ in wall time only\n",
+                   arm.name);
+      std::exit(1);
+    }
   }
+  const Arm& opt = arms[1];
   std::printf("  speedup (reference/optimized): %.2fx\n\n",
               opt.wall > 0.0 ? ref.wall / opt.wall : 0.0);
+}
+
+// --- SIMD kernel-sweep + frozen-serving arms ------------------------------
+//
+// The vectorized Eq. 1 mixture-kernel sweep against the scalar reference
+// over identical pre-gathered SoA columns, and the frozen-artifact
+// serving path against the live engine over the same model. The SIMD row
+// feeds the >=2x gate in tools/bench_to_json.py (skipped when only the
+// scalar backend is compiled in); the frozen row is a mmap-serving
+// sanity ratio, not a speedup claim — both predictors wrap the same
+// gather + sweep functions.
+
+/// Synthetic but well-formed mixture model (the same shape the SIMD
+/// conformance suite uses): width-derived constants built with the exact
+/// reference expressions, all-level features so one-sample contexts
+/// suffice for the serving arm.
+pred::MixtureModel make_sweep_model(num::Rng& rng, std::size_t num_kernels,
+                                    std::size_t dim) {
+  pred::MixtureModel m;
+  m.name = "UBF";
+  m.mixture_kernels = true;
+  m.num_raw_vars = dim;
+  for (std::size_t i = 0; i < dim; ++i) {
+    m.selected.push_back(i);
+    m.lo.push_back(rng.uniform(-1.0, 0.0));
+    m.range.push_back(rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t i = 0; i < num_kernels; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      m.centers.push_back(rng.uniform(-0.2, 1.2));
+    }
+    const double w = std::max(rng.uniform(0.05, 1.5), 1e-6);
+    m.w.push_back(w);
+    m.two_w_sq.push_back(2.0 * w * w);
+    m.step_scale.push_back(0.3 * w);
+    m.mixture.push_back(rng.uniform(0.0, 1.0));
+    m.weights.push_back(rng.uniform(-1.5, 1.5));
+  }
+  m.weights.push_back(rng.uniform(-0.5, 0.5));
+  return m;
+}
+
+/// Best-of-3 seconds per call of `fn` over `iters`-call timed blocks.
+template <typename Fn>
+double best_seconds_per_call(int iters, Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double per_call =
+        std::chrono::duration<double>(t1 - t0).count() / iters;
+    best = rep == 0 ? per_call : std::min(best, per_call);
+  }
+  return best;
+}
+
+void print_simd_sweep() {
+  constexpr std::size_t kKernels = 64;
+  constexpr std::size_t kDim = 8;
+  const std::size_t batch = g_quick ? 1024 : 4096;
+  const int iters = g_quick ? 20 : 50;
+
+  std::printf("== SIMD kernel sweep: '%s' backend vs scalar reference ==\n",
+              num::simd::backend_name());
+  num::Rng rng(2024);
+  const auto model = make_sweep_model(rng, kKernels, kDim);
+  const auto view = model.view();
+
+  pred::BatchScratch scratch;
+  pred::BatchScratch::resize(scratch.features, kDim * batch);
+  for (auto& f : scratch.features) f = rng.uniform(-0.5, 1.5);
+  std::vector<double> out(batch, 0.0);
+
+  const double scalar_seconds = best_seconds_per_call(iters, [&] {
+    pred::sweep_scalar(view, batch, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  const double simd_seconds = best_seconds_per_call(iters, [&] {
+    pred::sweep_simd(view, batch, scratch, out);
+    benchmark::DoNotOptimize(out.data());
+  });
+  const double speedup =
+      simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0;
+  const double scores_per_sec =
+      simd_seconds > 0.0 ? static_cast<double>(batch) / simd_seconds : 0.0;
+  std::printf("  %zu kernels x %zu features x %zu contexts: scalar %.3f ms, "
+              "simd %.3f ms -> %.2fx (%s)\n\n",
+              kKernels, kDim, batch, scalar_seconds * 1e3, simd_seconds * 1e3,
+              speedup, num::simd::backend_name());
+  bench::JsonLine()
+      .field("bench", "simd_kernel_sweep")
+      .field("backend", num::simd::backend_name())
+      .field("kernels", kKernels)
+      .field("dim", kDim)
+      .field("batch", batch)
+      .field("scalar_seconds", scalar_seconds)
+      .field("simd_seconds", simd_seconds)
+      .field("speedup", speedup)
+      .field("scores_per_second", scores_per_sec)
+      .emit();
+}
+
+void print_frozen_serving() {
+  constexpr std::size_t kKernels = 64;
+  constexpr std::size_t kDim = 8;
+  const std::size_t batch = g_quick ? 512 : 2048;
+  const int iters = g_quick ? 20 : 50;
+
+  std::printf("== frozen-artifact serving vs the live engine ==\n");
+  num::Rng rng(2025);
+  const auto model = make_sweep_model(rng, kKernels, kDim);
+
+  const std::string path = "bench_frozen_model.pfmfrozen";
+  if (pred::freeze(model, path) != pred::FrozenError::kOk) {
+    std::fprintf(stderr, "FATAL: freezing the bench model failed\n");
+    std::exit(1);
+  }
+  auto loaded = pred::FrozenPredictor::load(path);
+  std::remove(path.c_str());
+  if (loaded.error != pred::FrozenError::kOk) {
+    std::fprintf(stderr, "FATAL: loading the bench artifact failed: %s\n",
+                 pred::to_string(loaded.error));
+    std::exit(1);
+  }
+
+  // One-sample contexts (all-level features), scored through the same
+  // vector-capable arena path on both sides.
+  std::vector<mon::SymptomSample> samples(batch);
+  std::vector<pred::SymptomContext> contexts(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    samples[i].time = 600.0 + static_cast<double>(i);
+    for (std::size_t j = 0; j < kDim; ++j) {
+      samples[i].values.push_back(rng.uniform(-1.5, 2.5));
+    }
+    contexts[i].history = {&samples[i], 1};
+  }
+  std::vector<double> out(batch, 0.0);
+  pred::BatchScratch scratch;
+  scratch.kernel = num::simd::vectorized() ? pred::BatchKernel::kSimd
+                                           : pred::BatchKernel::kScalar;
+
+  const auto view = model.view();
+  const double live_seconds = best_seconds_per_call(iters, [&] {
+    pred::score_batch_soa(view, contexts, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  });
+  const double frozen_seconds = best_seconds_per_call(iters, [&] {
+    loaded.predictor->score_batch(contexts, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  });
+  const double live_rate =
+      live_seconds > 0.0 ? static_cast<double>(batch) / live_seconds : 0.0;
+  const double frozen_rate =
+      frozen_seconds > 0.0 ? static_cast<double>(batch) / frozen_seconds : 0.0;
+  const double ratio = live_rate > 0.0 ? frozen_rate / live_rate : 0.0;
+  std::printf("  live %.0f scores/s, frozen %.0f scores/s -> ratio %.3f "
+              "(both wrap the same sweep; ~1.0 expected)\n\n",
+              live_rate, frozen_rate, ratio);
+  bench::JsonLine()
+      .field("bench", "frozen_serving")
+      .field("backend", num::simd::backend_name())
+      .field("kernels", kKernels)
+      .field("dim", kDim)
+      .field("batch", batch)
+      .field("live_scores_per_second", live_rate)
+      .field("frozen_scores_per_second", frozen_rate)
+      .field("ratio", ratio)
+      .emit();
 }
 
 void BM_FleetRoundSingleThread(benchmark::State& state) {
@@ -466,6 +645,8 @@ int main(int argc, char** argv) {
   print_shard_scaling(preds);
   print_obs_overhead(preds);
   print_path_comparison(preds);
+  print_simd_sweep();
+  print_frozen_serving();
   if (!g_quick) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,134 @@
+// Portable reference lanes of the SIMD layer. This translation unit is
+// compiled WITHOUT any vector ISA flags and with FP contraction off (see
+// src/numerics/CMakeLists.txt), so each lane is the exact IEEE operation
+// sequence the vector backends mirror instruction-for-instruction — the
+// conformance suite pins vexp bits across backends against these.
+
+#include "numerics/simd.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace pfm::num::simd::detail {
+
+namespace {
+
+/// 2^e for integer-valued e in the normal-exponent range [-1022, 1023],
+/// assembled directly from the IEEE exponent field. vexp only feeds it
+/// halves of the final scale (two-step scaling), which keeps both factors
+/// comfortably inside that range even for denormal results.
+inline double pow2_int(double e) noexcept {
+  return std::bit_cast<double>((static_cast<std::int64_t>(e) + 1023) << 52);
+}
+
+}  // namespace
+
+double exp_lane(double x) noexcept {
+  if (std::isnan(x)) return x;
+  if (x > kExpOverflow) return std::numeric_limits<double>::infinity();
+  if (x < kExpUnderflow) return 0.0;
+  // Range reduction: x = n*ln2 + r with |r| <= ln2/2, the hi/lo split
+  // keeping r accurate to the last bit.
+  const double n = std::floor(kLog2E * x + 0.5);
+  double r = x - n * kLn2Hi;
+  r = r - n * kLn2Lo;
+  // Rational core on r^2 (Cephes expd): exp(r) = 1 + 2*px/(qx - px).
+  const double xx = r * r;
+  const double px = r * ((kExpP0 * xx + kExpP1) * xx + kExpP2);
+  const double qx = ((kExpQ0 * xx + kExpQ1) * xx + kExpQ2) * xx + kExpQ3;
+  const double e = px / (qx - px);
+  const double poly = 1.0 + 2.0 * e;
+  // Two-step 2^n scaling so n below the normal exponent range (denormal
+  // results) still reconstructs by two in-range multiplies.
+  const double a = std::floor(n * 0.5);
+  const double b = n - a;
+  return (poly * pow2_int(a)) * pow2_int(b);
+}
+
+double sigmoid_lane(double z) noexcept {
+  // num::sigmoid's stable two-branch form with exp_lane in place of libm:
+  // both branches share e = exp(-|z|).
+  const double az = z >= 0.0 ? -z : z;
+  const double e = exp_lane(az);
+  const double denom = 1.0 + e;
+  return z >= 0.0 ? 1.0 / denom : e / denom;
+}
+
+void vexp_portable(const double* x, double* y, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] = exp_lane(x[i]);
+}
+
+void axpy_portable(double a, const double* x, double* y,
+                   std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+double dot_portable(const double* a, const double* b, std::size_t n) noexcept {
+  // Fixed four-lane accumulation with a zero-padded trailing block; the
+  // vector backends reduce their register lanes the same way.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double tail[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t k = 0; i + k < n; ++k) tail[k] = a[i + k] * b[i + k];
+  acc0 += tail[0];
+  acc1 += tail[1];
+  acc2 += tail[2];
+  acc3 += tail[3];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+void squared_distance_soa_portable(const double* features, std::size_t batch,
+                                   std::size_t dim, const double* center,
+                                   double* d2) noexcept {
+  for (std::size_t c = 0; c < batch; ++c) d2[c] = 0.0;
+  // j outer, c inner: per context the accumulation still runs j = 0..dim-1
+  // in order, so d2 matches the scalar reference sweep bit-for-bit.
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double cj = center[j];
+    const double* col = features + j * batch;
+    for (std::size_t c = 0; c < batch; ++c) {
+      const double d = col[c] - cj;
+      d2[c] += d * d;
+    }
+  }
+}
+
+void mixture_activation_portable(const double* d2, std::size_t n, double w,
+                                 double two_w_sq, double step_scale,
+                                 double mixture, bool mixture_kernels,
+                                 double* act) noexcept {
+  const double one_minus_m = 1.0 - mixture;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double d = std::sqrt(d2[c]);
+    const double gaussian = exp_lane(-d * d / two_w_sq);
+    if (!mixture_kernels) {
+      act[c] = gaussian;
+      continue;
+    }
+    const double e = exp_lane((d - w) / step_scale);
+    const double step = 1.0 / (1.0 + e);
+    act[c] = mixture * gaussian + one_minus_m * step;
+  }
+}
+
+void score_sigmoid_portable(double* inout, std::size_t n) noexcept {
+  for (std::size_t c = 0; c < n; ++c) {
+    inout[c] = sigmoid_lane(4.0 * (inout[c] - 0.5));
+  }
+}
+
+void trend_sigmoid_portable(const double* z_level, const double* z_slope,
+                            double* out, std::size_t n) noexcept {
+  for (std::size_t c = 0; c < n; ++c) {
+    out[c] = sigmoid_lane(0.7 * z_level[c] + 1.1 * z_slope[c]);
+  }
+}
+
+}  // namespace pfm::num::simd::detail

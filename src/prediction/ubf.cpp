@@ -528,16 +528,60 @@ void UbfPredictor::rebuild_score_cache() {
   kernel_w_.resize(kernels_.size());
   kernel_two_w_sq_.resize(kernels_.size());
   kernel_step_scale_.resize(kernels_.size());
+  kernel_mixture_.resize(kernels_.size());
+  kernel_centers_.resize(kernels_.size() * selected_.size());
   for (std::size_t i = 0; i < kernels_.size(); ++i) {
     const double w = std::max(kernels_[i].width, 1e-6);
     kernel_w_[i] = w;
     kernel_two_w_sq_[i] = 2.0 * w * w;
     kernel_step_scale_[i] = 0.3 * w;
+    kernel_mixture_[i] = kernels_[i].mixture;
+    std::copy(kernels_[i].center.begin(), kernels_[i].center.end(),
+              kernel_centers_.begin() +
+                  static_cast<std::ptrdiff_t>(i * selected_.size()));
   }
   feature_range_.resize(selected_.size());
   for (std::size_t i = 0; i < selected_.size(); ++i) {
     feature_range_[i] = feature_hi_[i] - feature_lo_[i];
   }
+}
+
+MixtureModelView UbfPredictor::score_view() const noexcept {
+  MixtureModelView v;
+  v.selected = selected_.data();
+  v.dim = selected_.size();
+  v.num_raw_vars = num_raw_vars_;
+  v.lo = feature_lo_.data();
+  v.range = feature_range_.data();
+  v.centers = kernel_centers_.data();
+  v.w = kernel_w_.data();
+  v.two_w_sq = kernel_two_w_sq_.data();
+  v.step_scale = kernel_step_scale_.data();
+  v.mixture = kernel_mixture_.data();
+  v.weights = weights_.data();
+  v.num_kernels = kernels_.size();
+  v.mixture_kernels = config_.mixture_kernels;
+  v.data_window = config_.windows.data_window;
+  return v;
+}
+
+MixtureModel UbfPredictor::export_model() const {
+  if (!trained_) throw std::logic_error("UbfPredictor: not trained");
+  MixtureModel m;
+  m.name = name();
+  m.mixture_kernels = config_.mixture_kernels;
+  m.windows = config_.windows;
+  m.num_raw_vars = num_raw_vars_;
+  m.selected = selected_;
+  m.lo = feature_lo_;
+  m.range = feature_range_;
+  m.centers = kernel_centers_;
+  m.w = kernel_w_;
+  m.two_w_sq = kernel_two_w_sq_;
+  m.step_scale = kernel_step_scale_;
+  m.mixture = kernel_mixture_;
+  m.weights = weights_;
+  return m;
 }
 
 std::vector<double> UbfPredictor::augmented_features(
@@ -640,10 +684,6 @@ namespace {
 [[noreturn]] void throw_not_trained() {
   throw std::logic_error("UbfPredictor: not trained");
 }
-// pfm-cold
-[[noreturn]] void throw_empty_context() {
-  throw std::invalid_argument("UbfPredictor: empty context");
-}
 
 }  // namespace
 
@@ -655,78 +695,11 @@ void UbfPredictor::score_batch(std::span<const SymptomContext> contexts,
     throw_batch_size_mismatch();
   }
   if (!trained_) throw_not_trained();
-  const std::size_t batch = contexts.size();
-  if (batch == 0) return;
-  const std::size_t dim = selected_.size();
-
-  // Gather phase: one contiguous column per selected feature. Feature i
-  // of context c lands at features[i * batch + c], so the kernel sweep
-  // below walks each column with unit stride across the whole batch.
-  BatchScratch::resize(scratch.features, dim * batch);
-  for (std::size_t c = 0; c < batch; ++c) {
-    const auto& ctx = contexts[c];
-    if (ctx.history.empty()) {
-      throw_empty_context();
-    }
-    const auto& current = ctx.history.back();
-    const double t0 = current.time - config_.windows.data_window;
-    for (std::size_t i = 0; i < dim; ++i) {
-      const std::size_t idx = selected_[i];
-      double v;
-      if (idx < num_raw_vars_) {
-        v = current.values[idx];
-      } else {
-        const std::size_t j = idx - num_raw_vars_;
-        scratch.t_buf.clear();
-        scratch.v_buf.clear();
-        for (const auto& s : ctx.history) {
-          if (s.time <= t0) continue;
-          scratch.t_buf.push_back(s.time);
-          scratch.v_buf.push_back(s.values[j]);
-        }
-        v = scratch.t_buf.size() >= 2
-                ? num::fit_line(scratch.t_buf, scratch.v_buf).slope
-                : 0.0;
-      }
-      const double range = feature_range_[i];
-      const double scaled = range > 0.0 ? (v - feature_lo_[i]) / range : 0.5;
-      scratch.features[i * batch + c] = std::clamp(scaled, -0.5, 1.5);
-    }
-  }
-
-  // Kernel sweep: evaluate each Eq. 1 kernel over every context, then
-  // fold its activation row into the accumulator with one axpy. Per
-  // context this performs bias-first, kernels-in-order accumulation with
-  // the same statement shapes as raw_score()/evaluate_kernel(), so the
-  // result is bit-identical to the reference path.
-  BatchScratch::resize(scratch.activations, batch);
-  for (std::size_t c = 0; c < batch; ++c) out[c] = weights_.back();
-  for (std::size_t i = 0; i < kernels_.size(); ++i) {
-    const Kernel& kn = kernels_[i];
-    const double w = kernel_w_[i];
-    const double two_w_sq = kernel_two_w_sq_[i];
-    const double step_scale = kernel_step_scale_[i];
-    for (std::size_t c = 0; c < batch; ++c) {
-      double s = 0.0;
-      for (std::size_t j = 0; j < dim; ++j) {
-        const double d = scratch.features[j * batch + c] - kn.center[j];
-        s += d * d;
-      }
-      const double d = std::sqrt(s);
-      const double gaussian = std::exp(-d * d / two_w_sq);
-      if (!config_.mixture_kernels) {
-        scratch.activations[c] = gaussian;
-      } else {
-        const double step = 1.0 / (1.0 + std::exp((d - w) / step_scale));
-        scratch.activations[c] =
-            kn.mixture * gaussian + (1.0 - kn.mixture) * step;
-      }
-    }
-    num::axpy(weights_[i], scratch.activations, out);
-  }
-  for (std::size_t c = 0; c < batch; ++c) {
-    out[c] = num::sigmoid(4.0 * (out[c] - 0.5));
-  }
+  // Gather + sweep live in kernels.cpp — the engine shared with the
+  // frozen-artifact path. scratch.kernel picks the sweep: kScalar is
+  // bit-identical to score()/the 2-arg overload, kSimd agrees within the
+  // documented ULP bound (DESIGN.md §13).
+  score_batch_soa(score_view(), contexts, out, scratch);
 }
 
 }  // namespace pfm::pred

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "prediction/kernels.hpp"
 #include "prediction/predictor.hpp"
 
 namespace pfm::pred {
@@ -104,6 +105,15 @@ class UbfPredictor final : public SymptomPredictor {
   /// Validation AUC achieved by the final model during training.
   double training_validation_auc() const noexcept { return validation_auc_; }
 
+  /// Owning snapshot of the trained scoring model — everything the Eq. 1
+  /// sweep needs, with the width-derived constants copied verbatim from
+  /// the score cache. This is what the freeze path serializes; a
+  /// FrozenPredictor loaded from the resulting artifact scores
+  /// bit-identically to this predictor because both run the same
+  /// kernels.hpp engine over the same numbers.
+  /// Throws std::logic_error before train().
+  MixtureModel export_model() const;
+
  private:
   struct Kernel {
     std::vector<double> center;
@@ -122,6 +132,9 @@ class UbfPredictor final : public SymptomPredictor {
   /// (clamped width, 2.0*w*w, 0.3*w, hi-lo), so substituting the cache
   /// cannot change a single bit.
   void rebuild_score_cache();
+  /// Non-owning view over the score cache, handed to the shared
+  /// kernels.hpp gather/sweep engine. Valid only while trained.
+  MixtureModelView score_view() const noexcept;
 
   UbfConfig config_;
   std::size_t num_raw_vars_ = 0;
@@ -136,6 +149,8 @@ class UbfPredictor final : public SymptomPredictor {
   std::vector<double> kernel_w_;           // max(width, 1e-6)
   std::vector<double> kernel_two_w_sq_;    // 2.0 * w * w (Gaussian scale)
   std::vector<double> kernel_step_scale_;  // 0.3 * w (sigmoid scale)
+  std::vector<double> kernel_mixture_;     // m_i per kernel
+  std::vector<double> kernel_centers_;     // num_kernels x dim, row-major
   std::vector<double> feature_range_;      // hi - lo per selected variable
 };
 

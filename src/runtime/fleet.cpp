@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "prediction/frozen.hpp"
+#include "prediction/ubf.hpp"
 #include "runtime/shard.hpp"
 
 namespace pfm::runtime {
@@ -29,7 +31,7 @@ FleetController::FleetController(
       stats_(nodes_.size()),
       pool_(config_.num_threads,
             ThreadPoolOptions{
-                .persistent = config_.path == FleetPath::kOptimized}),
+                .persistent = config_.path != FleetPath::kReference}),
       node_state_(nodes_.size()) {
   if (nodes_.empty()) {
     throw std::invalid_argument("FleetController: empty fleet");
@@ -159,6 +161,25 @@ void FleetController::add_event_predictor(
     std::shared_ptr<const pred::EventPredictor> p) {
   if (!p) throw std::invalid_argument("FleetController: null predictor");
   event_.push_back(std::move(p));
+}
+
+std::vector<std::string> FleetController::freeze_symptom_predictors(
+    const std::string& dir) const {
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < symptom_.size(); ++i) {
+    const auto* ubf = dynamic_cast<const pred::UbfPredictor*>(symptom_[i].get());
+    if (ubf == nullptr) continue;  // no freeze path for this predictor type
+    const auto model = ubf->export_model();
+    std::string path = dir + "/" + model.name + "_" + std::to_string(i) +
+                       ".pfmfrozen";
+    const pred::FrozenError err = pred::freeze(model, path);
+    if (err != pred::FrozenError::kOk) {
+      throw std::runtime_error("FleetController: freeze failed for " + path +
+                               ": " + pred::to_string(err));
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
 }
 
 void FleetController::add_action(
@@ -306,7 +327,11 @@ void FleetController::run_lockstep(double t) {
   breakers_.resize(num_predictors);
   columns_.resize(num_predictors);
   batch_scratch_.resize(num_predictors);
-  const bool optimized = config_.path == FleetPath::kOptimized;
+  const bool optimized = config_.path != FleetPath::kReference;
+  const pred::BatchKernel kernel = config_.path == FleetPath::kSimd
+                                       ? pred::BatchKernel::kSimd
+                                       : pred::BatchKernel::kScalar;
+  for (auto& scratch : batch_scratch_) scratch.kernel = kernel;
   ensure_observers_ready();
 
   // The round scratch lives in members (reused across rounds and calls);
@@ -819,7 +844,7 @@ void FleetController::run_event_driven(double t) {
   }
   quarantined_gauge_->set(static_cast<double>(quarantined));
   breakers_open_gauge_->set(static_cast<double>(open));
-  if (config_.path == FleetPath::kOptimized) {
+  if (config_.path != FleetPath::kReference) {
     scratch_bytes_gauge_->set(
         static_cast<double>(scratch_capacity_bytes()));
   }

@@ -65,7 +65,7 @@ struct FleetQualityConfig {
   ctmc::PfmModelParams model;
 };
 
-/// Execution path of the fleet loop's hot stages. Both paths compute the
+/// Execution path of the fleet loop's hot stages. All paths compute the
 /// same function — the conformance suite pins scores, telemetry and every
 /// sim-time export byte-identical between them at several thread counts —
 /// so the toggle trades only wall time, never results.
@@ -76,7 +76,13 @@ enum class FleetPath : std::uint8_t {
   /// Hot-path shape: persistent pool workers (generation-counter barrier,
   /// per-shard queues) and arena-backed SoA batched scoring that reuses
   /// one scratch arena per predictor across rounds.
-  kOptimized = 1
+  kOptimized = 1,
+  /// kOptimized plus the vectorized Eq. 1 kernel sweep (num::simd vexp
+  /// over the SoA columns instead of libm). Scores differ from the other
+  /// paths only within the documented ULP bound (DESIGN.md §13); every
+  /// threshold decision — and therefore every sim-time export — stays
+  /// byte-identical on the conformance corpus.
+  kSimd = 2
 };
 
 /// Loop structure of the fleet runtime.
@@ -353,6 +359,17 @@ class FleetController {
   const obs::QualityTracker* quality_tracker() const noexcept {
     return quality_.get();
   }
+
+  /// Freezes every registered mixture-kernel symptom predictor (UBF/RBF)
+  /// into `dir` as `<dir>/<name>_<index>.pfmfrozen` artifacts and returns
+  /// the written paths in registration order; predictors without a freeze
+  /// path are skipped. The train -> freeze -> serve round trip: load each
+  /// artifact with pred::FrozenPredictor::load and register it on a fresh
+  /// controller — the frozen fleet's exports are byte-identical to this
+  /// one's (the conformance suite pins it). Throws std::runtime_error
+  /// when an artifact cannot be written.
+  std::vector<std::string> freeze_symptom_predictors(
+      const std::string& dir) const;
 
  private:
   void quarantine(std::size_t node_index, const std::string& reason)

@@ -65,6 +65,10 @@ void ShardController::resize_predictors(std::size_t num_predictors) {
   breakers_.resize(num_predictors);
   columns_.resize(num_predictors);
   batch_scratch_.resize(num_predictors);
+  const pred::BatchKernel kernel = env_.config->path == FleetPath::kSimd
+                                       ? pred::BatchKernel::kSimd
+                                       : pred::BatchKernel::kScalar;
+  for (auto& scratch : batch_scratch_) scratch.kernel = kernel;
 }
 
 void ShardController::set_quality(obs::QualityTracker* quality,
@@ -187,7 +191,7 @@ void ShardController::process_tick(std::uint64_t tick, double t) {
   const double threshold = config.mea.warning_threshold;
   const ResilienceConfig& res = config.resilience;
   const bool hardened = res.enabled;
-  const bool optimized = config.path == FleetPath::kOptimized;
+  const bool optimized = config.path != FleetPath::kReference;
   auto& nodes = *env_.nodes;
   const auto& symptom = *env_.symptom;
   const auto& event = *env_.event;

@@ -118,6 +118,8 @@ TEST(PfmLint, HotpathRuleFlagsClosureViolationsAtExactLines) {
   const auto findings = run_on(fixture("hotpath"), {"hotpath"});
   EXPECT_EQ(keys(findings),
             (std::vector<std::string>{
+                "src/prediction/frozen_serve.cpp:17 allocation",
+                "src/prediction/frozen_serve.cpp:25 allocation",
                 "src/runtime/hot_paths.cpp:11 allocation",
                 "src/runtime/hot_paths.cpp:16 stream-io",
                 "src/runtime/hot_paths.cpp:28 allocation",
@@ -125,13 +127,20 @@ TEST(PfmLint, HotpathRuleFlagsClosureViolationsAtExactLines) {
                 "src/runtime/hot_paths.cpp:31 throw",
             }));
   for (const auto& f : findings) EXPECT_EQ(f.rule, "hotpath");
-  // The two-hop transitive finding names the seed and the path into it;
-  // the pfm-cold slow path (and everything it calls) is rightly absent.
-  ASSERT_FALSE(findings.empty());
+  ASSERT_EQ(findings.size(), 7u);
+  // The one-hop SIMD-sweep finding names the hot batch seed; the hoisted
+  // pfm-cold [[noreturn]] throw helper it calls is rightly absent.
   EXPECT_NE(findings[0].message.find(
-                "reached from pfm-hot 'tick' via 'helper_a' (2 calls deep)"),
+                "in 'mixture_sweep', reached from pfm-hot "
+                "'frozen_score_batch'"),
             std::string::npos)
       << findings[0].message;
+  // The two-hop transitive finding names the seed and the path into it;
+  // the pfm-cold slow path (and everything it calls) is rightly absent.
+  EXPECT_NE(findings[2].message.find(
+                "reached from pfm-hot 'tick' via 'helper_a' (2 calls deep)"),
+            std::string::npos)
+      << findings[2].message;
 }
 
 TEST(PfmLint, WalltaintRuleTracksWallValuesIntoSimExports) {

@@ -28,6 +28,14 @@ Gates (each exits non-zero on violation):
   - the sharded event-driven scheduler (8 shards, 8 threads) must beat
     the 8-thread lockstep baseline of the shard-scaling arm by >=1.5x
     wall time over the same fleet and sim horizon;
+  - the vectorized Eq. 1 kernel sweep must beat the scalar reference
+    sweep by >=2x on the same pre-gathered columns whenever a vector
+    backend (avx2/neon) is compiled in; on the scalar fallback the
+    gate is skipped (there is nothing to vectorize with), so the
+    script passes everywhere;
+  - the frozen-artifact serving path must stay within 30% of the live
+    engine's scoring rate (both wrap the same sweep, so a larger gap
+    means the mmap serving path grew overhead);
   - an armed-but-idle elastic membership config must cost < 5% wall
     time against the inactive default on a churn-free run (the
     fleet_churn_overhead arm of bench_fleet_churn);
@@ -75,6 +83,14 @@ PATH_REGRESSION_BUDGET = 0.10
 # The event-driven sharded scheduler (8 shards, 8 threads) must cover the
 # same fleet and sim horizon in at most 1/1.5 the lockstep wall time.
 SHARD_SPEEDUP_FLOOR = 1.5
+
+# The vectorized kernel sweep must beat the scalar sweep by this factor
+# when a vector backend is live; skipped on the scalar fallback.
+SIMD_SPEEDUP_FLOOR = 2.0
+
+# The frozen serving path may score at worst this fraction of the live
+# engine's rate (same sweep underneath — the gap is serving overhead).
+FROZEN_SERVING_RATIO_FLOOR = 0.7
 
 
 def scrape_json_lines(text: str) -> list:
@@ -249,6 +265,49 @@ def check_shard_scaling(records: list) -> None:
             f"baseline")
 
 
+def check_simd_sweep(records: list) -> None:
+    seen = False
+    for record in records:
+        if record.get("bench") != "simd_kernel_sweep":
+            continue
+        seen = True
+        backend = record.get("backend", "")
+        speedup = record.get("speedup", 0.0)
+        if backend == "scalar":
+            print(f"simd kernel sweep: scalar backend compiled in — "
+                  f"skipping the {SIMD_SPEEDUP_FLOOR:.0f}x gate "
+                  f"(measured {speedup:.3f}x)")
+            continue
+        print(f"simd kernel sweep ({backend}): {speedup:.3f}x over the "
+              f"scalar reference")
+        if speedup < SIMD_SPEEDUP_FLOOR:
+            raise SystemExit(
+                f"simd kernel sweep speedup {speedup:.3f}x on the "
+                f"{backend} backend is below the "
+                f"{SIMD_SPEEDUP_FLOOR:.1f}x floor")
+    if not seen:
+        raise SystemExit(
+            "bench_fleet_throughput emitted no simd_kernel_sweep row")
+
+
+def check_frozen_serving(records: list) -> None:
+    seen = False
+    for record in records:
+        if record.get("bench") != "frozen_serving":
+            continue
+        seen = True
+        ratio = record.get("ratio", 0.0)
+        print(f"frozen serving rate vs live engine: {ratio:.3f}x")
+        if ratio < FROZEN_SERVING_RATIO_FLOOR:
+            raise SystemExit(
+                f"frozen serving rate is {ratio:.3f}x the live engine's "
+                f"(floor {FROZEN_SERVING_RATIO_FLOOR:.1f}x) — the mmap "
+                f"serving path grew overhead")
+    if not seen:
+        raise SystemExit(
+            "bench_fleet_throughput emitted no frozen_serving row")
+
+
 def load_baseline(path: pathlib.Path) -> list:
     if not path.exists():
         return []
@@ -296,6 +355,8 @@ def main() -> None:
     fleet_records = collected["BENCH_fleet.json"]
     check_obs_overhead(fleet_records)
     check_shard_scaling(fleet_records)
+    check_simd_sweep(fleet_records)
+    check_frozen_serving(fleet_records)
     check_churn_overhead(fleet_records)
     check_quality_overhead(fleet_records)
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
